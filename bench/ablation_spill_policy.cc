@@ -1,0 +1,69 @@
+/**
+ * @file
+ * Ablation: Monitor Log replacement policies under SyncMon pressure —
+ * the fairness study §V.A explicitly leaves to future work.
+ *
+ * With an undersized condition cache, set conflicts force
+ * virtualization. `SpillNew` leaves older conditions in fast
+ * hardware and pushes newcomers to the CP-checked log; the log "may
+ * contain younger waiting conditions than the SyncMon cache" (paper).
+ * `EvictYoungest` demotes the set's youngest resident instead. We
+ * report runtime, virtualization traffic, and two fairness proxies:
+ * the spread between the first and last WG completion and the worst
+ * per-WG waiting time.
+ */
+
+#include "bench_common.hh"
+
+namespace {
+
+ifp::core::RunResult
+run(const std::string &workload, ifp::syncmon::SpillPolicy policy,
+    unsigned sets, unsigned ways)
+{
+    ifp::harness::Experiment exp;
+    exp.workload = workload;
+    exp.policy = ifp::core::Policy::Awg;
+    exp.params = ifp::harness::defaultEvalParams();
+    exp.runCfg.policy.syncmon.sets = sets;
+    exp.runCfg.policy.syncmon.ways = ways;
+    exp.runCfg.policy.syncmon.spillPolicy = policy;
+    return ifp::harness::runExperiment(exp);
+}
+
+} // anonymous namespace
+
+int
+main()
+{
+    using namespace ifp;
+    bench::banner("Ablation - Monitor Log replacement policies "
+                  "(SyncMon forced down to 8 hardware conditions)");
+
+    harness::TextTable t({"Benchmark", "Policy", "Cycles", "Spills",
+                          "MaxLog", "CompletionSpread",
+                          "MaxWgWait"});
+    for (const std::string &w :
+         {std::string("FAM_G"), std::string("SLM_G"),
+          std::string("LFTB_LG"), std::string("SLM_L")}) {
+        for (auto [name, policy] :
+             {std::pair<const char *, syncmon::SpillPolicy>{
+                  "spill-new", syncmon::SpillPolicy::SpillNew},
+              {"evict-youngest",
+               syncmon::SpillPolicy::EvictYoungest}}) {
+            core::RunResult r = run(w, policy, 2, 4);
+            t.addRow({w, name, r.statusString(),
+                      std::to_string(r.spills),
+                      std::to_string(r.maxLogEntries),
+                      std::to_string(r.wgCompletionSpreadCycles),
+                      std::to_string(r.maxWgWaitCycles)});
+        }
+    }
+    bench::printTable(t);
+    std::cout << "\nReading: both policies preserve correctness; the "
+                 "difference shows in which conditions enjoy fast\n"
+                 "hardware notification vs periodic CP checks, "
+                 "visible as completion spread and worst-case WG "
+                 "wait.\n";
+    return 0;
+}

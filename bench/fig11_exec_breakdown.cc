@@ -1,0 +1,60 @@
+/**
+ * @file
+ * Figure 11: WG execution-time break-down (running vs waiting on
+ * synchronization), normalized to Timeout, for the non-oversubscribed
+ * case. Paper's shape: MonNR-One keeps mutex waiting low but inflates
+ * barrier waiting enormously; MonNR-All is the reverse.
+ */
+
+#include "bench_common.hh"
+
+int
+main()
+{
+    using namespace ifp;
+    bench::banner("Figure 11 - WG execution break-down "
+                  "(normalized to Timeout; log-scale in the paper)");
+
+    const std::vector<std::string> benchmarks = {
+        "SPM_G", "FAM_G", "SLM_G", "SPM_L",   "FAM_L",
+        "SLM_L", "TB_LG", "LFTB_LG", "TBEX_LG", "LFTBEX_LG"};
+
+    harness::TextTable t({"Benchmark", "Policy", "Running(norm)",
+                          "Waiting(norm)", "Waiting share"});
+    for (const std::string &w : benchmarks) {
+        core::RunResult timeout =
+            bench::evalRun(w, core::Policy::Timeout);
+        double ref_run = timeout.totalWgRunCycles();
+        double ref_wait = timeout.totalWgWaitCycles;
+        auto add = [&](core::Policy policy) {
+            core::RunResult r = bench::evalRun(w, policy);
+            if (!r.completed) {
+                t.addRow({w, core::policyName(policy),
+                          r.statusString(), r.statusString(), "-"});
+                return;
+            }
+            double run_n = ref_run > 0
+                               ? r.totalWgRunCycles() / ref_run
+                               : 0.0;
+            double wait_n = ref_wait > 0
+                                ? r.totalWgWaitCycles / ref_wait
+                                : 0.0;
+            double share =
+                r.totalWgExecCycles > 0
+                    ? r.totalWgWaitCycles / r.totalWgExecCycles
+                    : 0.0;
+            t.addRow({w, core::policyName(policy),
+                      harness::formatDouble(run_n, 2),
+                      harness::formatDouble(wait_n, 3),
+                      harness::formatDouble(100.0 * share, 1) + "%"});
+        };
+        add(core::Policy::Timeout);
+        add(core::Policy::MonNRAll);
+        add(core::Policy::MonNROne);
+    }
+    bench::printTable(t);
+    std::cout << "\nShape check: MonNR-One waiting stays low for "
+                 "mutexes but dominates for centralized tree "
+                 "barriers; MonNR-All is the other way around.\n";
+    return 0;
+}

@@ -1,0 +1,59 @@
+/**
+ * @file
+ * Figure 14 (headline): speedup over the busy-waiting Baseline in the
+ * non-oversubscribed scenario, for Sleep, Timeout, MonNR-All,
+ * MonNR-One and AWG, plus the geometric mean. Log-scale in the
+ * paper; AWG's geomean there is ~12x. The qualitative shape to
+ * verify: AWG tracks the better of MonNR-One (mutexes) and
+ * MonNR-All (barriers), and Sleep/Timeout are sometimes *slower*
+ * than the Baseline.
+ */
+
+#include "bench_common.hh"
+
+int
+main()
+{
+    using namespace ifp;
+    bench::banner("Figure 14 - Speedup vs Baseline, "
+                  "non-oversubscribed (higher is better)");
+
+    const std::vector<core::Policy> policies = {
+        core::Policy::Sleep,    core::Policy::Timeout,
+        core::Policy::MonNRAll, core::Policy::MonNROne,
+        core::Policy::Awg};
+
+    harness::TextTable t({"Benchmark", "Baseline", "Sleep", "Timeout",
+                          "MonNR-All", "MonNR-One", "AWG"});
+
+    std::vector<std::vector<double>> speedups(policies.size());
+    for (const std::string &w : bench::figureBenchmarks()) {
+        core::RunResult base =
+            bench::evalRun(w, core::Policy::Baseline);
+        std::vector<std::string> row = {w, "1.00"};
+        for (std::size_t p = 0; p < policies.size(); ++p) {
+            core::RunResult r = bench::evalRun(w, policies[p]);
+            row.push_back(bench::ratioCell(
+                r, static_cast<double>(base.gpuCycles)));
+            if (r.completed && r.gpuCycles > 0) {
+                speedups[p].push_back(
+                    static_cast<double>(base.gpuCycles) /
+                    static_cast<double>(r.gpuCycles));
+            }
+        }
+        t.addRow(std::move(row));
+    }
+
+    std::vector<std::string> geo_row = {"GeoMean", "1.00"};
+    for (std::size_t p = 0; p < policies.size(); ++p)
+        geo_row.push_back(
+            harness::formatDouble(harness::geomean(speedups[p]), 2));
+    t.addRow(std::move(geo_row));
+
+    bench::printTable(t);
+    std::cout << "\nShape checks: AWG >= max(MonNR-All, MonNR-One) "
+                 "per benchmark (within predictor warm-up); largest "
+                 "wins on centralized mutexes; Timeout/Sleep < 1.0 "
+                 "for some benchmarks.\n";
+    return 0;
+}

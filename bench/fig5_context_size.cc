@@ -1,0 +1,38 @@
+/**
+ * @file
+ * Figure 5: work-group context size per benchmark (the cost a context
+ * switch must pay). The paper reports 2-10 KB across the suite.
+ */
+
+#include "bench_common.hh"
+#include "core/gpu_system.hh"
+
+int
+main()
+{
+    using namespace ifp;
+    bench::banner("Figure 5 - Work-group context size (KB)");
+
+    core::RunConfig cfg;
+    core::GpuSystem system(cfg);
+    workloads::WorkloadParams params = harness::defaultEvalParams();
+
+    harness::TextTable t({"Benchmark", "VGPRs/WI", "SGPRs/WF",
+                          "LDS (B)", "Context (KB)"});
+    double min_kb = 1e9, max_kb = 0;
+    for (const auto &w : workloads::makeFullSuite()) {
+        isa::Kernel k = w->build(system, params);
+        double kb = static_cast<double>(k.contextBytes()) / 1024.0;
+        min_kb = std::min(min_kb, kb);
+        max_kb = std::max(max_kb, kb);
+        t.addRow({w->abbrev(), std::to_string(k.vgprsPerWi),
+                  std::to_string(k.sgprsPerWf),
+                  std::to_string(k.ldsBytes),
+                  harness::formatDouble(kb, 2)});
+    }
+    bench::printTable(t);
+    std::cout << "\nRange: " << harness::formatDouble(min_kb, 2)
+              << " - " << harness::formatDouble(max_kb, 2)
+              << " KB (paper: ~2 - 10 KB)\n";
+    return 0;
+}

@@ -1,0 +1,56 @@
+/**
+ * @file
+ * Figure 7: exponential backoff with s_sleep, swept over the maximum
+ * backoff interval (Sleep-1k .. Sleep-256k), normalized to the
+ * busy-waiting Baseline. The paper's shape: backoff helps up to a
+ * point, then over-sleeping becomes counterproductive, and no single
+ * interval is best for every primitive.
+ */
+
+#include "bench_common.hh"
+
+int
+main()
+{
+    using namespace ifp;
+    bench::banner("Figure 7 - Exponential backoff with s_sleep "
+                  "(normalized runtime, lower is better)");
+
+    const std::vector<sim::Cycles> intervals = {
+        1'000,  2'000,  4'000,   8'000,
+        16'000, 32'000, 64'000, 128'000, 256'000};
+
+    std::vector<std::string> headers = {"Benchmark", "Baseline"};
+    for (sim::Cycles max_backoff : intervals)
+        headers.push_back("Sleep-" + std::to_string(max_backoff / 1000)
+                          + "k");
+    harness::TextTable t(std::move(headers));
+
+    for (const std::string &w : bench::sleepBenchmarks()) {
+        core::RunResult base =
+            bench::evalRun(w, core::Policy::Baseline);
+        std::vector<std::string> row = {w, "1.00"};
+        for (sim::Cycles max_backoff : intervals) {
+            harness::Experiment exp;
+            exp.workload = w;
+            exp.policy = core::Policy::Sleep;
+            exp.params = harness::defaultEvalParams();
+            exp.sleepMaxBackoffCycles = max_backoff;
+            core::RunResult r = harness::runExperiment(exp);
+            if (!r.completed) {
+                row.push_back(r.statusString());
+            } else {
+                row.push_back(harness::formatDouble(
+                    static_cast<double>(r.gpuCycles) /
+                        static_cast<double>(base.gpuCycles),
+                    2));
+            }
+        }
+        t.addRow(std::move(row));
+    }
+    bench::printTable(t);
+    std::cout << "\nShape check: values dip below 1.0 for contended "
+                 "benchmarks and rise again for very long maximum "
+                 "backoff (sleeping past the hand-off).\n";
+    return 0;
+}

@@ -1,0 +1,56 @@
+/**
+ * @file
+ * Figure 8: the Timeout architecture swept over its fixed interval
+ * (10k / 20k / 50k / 100k cycles), normalized to the Baseline.
+ * Paper's shape: no single best interval, and some intervals are
+ * substantially *worse* than busy-waiting for latency-sensitive
+ * primitives — the motivation for real hardware monitoring.
+ */
+
+#include "bench_common.hh"
+
+int
+main()
+{
+    using namespace ifp;
+    bench::banner("Figure 8 - Timeout interval sweep "
+                  "(runtime normalized to Baseline, lower is better)");
+
+    const std::vector<sim::Cycles> intervals = {10'000, 20'000,
+                                                50'000, 100'000};
+
+    std::vector<std::string> headers = {"Benchmark", "Baseline"};
+    for (sim::Cycles interval : intervals)
+        headers.push_back("Timeout-" +
+                          std::to_string(interval / 1000) + "k");
+    harness::TextTable t(std::move(headers));
+
+    double worst = 0.0;
+    for (const std::string &w : bench::figureBenchmarks()) {
+        core::RunResult base =
+            bench::evalRun(w, core::Policy::Baseline);
+        std::vector<std::string> row = {w, "1.00"};
+        for (sim::Cycles interval : intervals) {
+            harness::Experiment exp;
+            exp.workload = w;
+            exp.policy = core::Policy::Timeout;
+            exp.params = harness::defaultEvalParams();
+            exp.timeoutIntervalCycles = interval;
+            core::RunResult r = harness::runExperiment(exp);
+            if (!r.completed) {
+                row.push_back(r.statusString());
+            } else {
+                double norm = static_cast<double>(r.gpuCycles) /
+                              static_cast<double>(base.gpuCycles);
+                worst = std::max(worst, norm);
+                row.push_back(harness::formatDouble(norm, 2));
+            }
+        }
+        t.addRow(std::move(row));
+    }
+    bench::printTable(t);
+    std::cout << "\nWorst normalized runtime observed: "
+              << harness::formatDouble(worst, 2)
+              << "x (paper shows up to ~2.5-3x worse than Baseline)\n";
+    return 0;
+}

@@ -1,0 +1,65 @@
+/**
+ * @file
+ * Table 1: the baseline GPU model. Prints the simulated machine's
+ * configuration and asserts it matches the paper's parameters.
+ */
+
+#include "bench_common.hh"
+#include "core/gpu_system.hh"
+#include "sim/logging.hh"
+
+int
+main()
+{
+    using namespace ifp;
+    bench::banner("Table 1 - Baseline GPU model");
+
+    core::RunConfig cfg;
+    const gpu::GpuConfig &g = cfg.gpu;
+
+    harness::TextTable t({"Parameter", "Value"});
+    t.addRow({"Compute Units", std::to_string(g.numCus)});
+    t.addRow({"Clock",
+              std::to_string(sim::ticksPerSecond / g.clockPeriod /
+                             1'000'000'000ULL) +
+                  " GHz"});
+    t.addRow({"SIMD units / CU", std::to_string(g.simdsPerCu)});
+    t.addRow({"SIMD width", std::to_string(g.simdWidth)});
+    t.addRow({"Wavefronts / SIMD",
+              std::to_string(g.wavefrontsPerSimd)});
+    t.addRow({"LDS / CU",
+              std::to_string(g.ldsBytesPerCu / 1024) + " KB"});
+    t.addRow({"L1 / CU",
+              std::to_string(g.l1.sizeBytes / 1024) + " KB, " +
+                  std::to_string(g.l1.assoc) + "-way, " +
+                  std::to_string(g.l1.hitLatency) + " cycles"});
+    t.addRow({"L2 shared",
+              std::to_string(g.l2.sizeBytes / 1024) + " KB, " +
+                  std::to_string(g.l2.assoc) + "-way, " +
+                  std::to_string(g.l2.hitLatency) + " cycles, " +
+                  std::to_string(g.l2.banks) + " banks"});
+    t.addRow({"L2 same-line atomic turnaround",
+              std::to_string(g.l2.sameLineAtomicGapCycles) +
+                  " cycles"});
+    t.addRow({"DRAM",
+              std::to_string(g.dram.channels) + " channels, " +
+                  std::to_string(g.dram.accessLatency) +
+                  "-cycle access @ 1 GHz"});
+    t.addRow({"Cacheline", std::to_string(g.l2.lineBytes) + " B"});
+    bench::printTable(t);
+
+    // Guard the Table 1 parameters against accidental drift.
+    ifp_assert(g.numCus == 8, "Table 1: 8 CUs");
+    ifp_assert(g.simdsPerCu == 2, "Table 1: 2 SIMDs per CU");
+    ifp_assert(g.simdWidth == 64, "Table 1: SIMD width 64");
+    ifp_assert(g.wavefrontsPerSimd == 20,
+               "Table 1: 20 wavefronts per SIMD");
+    ifp_assert(g.l1.sizeBytes == 32 * 1024 && g.l1.hitLatency == 30,
+               "Table 1: 32KB / 30-cycle L1");
+    ifp_assert(g.l2.sizeBytes == 512 * 1024 && g.l2.assoc == 16 &&
+               g.l2.hitLatency == 50,
+               "Table 1: 512KB 16-way 50-cycle L2");
+    ifp_assert(g.dram.channels == 4, "Table 1: 4 DRAM channels");
+    std::cout << "\nAll Table 1 parameters verified.\n";
+    return 0;
+}

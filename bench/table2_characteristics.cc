@@ -1,0 +1,51 @@
+/**
+ * @file
+ * Table 2: benchmark characteristics. Prints the symbolic
+ * characterization (in terms of G, L, n) of every benchmark plus the
+ * concrete values for the standard evaluation geometry, and verifies
+ * the dynamic behaviour (measured waiter counts) against it.
+ */
+
+#include "bench_common.hh"
+
+int
+main()
+{
+    using namespace ifp;
+    bench::banner("Table 2 - Inter-WG synchronization benchmarks",
+                  "[G = total WGs, L = WGs per CU, n = WIs per WG, "
+                  "d = shared structure size]");
+
+    harness::TextTable t({"Benchmark", "Abbrev", "Granularity",
+                          "#sync vars", "#conds/var", "#waiters/cond",
+                          "#updates till met", "Description"});
+    for (const auto &w : workloads::makeFullSuite()) {
+        workloads::Table2Row row = w->characteristics();
+        t.addRow({w->name(), row.abbrev, row.granularity,
+                  row.numSyncVars, row.condsPerVar,
+                  row.waitersPerCond, row.updatesUntilMet,
+                  row.description});
+    }
+    bench::printTable(t);
+
+    // Concrete instantiation used by every bench binary.
+    workloads::WorkloadParams params = harness::defaultEvalParams();
+    std::cout << "\nEvaluation geometry: G=" << params.numWgs
+              << ", L=" << params.wgsPerGroup
+              << ", n=" << params.wiPerWg
+              << ", iterations=" << params.iters << "\n";
+
+    // Dynamic cross-check: measured peak waiter population per
+    // benchmark under MonNR-All (every waiter registered).
+    std::cout << "\nMeasured peak SyncMon occupancy (MonNR-All):\n";
+    harness::TextTable m({"Benchmark", "max conditions",
+                          "max waiting WGs", "monitored lines"});
+    for (const std::string &w : bench::figureBenchmarks()) {
+        core::RunResult r = bench::evalRun(w, core::Policy::MonNRAll);
+        m.addRow({w, std::to_string(r.maxConditions),
+                  std::to_string(r.maxWaiters),
+                  std::to_string(r.maxMonitoredLines)});
+    }
+    bench::printTable(m);
+    return 0;
+}

@@ -1,0 +1,277 @@
+#include "core/gpu_system.hh"
+
+#include <algorithm>
+#include <ostream>
+
+#include "sim/logging.hh"
+
+namespace ifp::core {
+
+const char *
+policyName(Policy policy)
+{
+    switch (policy) {
+      case Policy::Baseline: return "Baseline";
+      case Policy::Sleep: return "Sleep";
+      case Policy::Timeout: return "Timeout";
+      case Policy::MonRSAll: return "MonRS-All";
+      case Policy::MonRAll: return "MonR-All";
+      case Policy::MonNRAll: return "MonNR-All";
+      case Policy::MonNROne: return "MonNR-One";
+      case Policy::Awg: return "AWG";
+      case Policy::MinResume: return "MinResume";
+    }
+    return "?";
+}
+
+std::string
+RunResult::statusString() const
+{
+    if (deadlocked)
+        return "DEADLOCK";
+    if (!completed)
+        return "TIMEOUT";
+    return std::to_string(gpuCycles);
+}
+
+GpuSystem::GpuSystem(const RunConfig &run_cfg)
+    : cfg(run_cfg)
+{
+    dram = std::make_unique<mem::Dram>("dram", eq, cfg.gpu.dram);
+    l2cache = std::make_unique<mem::L2Cache>("l2", eq, cfg.gpu.l2,
+                                             *dram, store);
+    dma = std::make_unique<mem::DmaEngine>("dma", eq, cfg.gpu.dma);
+    cp = std::make_unique<cp::CommandProcessor>("cp", eq, cfg.cp, *dma,
+                                                store, l2cache.get());
+    dispatch = std::make_unique<gpu::Dispatcher>("dispatcher", eq,
+                                                 cfg.gpu);
+
+    for (unsigned i = 0; i < cfg.gpu.numCus; ++i) {
+        std::string cu_name = "cu" + std::to_string(i);
+        l1s.push_back(std::make_unique<mem::L1Cache>(
+            cu_name + ".l1", eq, cfg.gpu.l1, *l2cache));
+        cus.push_back(std::make_unique<gpu::ComputeUnit>(
+            cu_name, eq, i, cfg.gpu, *l1s.back(), store));
+    }
+
+    std::vector<gpu::ComputeUnit *> cu_ptrs;
+    for (auto &cu : cus)
+        cu_ptrs.push_back(cu.get());
+    dispatch->setCus(std::move(cu_ptrs));
+    dispatch->setContextSwitcher(cp.get());
+    cp->setScheduler(dispatch.get());
+
+    Policy policy = cfg.policy.policy;
+    dispatch->setSwapInCapable(!deadlockProne(policy));
+    if (policy == Policy::Timeout) {
+        dispatch->setDefaultRescueCycles(
+            cfg.policy.timeoutIntervalCycles);
+    } else if (usesSyncMon(policy)) {
+        dispatch->setDefaultRescueCycles(
+            cfg.policy.syncmon.rescueIntervalCycles);
+    }
+
+    mem::SyncObserver *observer = nullptr;
+    if (usesSyncMon(policy)) {
+        monitor = std::make_unique<syncmon::SyncMonController>(
+            "syncmon", eq, syncMonModeFor(policy), cfg.policy.syncmon,
+            *l2cache, store, *cp);
+        monitor->setScheduler(dispatch.get());
+        observer = monitor.get();
+    } else if (policy == Policy::Timeout) {
+        timeout = std::make_unique<syncmon::TimeoutController>(
+            cfg.policy.timeoutIntervalCycles);
+        timeout->setScheduler(dispatch.get());
+        l2cache->setSyncObserver(timeout.get());
+        observer = timeout.get();
+    }
+    // Baseline / Sleep: no controller; waiting atomics would busy
+    // retry, but their codegen styles never emit them.
+
+    for (auto &cu : cus)
+        cu->setSyncObserver(observer);
+}
+
+GpuSystem::~GpuSystem() = default;
+
+mem::Addr
+GpuSystem::allocate(std::uint64_t bytes, std::uint64_t align)
+{
+    ifp_assert(align > 0 && (align & (align - 1)) == 0,
+               "alignment must be a power of two");
+    heapNext = (heapNext + align - 1) & ~(align - 1);
+    mem::Addr base = heapNext;
+    heapNext += bytes;
+    return base;
+}
+
+RunResult
+GpuSystem::run(const isa::Kernel &kernel, const Validator &validator)
+{
+    RunResult result;
+    kernelDone = false;
+
+    dispatch->setOnComplete([this] {
+        kernelDone = true;
+        completionTick = eq.curTick();
+    });
+    dispatch->launch(kernel);
+
+    if (cfg.oversubscribed) {
+        unsigned victim = cfg.offlineCuId >= 0
+                              ? static_cast<unsigned>(cfg.offlineCuId)
+                              : cfg.gpu.numCus - 1;
+        sim::Tick when =
+            sim::ticksFromMicroseconds(cfg.cuLossMicroseconds);
+        eq.schedule(when, [this, victim] {
+            dispatch->offlineCu(victim);
+        }, "cuLoss");
+        if (cfg.cuRestoreMicroseconds > cfg.cuLossMicroseconds) {
+            sim::Tick back = sim::ticksFromMicroseconds(
+                cfg.cuRestoreMicroseconds);
+            eq.schedule(back, [this, victim] {
+                dispatch->onlineCu(victim);
+            }, "cuRestore");
+        }
+    }
+
+    const sim::Tick window =
+        cfg.deadlockWindowCycles * cfg.gpu.clockPeriod;
+    const sim::Tick budget = cfg.maxCycles * cfg.gpu.clockPeriod;
+
+    auto progress_sig = [this] {
+        return store.mutations() + dispatch->numCompleted() +
+               static_cast<std::uint64_t>(
+                   dispatch->stats().scalar("swapOuts").value()) +
+               static_cast<std::uint64_t>(
+                   dispatch->stats().scalar("swapIns").value());
+    };
+
+    std::uint64_t last_sig = progress_sig();
+    sim::Tick next_check = window;
+    while (!kernelDone) {
+        eq.simulate(next_check);
+        if (kernelDone)
+            break;
+        if (eq.empty()) {
+            // Nothing can ever happen again: stranded WGs.
+            result.deadlocked = true;
+            break;
+        }
+        std::uint64_t sig = progress_sig();
+        if (sig == last_sig) {
+            result.deadlocked = true;
+            break;
+        }
+        last_sig = sig;
+        next_check += window;
+        if (next_check > budget) {
+            // Simulation budget exhausted: report as non-completion.
+            break;
+        }
+    }
+
+    if (kernelDone) {
+        result.completed = true;
+        result.runTicks = completionTick;
+    } else {
+        result.runTicks = eq.curTick();
+    }
+    result.gpuCycles = result.runTicks / cfg.gpu.clockPeriod;
+
+    harvest(result);
+
+    if (result.completed && validator) {
+        std::string err;
+        result.validated = validator(store, err);
+        result.validationError = std::move(err);
+    }
+    return result;
+}
+
+void
+GpuSystem::harvest(RunResult &result) const
+{
+    for (const auto &cu : cus) {
+        const sim::StatGroup &s = cu->stats();
+        result.instructions += static_cast<std::uint64_t>(
+            s.scalar("instructions").value());
+        result.atomicInstructions += static_cast<std::uint64_t>(
+            s.scalar("atomics").value());
+        result.waitingAtomics += static_cast<std::uint64_t>(
+            s.scalar("waitingAtomics").value());
+        result.armWaits += static_cast<std::uint64_t>(
+            s.scalar("armWaits").value());
+        result.sleeps += static_cast<std::uint64_t>(
+            s.scalar("sleeps").value());
+    }
+
+    sim::Tick period = cfg.gpu.clockPeriod;
+    sim::Tick first_done = sim::maxTick, last_done = 0;
+    for (const auto &wg : dispatch->workgroups()) {
+        if (wg->completeTick > 0) {
+            first_done = std::min(first_done, wg->completeTick);
+            last_done = std::max(last_done, wg->completeTick);
+        }
+        sim::Tick end = wg->completeTick > 0 ? wg->completeTick
+                                             : result.runTicks;
+        sim::Tick exec =
+            end > wg->dispatchTick ? end - wg->dispatchTick : 0;
+        sim::Tick waiting = wg->waitingTicks;
+        if (wg->waitingWfs > 0 && end > wg->waitStartTick)
+            waiting += end - wg->waitStartTick;
+        result.totalWgExecCycles +=
+            static_cast<double>(exec) / period;
+        result.totalWgWaitCycles +=
+            static_cast<double>(std::min(waiting, exec)) / period;
+        result.contextSaves += wg->contextSaves;
+        result.contextRestores += wg->contextRestores;
+        result.maxWgWaitCycles = std::max(
+            result.maxWgWaitCycles,
+            static_cast<sim::Cycles>(waiting / period));
+    }
+    if (last_done > first_done) {
+        result.wgCompletionSpreadCycles =
+            (last_done - first_done) / period;
+    }
+
+    result.forcedPreemptions = static_cast<std::uint64_t>(
+        dispatch->stats().scalar("forcedPreemptions").value());
+    result.cpRescues = cp->rescueResumes();
+    result.maxLogEntries = cp->monitorLog().maxSize();
+    result.maxSpilledConds = cp->maxSpilledConditions();
+    result.maxContextStoreBytes = cp->maxContextStoreBytes();
+    result.maxMonitoredLines = l2cache->maxMonitored();
+
+    if (monitor) {
+        const sim::StatGroup &s = monitor->stats();
+        result.condResumesAll = static_cast<std::uint64_t>(
+            s.scalar("resumesAll").value());
+        result.condResumesOne = static_cast<std::uint64_t>(
+            s.scalar("resumesOne").value());
+        result.spills = static_cast<std::uint64_t>(
+            s.scalar("spills").value());
+        result.logFullRetries = static_cast<std::uint64_t>(
+            s.scalar("logFullRetries").value());
+        result.maxConditions = monitor->maxConditions();
+        result.maxWaiters = monitor->maxWaiters();
+    }
+}
+
+void
+GpuSystem::dumpStats(std::ostream &os) const
+{
+    dram->stats().dump(os);
+    l2cache->stats().dump(os);
+    dma->stats().dump(os);
+    cp->stats().dump(os);
+    dispatch->stats().dump(os);
+    for (const auto &l1 : l1s)
+        l1->stats().dump(os);
+    for (const auto &cu : cus)
+        cu->stats().dump(os);
+    if (monitor)
+        monitor->stats().dump(os);
+}
+
+} // namespace ifp::core

@@ -1,0 +1,132 @@
+/**
+ * @file
+ * GpuSystem: the fully composed simulated APU.
+ *
+ * Builds the Table 1 machine (CUs with L1s, banked shared L2, DRAM,
+ * DMA, Command Processor, WG dispatcher), installs the selected
+ * waiting-policy controller, runs one kernel, and harvests a
+ * RunResult. Also implements:
+ *
+ *  - the oversubscription scenario (§VI): after a configurable delay
+ *    one CU is taken offline and its resident WGs are pre-empted,
+ *  - deadlock detection: the kernel is declared deadlocked when no
+ *    memory value changes, no WG completes and no context switch
+ *    happens for a whole detection window (busy-wait spinning does
+ *    not advance any of these),
+ *  - a bump allocator for workload buffers in global memory.
+ */
+
+#ifndef IFP_CORE_GPU_SYSTEM_HH
+#define IFP_CORE_GPU_SYSTEM_HH
+
+#include <functional>
+#include <memory>
+#include <vector>
+
+#include "core/policy.hh"
+#include "core/run_result.hh"
+#include "cp/command_processor.hh"
+#include "gpu/compute_unit.hh"
+#include "gpu/dispatcher.hh"
+#include "gpu/gpu_config.hh"
+#include "mem/backing_store.hh"
+#include "mem/dma.hh"
+#include "mem/dram.hh"
+#include "mem/l1_cache.hh"
+#include "mem/l2_cache.hh"
+#include "sim/event_queue.hh"
+#include "syncmon/sync_monitor.hh"
+#include "syncmon/timeout_controller.hh"
+
+namespace ifp::core {
+
+/** Scenario and machine configuration of one run. */
+struct RunConfig
+{
+    gpu::GpuConfig gpu;
+    cp::CpConfig cp;
+    PolicyConfig policy;
+
+    /** Run the §VI oversubscribed experiment. */
+    bool oversubscribed = false;
+    /** When the CU is lost, in microseconds after launch (paper: 50). */
+    std::uint64_t cuLossMicroseconds = 50;
+    /**
+     * When the lost CU becomes schedulable again (0 = never): the
+     * paper's "resource availability varies across kernel scheduling
+     * time slices". Baseline machines still cannot recover their
+     * pre-empted WGs — restoring the CU only helps machines with WG
+     * swap-in firmware.
+     */
+    std::uint64_t cuRestoreMicroseconds = 0;
+    /** Which CU goes offline (default: the last one). */
+    int offlineCuId = -1;
+
+    /** No-progress window that declares deadlock, in GPU cycles. */
+    sim::Cycles deadlockWindowCycles = 1'000'000;
+    /** Absolute simulation budget, in GPU cycles. */
+    sim::Cycles maxCycles = 400'000'000;
+};
+
+/** Checks the final memory image of a run. */
+using Validator =
+    std::function<bool(const mem::BackingStore &, std::string &)>;
+
+/** The composed simulated APU. */
+class GpuSystem
+{
+  public:
+    explicit GpuSystem(const RunConfig &cfg);
+    ~GpuSystem();
+
+    GpuSystem(const GpuSystem &) = delete;
+    GpuSystem &operator=(const GpuSystem &) = delete;
+
+    /** Allocate zero-initialized global memory for workload buffers. */
+    mem::Addr allocate(std::uint64_t bytes, std::uint64_t align = 64);
+
+    /** Functional memory (workload initialization / validation). */
+    mem::BackingStore &memory() { return store; }
+
+    /** Run @p kernel to completion, deadlock or budget exhaustion. */
+    RunResult run(const isa::Kernel &kernel,
+                  const Validator &validator = nullptr);
+
+    /// @name Introspection (tests, examples)
+    /// @{
+    gpu::Dispatcher &dispatcher() { return *dispatch; }
+    cp::CommandProcessor &commandProcessor() { return *cp; }
+    mem::L2Cache &l2() { return *l2cache; }
+    sim::EventQueue &eventq() { return eq; }
+    syncmon::SyncMonController *syncMon() { return monitor.get(); }
+    const RunConfig &config() const { return cfg; }
+    /// @}
+
+    /** Dump every component's statistics. */
+    void dumpStats(std::ostream &os) const;
+
+  private:
+    RunConfig cfg;
+    sim::EventQueue eq;
+    mem::BackingStore store;
+
+    std::unique_ptr<mem::Dram> dram;
+    std::unique_ptr<mem::L2Cache> l2cache;
+    std::vector<std::unique_ptr<mem::L1Cache>> l1s;
+    std::vector<std::unique_ptr<gpu::ComputeUnit>> cus;
+    std::unique_ptr<mem::DmaEngine> dma;
+    std::unique_ptr<cp::CommandProcessor> cp;
+    std::unique_ptr<gpu::Dispatcher> dispatch;
+    std::unique_ptr<syncmon::SyncMonController> monitor;
+    std::unique_ptr<syncmon::TimeoutController> timeout;
+
+    mem::Addr heapNext = 0x1000'0000ULL;
+    bool kernelDone = false;
+    sim::Tick completionTick = 0;
+
+    void harvest(RunResult &result) const;
+};
+
+} // namespace ifp::core
+
+#endif // IFP_CORE_GPU_SYSTEM_HH

@@ -1,0 +1,90 @@
+/**
+ * @file
+ * Result record of one simulated kernel run.
+ */
+
+#ifndef IFP_CORE_RUN_RESULT_HH
+#define IFP_CORE_RUN_RESULT_HH
+
+#include <cstdint>
+#include <string>
+
+#include "sim/types.hh"
+
+namespace ifp::core {
+
+/** Everything the harness and benches need from one run. */
+struct RunResult
+{
+    bool completed = false;
+    bool deadlocked = false;
+
+    /// @name Time
+    /// @{
+    sim::Tick runTicks = 0;
+    sim::Cycles gpuCycles = 0;   //!< runTicks in GPU clock cycles
+    /// @}
+
+    /// @name Dynamic instruction counts
+    /// @{
+    std::uint64_t instructions = 0;
+    std::uint64_t atomicInstructions = 0;   //!< Figure 9's metric
+    std::uint64_t waitingAtomics = 0;
+    std::uint64_t armWaits = 0;
+    std::uint64_t sleeps = 0;
+    /// @}
+
+    /// @name WG execution break-down (Figure 11)
+    /// @{
+    double totalWgExecCycles = 0.0;
+    double totalWgWaitCycles = 0.0;
+    double
+    totalWgRunCycles() const
+    {
+        return totalWgExecCycles - totalWgWaitCycles;
+    }
+    /// @}
+
+    /// @name Scheduling activity
+    /// @{
+    std::uint64_t contextSaves = 0;
+    std::uint64_t contextRestores = 0;
+    std::uint64_t condResumesAll = 0;
+    std::uint64_t condResumesOne = 0;
+    std::uint64_t cpRescues = 0;
+    std::uint64_t forcedPreemptions = 0;
+    /// @}
+
+    /// @name Virtualization / hardware occupancy maxima (Figure 13)
+    /// @{
+    std::uint64_t maxConditions = 0;       //!< SyncMon condition cache
+    std::uint64_t maxWaiters = 0;          //!< SyncMon waiting-WG list
+    std::uint64_t maxMonitoredLines = 0;   //!< monitored L2 lines
+    std::uint64_t maxLogEntries = 0;       //!< Monitor Log high water
+    std::uint64_t maxSpilledConds = 0;     //!< CP monitor table
+    std::uint64_t maxContextStoreBytes = 0;
+    std::uint64_t spills = 0;
+    std::uint64_t logFullRetries = 0;
+    /// @}
+
+    /// @name Fairness (WG completion spread)
+    /// @{
+    /** Cycles between the first and last WG completion. */
+    sim::Cycles wgCompletionSpreadCycles = 0;
+    /** Largest per-WG sync-wait time, in cycles. */
+    sim::Cycles maxWgWaitCycles = 0;
+    /// @}
+
+    /// @name Validation
+    /// @{
+    bool validated = false;
+    std::string validationError;
+    /// @}
+
+    /** Wall status string for tables: cycles or DEADLOCK. */
+    std::string statusString() const;
+};
+
+} // namespace ifp::core
+
+#endif // IFP_CORE_RUN_RESULT_HH

@@ -1,0 +1,162 @@
+#include "cp/command_processor.hh"
+
+#include <algorithm>
+
+#include "sim/logging.hh"
+
+namespace ifp::cp {
+
+CommandProcessor::CommandProcessor(std::string name, sim::EventQueue &eq,
+                                   const CpConfig &cfg,
+                                   mem::DmaEngine &dma_engine,
+                                   mem::BackingStore &backing,
+                                   mem::MemDevice *l2)
+    : Clocked(std::move(name), eq, cfg.clockPeriod),
+      config(cfg),
+      dma(dma_engine),
+      store(backing),
+      log(cfg.monitorLogBase, cfg.monitorLogCapacity, backing, l2),
+      statGroup(this->name()),
+      contextSavesStat(statGroup.addScalar("contextSaves",
+                                           "WG contexts saved")),
+      contextRestoresStat(statGroup.addScalar("contextRestores",
+                                              "WG contexts restored")),
+      logDrained(statGroup.addScalar("logDrained",
+                                     "monitor log entries drained")),
+      spilledResumes(statGroup.addScalar(
+          "spilledResumes", "resumes from spilled-condition checks")),
+      rescuesFired(statGroup.addScalar("rescuesFired",
+                                       "CP rescue timeouts fired"))
+{
+}
+
+void
+CommandProcessor::saveContext(gpu::WorkGroup *wg,
+                              std::function<void()> done)
+{
+    ++contextSavesStat;
+    std::uint64_t bytes = wg->kernel->contextBytes();
+    currentContextBytes += bytes;
+    maxContextBytes = std::max(maxContextBytes, currentContextBytes);
+    dma.transfer(bytes, std::move(done));
+}
+
+void
+CommandProcessor::restoreContext(gpu::WorkGroup *wg,
+                                 std::function<void()> done)
+{
+    ++contextRestoresStat;
+    std::uint64_t bytes = wg->kernel->contextBytes();
+    ifp_assert(currentContextBytes >= bytes,
+               "context store underflow for wg%d", wg->id);
+    dma.transfer(bytes, [this, bytes, cb = std::move(done)] {
+        currentContextBytes -= bytes;
+        cb();
+    });
+}
+
+void
+CommandProcessor::armRescue(int wg_id, sim::Cycles timeout_cycles)
+{
+    rescueDeadlines[wg_id] = clockEdge(timeout_cycles);
+    maxRescues = std::max(maxRescues,
+                          static_cast<unsigned>(
+                              rescueDeadlines.size()));
+    ensureHousekeeping();
+}
+
+void
+CommandProcessor::cancelRescue(int wg_id)
+{
+    rescueDeadlines.erase(wg_id);
+    // A resuming WG's spilled conditions are stale: it will re-check
+    // and, if needed, re-register (Mesa semantics).
+    dropSpilledFor(wg_id);
+}
+
+bool
+CommandProcessor::spillCondition(mem::Addr addr, mem::MemValue expected,
+                                 int wg_id)
+{
+    bool ok = log.append(MonitorLogEntry{addr, expected, wg_id});
+    if (ok)
+        ensureHousekeeping();
+    return ok;
+}
+
+void
+CommandProcessor::dropSpilledFor(int wg_id)
+{
+    std::erase_if(spilled, [wg_id](const SpilledCond &c) {
+        return c.wgId == wg_id;
+    });
+}
+
+bool
+CommandProcessor::hasWork() const
+{
+    return !log.empty() || !spilled.empty() || !rescueDeadlines.empty();
+}
+
+void
+CommandProcessor::ensureHousekeeping()
+{
+    if (housekeepingScheduled || !hasWork())
+        return;
+    housekeepingScheduled = true;
+    eventq().schedule(clockEdge(config.checkIntervalCycles),
+                      [this] { housekeeping(); },
+                      name() + ".housekeeping");
+}
+
+void
+CommandProcessor::housekeeping()
+{
+    housekeepingScheduled = false;
+    sim::Tick now = curTick();
+
+    // 1. Drain the Monitor Log into the lookup-efficient table.
+    for (unsigned i = 0; i < config.logDrainPerCheck; ++i) {
+        auto entry = log.pop();
+        if (!entry)
+            break;
+        ++logDrained;
+        spilled.push_back(
+            SpilledCond{entry->addr, entry->expected, entry->wgId});
+    }
+    maxSpilled =
+        std::max(maxSpilled, static_cast<unsigned>(spilled.size()));
+
+    // 2. Check spilled waiting conditions against memory.
+    std::vector<int> to_resume;
+    std::erase_if(spilled, [&](const SpilledCond &c) {
+        if (store.read(c.addr, 8) == c.expected) {
+            to_resume.push_back(c.wgId);
+            return true;
+        }
+        return false;
+    });
+    for (int wg_id : to_resume) {
+        ++spilledResumes;
+        if (scheduler)
+            scheduler->resumeWg(wg_id);
+    }
+
+    // 3. Fire expired rescue timers (Mesa: resumed WGs re-check).
+    std::vector<int> rescued;
+    for (const auto &[wg_id, deadline] : rescueDeadlines) {
+        if (deadline <= now)
+            rescued.push_back(wg_id);
+    }
+    for (int wg_id : rescued) {
+        rescueDeadlines.erase(wg_id);
+        ++rescuesFired;
+        ++rescuesFiredCount;
+        if (scheduler)
+            scheduler->resumeWg(wg_id);
+    }
+
+    ensureHousekeeping();
+}
+
+} // namespace ifp::cp

@@ -1,0 +1,148 @@
+/**
+ * @file
+ * Command Processor firmware model.
+ *
+ * The paper extends the firmware of the GPU's existing programmable
+ * micro-controller (the CP) to:
+ *
+ *  - perform WG context switches (save/restore through the DMA
+ *    engine into a context store in global memory),
+ *  - track waiting WGs and their state transitions (stalled /
+ *    switching out / waiting / ready / switching in),
+ *  - drain the Monitor Log into a lookup-efficient in-memory table
+ *    and periodically check the spilled waiting conditions,
+ *  - provide the timeout backstop ("rescue") that re-activates
+ *    waiting WGs after monitor misses or mispredictions (Mesa
+ *    semantics: resumed WGs re-check their condition).
+ *
+ * The CP is off the critical path: it is only involved in the
+ * uncommon, high-latency operations.
+ */
+
+#ifndef IFP_CP_COMMAND_PROCESSOR_HH
+#define IFP_CP_COMMAND_PROCESSOR_HH
+
+#include <cstdint>
+#include <unordered_map>
+#include <vector>
+
+#include "cp/monitor_log.hh"
+#include "gpu/sched_iface.hh"
+#include "gpu/workgroup.hh"
+#include "mem/backing_store.hh"
+#include "mem/dma.hh"
+#include "sim/clocked.hh"
+#include "sim/stats.hh"
+
+namespace ifp::cp {
+
+/** CP firmware configuration. */
+struct CpConfig
+{
+    /** Period of the firmware's housekeeping loop, in GPU cycles. */
+    sim::Cycles checkIntervalCycles = 2000;
+    /** Monitor Log entries drained per housekeeping pass. */
+    unsigned logDrainPerCheck = 64;
+    /** Monitor Log capacity, in entries. */
+    unsigned monitorLogCapacity = 4096;
+    /** Monitor Log base address in global memory. */
+    mem::Addr monitorLogBase = 0x4000'0000ULL;
+    /** Context store base address in global memory. */
+    mem::Addr contextStoreBase = 0x5000'0000ULL;
+    sim::Tick clockPeriod = sim::periodFromFrequency(2'000'000'000ULL);
+};
+
+/** The Command Processor. */
+class CommandProcessor : public sim::Clocked,
+                         public gpu::ContextSwitcher
+{
+  public:
+    CommandProcessor(std::string name, sim::EventQueue &eq,
+                     const CpConfig &cfg, mem::DmaEngine &dma,
+                     mem::BackingStore &store,
+                     mem::MemDevice *l2 = nullptr);
+
+    void setScheduler(gpu::WgScheduler *s) { scheduler = s; }
+
+    /// @name ContextSwitcher
+    /// @{
+    void saveContext(gpu::WorkGroup *wg,
+                     std::function<void()> done) override;
+    void restoreContext(gpu::WorkGroup *wg,
+                        std::function<void()> done) override;
+    void armRescue(int wg_id, sim::Cycles timeout_cycles) override;
+    void cancelRescue(int wg_id) override;
+    /// @}
+
+    /// @name Monitor Log interface (called by the SyncMon)
+    /// @{
+
+    /**
+     * Spill a waiting condition the SyncMon could not hold.
+     * @return false when the log is full (the waiting atomic then
+     *         fails without entering a waiting state).
+     */
+    bool spillCondition(mem::Addr addr, mem::MemValue expected,
+                        int wg_id);
+
+    /** Remove spilled conditions belonging to a resumed WG. */
+    void dropSpilledFor(int wg_id);
+    /// @}
+
+    /// @name Introspection (Figure 13 accounting)
+    /// @{
+    const MonitorLog &monitorLog() const { return log; }
+    unsigned maxSpilledConditions() const { return maxSpilled; }
+    unsigned maxTrackedRescues() const { return maxRescues; }
+    std::uint64_t maxContextStoreBytes() const
+    {
+        return maxContextBytes;
+    }
+    std::uint64_t rescueResumes() const { return rescuesFiredCount; }
+    /// @}
+
+    sim::StatGroup &stats() { return statGroup; }
+    const sim::StatGroup &stats() const { return statGroup; }
+
+  private:
+    struct SpilledCond
+    {
+        mem::Addr addr;
+        mem::MemValue expected;
+        int wgId;
+    };
+
+    void housekeeping();
+    void ensureHousekeeping();
+    bool hasWork() const;
+
+    CpConfig config;
+    mem::DmaEngine &dma;
+    mem::BackingStore &store;
+    gpu::WgScheduler *scheduler = nullptr;
+
+    MonitorLog log;
+    /** The "monitor table": drained, lookup-efficient conditions. */
+    std::vector<SpilledCond> spilled;
+    /** Rescue deadlines for waiting WGs, keyed by WG id. */
+    std::unordered_map<int, sim::Tick> rescueDeadlines;
+
+    bool housekeepingScheduled = false;
+
+    std::uint64_t currentContextBytes = 0;
+    std::uint64_t maxContextBytes = 0;
+    unsigned maxSpilled = 0;
+    unsigned maxRescues = 0;
+    std::uint64_t rescuesFiredCount = 0;
+
+    sim::StatGroup statGroup;
+    sim::Scalar &contextSavesStat;
+    sim::Scalar &contextRestoresStat;
+    sim::Scalar &logDrained;
+    sim::Scalar &spilledResumes;
+    sim::Scalar &rescuesFired;
+};
+
+} // namespace ifp::cp
+
+#endif // IFP_CP_COMMAND_PROCESSOR_HH

@@ -1,0 +1,62 @@
+#include "cp/monitor_log.hh"
+
+#include "sim/logging.hh"
+
+namespace ifp::cp {
+
+MonitorLog::MonitorLog(mem::Addr log_base, unsigned log_capacity,
+                       mem::BackingStore &backing,
+                       mem::MemDevice *l2_dev)
+    : base(log_base), capacity(log_capacity), store(backing), l2(l2_dev)
+{
+    ifp_assert(capacity > 0, "monitor log needs capacity");
+}
+
+bool
+MonitorLog::append(const MonitorLogEntry &entry)
+{
+    if (full()) {
+        ++rejected;
+        return false;
+    }
+
+    mem::Addr at = entryAddr(tail);
+    store.write(at, static_cast<mem::MemValue>(entry.addr), 8);
+    store.write(at + 8, entry.expected, 8);
+    store.write(at + 16, entry.wgId, 8);
+
+    if (l2) {
+        // Charge one timing write for the record (fire and forget).
+        auto req = std::make_shared<mem::MemRequest>();
+        req->op = mem::MemOp::Write;
+        req->addr = at;
+        req->size = monitorLogEntryBytes;
+        req->operand = entry.expected;
+        l2->access(req);
+    }
+
+    tail = (tail + 1) % capacity;
+    ++count;
+    ++appends;
+    maxCount = std::max(maxCount, count);
+    return true;
+}
+
+std::optional<MonitorLogEntry>
+MonitorLog::pop()
+{
+    if (empty())
+        return std::nullopt;
+
+    mem::Addr at = entryAddr(head);
+    MonitorLogEntry entry;
+    entry.addr = static_cast<mem::Addr>(store.read(at, 8));
+    entry.expected = store.read(at + 8, 8);
+    entry.wgId = static_cast<int>(store.read(at + 16, 8));
+
+    head = (head + 1) % capacity;
+    --count;
+    return entry;
+}
+
+} // namespace ifp::cp

@@ -1,0 +1,290 @@
+#include "gpu/dispatcher.hh"
+
+#include "sim/logging.hh"
+
+namespace ifp::gpu {
+
+Dispatcher::Dispatcher(std::string name, sim::EventQueue &eq,
+                       const GpuConfig &cfg)
+    : Clocked(std::move(name), eq, cfg.clockPeriod),
+      config(cfg),
+      statGroup(this->name()),
+      dispatches(statGroup.addScalar("dispatches",
+                                     "fresh WG dispatches")),
+      swapOuts(statGroup.addScalar("swapOuts",
+                                   "WG context switches out")),
+      swapIns(statGroup.addScalar("swapIns",
+                                  "WG context switches in")),
+      resumesStalled(statGroup.addScalar(
+          "resumesStalled", "condition-met resumes of stalled WGs")),
+      resumesSwapped(statGroup.addScalar(
+          "resumesSwapped",
+          "condition-met resumes of switched-out WGs")),
+      forcedPreemptions(statGroup.addScalar(
+          "forcedPreemptions", "WGs pre-empted by kernel scheduling"))
+{
+}
+
+void
+Dispatcher::setCus(std::vector<ComputeUnit *> cu_list)
+{
+    cus = std::move(cu_list);
+    for (ComputeUnit *cu : cus)
+        cu->setListener(this);
+}
+
+void
+Dispatcher::launch(const isa::Kernel &k)
+{
+    ifp_assert(kernel == nullptr, "dispatcher supports one launch");
+    ifp_assert(k.numWgs > 0, "kernel with zero work-groups");
+    kernel = &k;
+    wgs.reserve(k.numWgs);
+    for (unsigned i = 0; i < k.numWgs; ++i) {
+        wgs.push_back(std::make_unique<WorkGroup>(static_cast<int>(i),
+                                                  k));
+        pendingFresh.push_back(static_cast<int>(i));
+    }
+    tryDispatch();
+}
+
+WorkGroup *
+Dispatcher::wg(int wg_id)
+{
+    ifp_assert(wg_id >= 0 &&
+               static_cast<std::size_t>(wg_id) < wgs.size(),
+               "bad wg id %d", wg_id);
+    return wgs[wg_id].get();
+}
+
+bool
+Dispatcher::hasStarvedWork() const
+{
+    return !pendingFresh.empty() || !readySwapIn.empty();
+}
+
+unsigned
+Dispatcher::numWaitingWgs() const
+{
+    unsigned n = 0;
+    for (const auto &w : wgs) {
+        if (w->hasWaitCond && w->state != WgState::Done)
+            ++n;
+    }
+    return n;
+}
+
+ComputeUnit *
+Dispatcher::findHost(const isa::Kernel &k)
+{
+    ComputeUnit *best = nullptr;
+    for (ComputeUnit *cu : cus) {
+        if (!cu->canHost(k))
+            continue;
+        if (!best || cu->numResidentWgs() < best->numResidentWgs())
+            best = cu;
+    }
+    return best;
+}
+
+void
+Dispatcher::tryDispatch()
+{
+    bool progress = true;
+    while (progress) {
+        progress = false;
+
+        if (swapInCapable && !readySwapIn.empty()) {
+            WorkGroup *w = wg(readySwapIn.front());
+            if (ComputeUnit *cu = findHost(*w->kernel)) {
+                readySwapIn.pop_front();
+                startSwapIn(w, cu);
+                progress = true;
+                continue;
+            }
+        }
+        if (!pendingFresh.empty()) {
+            WorkGroup *w = wg(pendingFresh.front());
+            if (ComputeUnit *cu = findHost(*w->kernel)) {
+                pendingFresh.pop_front();
+                startFresh(w, cu);
+                progress = true;
+            }
+        }
+    }
+}
+
+void
+Dispatcher::startFresh(WorkGroup *w, ComputeUnit *cu)
+{
+    ifp_assert(w->state == WgState::Pending,
+               "fresh dispatch of wg%d in state %s", w->id,
+               wgStateName(w->state));
+    ++dispatches;
+    cu->placeWg(w);
+    w->state = WgState::Dispatching;
+    w->dispatchTick = curTick();
+    eventq().schedule(clockEdge(config.dispatchLatency),
+                      [cu, w] { cu->activateWg(w); },
+                      name() + ".activate");
+}
+
+void
+Dispatcher::startSwapIn(WorkGroup *w, ComputeUnit *cu)
+{
+    ifp_assert(w->state == WgState::ReadySwapIn,
+               "swap-in of wg%d in state %s", w->id,
+               wgStateName(w->state));
+    ifp_assert(switcher, "no context switcher installed");
+    ++swapIns;
+    cu->placeWg(w);
+    w->state = WgState::SwitchingIn;
+    switcher->restoreContext(w, [this, w, cu] {
+        ++w->contextRestores;
+        cu->activateWg(w);
+    });
+}
+
+void
+Dispatcher::wgWantsSwitch(WorkGroup *w, sim::Cycles rescue_cycles)
+{
+    if (w->state != WgState::Running)
+        return;  // already switching, or completed meanwhile
+    if (!switcher)
+        return;  // no CP firmware: WGs can only stall
+    if (rescue_cycles > 0)
+        switcher->armRescue(w->id, rescue_cycles);
+    beginSwapOut(w);
+}
+
+void
+Dispatcher::beginSwapOut(WorkGroup *w)
+{
+    ifp_assert(w->cuId >= 0, "swap-out of non-resident wg%d", w->id);
+    ++swapOuts;
+    w->state = WgState::SwitchingOut;
+    ComputeUnit *cu = cus[w->cuId];
+    cu->beginDrain(w, [this, w] {
+        switcher->saveContext(w, [this, w] { finishSwapOut(w); });
+    });
+}
+
+void
+Dispatcher::finishSwapOut(WorkGroup *w)
+{
+    ifp_assert(w->state == WgState::SwitchingOut,
+               "finishSwapOut of wg%d in state %s", w->id,
+               wgStateName(w->state));
+    ComputeUnit *cu = cus[w->cuId];
+    cu->removeWg(w);
+    ++w->contextSaves;
+
+    if (w->resumePending || !w->hasWaitCond) {
+        w->state = WgState::ReadySwapIn;
+        w->resumePending = false;
+        readySwapIn.push_back(w->id);
+    } else {
+        w->state = WgState::SwappedOut;
+        // Make sure a CP rescue exists: a forcibly pre-empted waiting
+        // WG never passed through a waiting-policy Switch decision,
+        // and a missed monitor notification must not strand it.
+        if (switcher && defaultRescueCycles > 0)
+            switcher->armRescue(w->id, defaultRescueCycles);
+    }
+    tryDispatch();
+}
+
+void
+Dispatcher::resumeWg(int wg_id)
+{
+    WorkGroup *w = wg(wg_id);
+    switch (w->state) {
+      case WgState::Running: {
+        ++resumesStalled;
+        if (switcher)
+            switcher->cancelRescue(wg_id);
+        cus[w->cuId]->resumeWaitingWfs(w);
+        return;
+      }
+      case WgState::SwitchingOut:
+        w->resumePending = true;
+        return;
+      case WgState::SwappedOut: {
+        ++resumesSwapped;
+        if (switcher)
+            switcher->cancelRescue(wg_id);
+        w->state = WgState::ReadySwapIn;
+        w->hasWaitCond = false;
+        readySwapIn.push_back(wg_id);
+        tryDispatch();
+        return;
+      }
+      case WgState::Pending:
+      case WgState::Dispatching:
+      case WgState::ReadySwapIn:
+      case WgState::SwitchingIn:
+      case WgState::Done:
+        return;  // nothing to do / already on its way
+    }
+}
+
+void
+Dispatcher::wgCompleted(WorkGroup *w)
+{
+    ifp_assert(w->state == WgState::Running ||
+               w->state == WgState::SwitchingOut,
+               "completion of wg%d in state %s", w->id,
+               wgStateName(w->state));
+    ComputeUnit *cu = cus[w->cuId];
+    cu->removeWg(w);
+    w->state = WgState::Done;
+    if (switcher)
+        switcher->cancelRescue(w->id);
+    ++completed;
+    if (completed == wgs.size()) {
+        if (onComplete)
+            onComplete();
+    } else {
+        tryDispatch();
+    }
+}
+
+void
+Dispatcher::onlineCu(unsigned cu_id)
+{
+    ifp_assert(cu_id < cus.size(), "bad CU id %u", cu_id);
+    cus[cu_id]->setOffline(false);
+    tryDispatch();
+}
+
+void
+Dispatcher::offlineCu(unsigned cu_id)
+{
+    ifp_assert(cu_id < cus.size(), "bad CU id %u", cu_id);
+    ComputeUnit *cu = cus[cu_id];
+    cu->setOffline(true);
+
+    // Snapshot: beginSwapOut mutates the resident list asynchronously.
+    std::vector<WorkGroup *> victims = cu->residentWgs();
+    for (WorkGroup *w : victims) {
+        if (w->state != WgState::Running &&
+            w->state != WgState::Dispatching) {
+            continue;  // already switching out
+        }
+        ifp_assert(w->state == WgState::Running,
+                   "pre-empting wg%d during dispatch", w->id);
+        ++forcedPreemptions;
+        w->state = WgState::SwitchingOut;
+        ComputeUnit *host = cus[w->cuId];
+        host->beginDrain(w, [this, w] {
+            if (switcher) {
+                switcher->saveContext(w,
+                                      [this, w] { finishSwapOut(w); });
+            } else {
+                finishSwapOut(w);
+            }
+        });
+    }
+}
+
+} // namespace ifp::gpu

@@ -1,0 +1,147 @@
+/**
+ * @file
+ * Work-group dispatcher: WG ids, placement, completion tracking and
+ * the resume paths of the paper's cooperative scheduling.
+ *
+ * The dispatcher owns all WG instances of a kernel launch. Fresh WGs
+ * dispatch in id order as resources permit. When a waiting-policy
+ * controller asks a WG to yield (Switch decision) the dispatcher
+ * orchestrates the drain / context-save / resource-free sequence with
+ * the CU and the Command Processor; resumes go the other way.
+ *
+ * `swapInCapable` distinguishes the paper's Baseline from everything
+ * else: current GPUs can pre-empt WGs (kernel-level scheduling) but
+ * have no firmware to context switch an individual WG back *in* — that
+ * capability is exactly what the paper adds via the CP. With it off,
+ * swapped-out WGs are stranded and oversubscribed runs deadlock.
+ */
+
+#ifndef IFP_GPU_DISPATCHER_HH
+#define IFP_GPU_DISPATCHER_HH
+
+#include <deque>
+#include <functional>
+#include <memory>
+#include <vector>
+
+#include "gpu/compute_unit.hh"
+#include "gpu/sched_iface.hh"
+#include "gpu/workgroup.hh"
+#include "sim/clocked.hh"
+#include "sim/stats.hh"
+
+namespace ifp::gpu {
+
+/** The global WG dispatcher. */
+class Dispatcher : public sim::Clocked,
+                   public WgScheduler,
+                   public CuListener
+{
+  public:
+    Dispatcher(std::string name, sim::EventQueue &eq,
+               const GpuConfig &cfg);
+
+    /// @name Wiring
+    /// @{
+    void setCus(std::vector<ComputeUnit *> cu_list);
+    void setContextSwitcher(ContextSwitcher *cs) { switcher = cs; }
+    void setSwapInCapable(bool capable) { swapInCapable = capable; }
+
+    /**
+     * Backstop rescue interval armed at the CP for any WG that ends
+     * up switched out while waiting (in particular WGs pre-empted by
+     * kernel-level scheduling, which never pass through a waiting-
+     * policy decision).
+     */
+    void setDefaultRescueCycles(sim::Cycles cycles)
+    {
+        defaultRescueCycles = cycles;
+    }
+    void setOnComplete(std::function<void()> fn)
+    {
+        onComplete = std::move(fn);
+    }
+    /// @}
+
+    /** Create all WGs of @p kernel and start dispatching. */
+    void launch(const isa::Kernel &kernel);
+
+    bool kernelComplete() const
+    {
+        return !wgs.empty() && completed == wgs.size();
+    }
+
+    /// @name WgScheduler (used by waiting-policy controllers)
+    /// @{
+    bool hasStarvedWork() const override;
+    void resumeWg(int wg_id) override;
+    unsigned numWaitingWgs() const override;
+    /// @}
+
+    /// @name CuListener
+    /// @{
+    void wgCompleted(WorkGroup *wg) override;
+    void wgWantsSwitch(WorkGroup *wg, sim::Cycles rescue_cycles)
+        override;
+    /// @}
+
+    /**
+     * Oversubscription scenario: take @p cu_id offline and pre-empt
+     * its resident WGs (kernel-level scheduling taking resources away).
+     */
+    void offlineCu(unsigned cu_id);
+
+    /**
+     * Resource restoration: the higher-priority work finished and the
+     * CU is schedulable again (Figure 2's dynamic allocation).
+     * Stranded ready WGs dispatch onto it immediately — if the
+     * machine has WG swap-in firmware.
+     */
+    void onlineCu(unsigned cu_id);
+
+    /// @name Introspection
+    /// @{
+    WorkGroup *wg(int wg_id);
+    const std::vector<std::unique_ptr<WorkGroup>> &workgroups() const
+    {
+        return wgs;
+    }
+    unsigned numCompleted() const { return completed; }
+    /// @}
+
+    sim::StatGroup &stats() { return statGroup; }
+    const sim::StatGroup &stats() const { return statGroup; }
+
+  private:
+    void tryDispatch();
+    ComputeUnit *findHost(const isa::Kernel &kernel);
+    void startFresh(WorkGroup *wg, ComputeUnit *cu);
+    void startSwapIn(WorkGroup *wg, ComputeUnit *cu);
+    void beginSwapOut(WorkGroup *wg);
+    void finishSwapOut(WorkGroup *wg);
+
+    const GpuConfig &config;
+    std::vector<ComputeUnit *> cus;
+    ContextSwitcher *switcher = nullptr;
+    bool swapInCapable = true;
+    sim::Cycles defaultRescueCycles = 0;
+    std::function<void()> onComplete;
+
+    const isa::Kernel *kernel = nullptr;
+    std::vector<std::unique_ptr<WorkGroup>> wgs;
+    std::deque<int> pendingFresh;
+    std::deque<int> readySwapIn;
+    unsigned completed = 0;
+
+    sim::StatGroup statGroup;
+    sim::Scalar &dispatches;
+    sim::Scalar &swapOuts;
+    sim::Scalar &swapIns;
+    sim::Scalar &resumesStalled;
+    sim::Scalar &resumesSwapped;
+    sim::Scalar &forcedPreemptions;
+};
+
+} // namespace ifp::gpu
+
+#endif // IFP_GPU_DISPATCHER_HH

@@ -1,0 +1,29 @@
+#include "gpu/wavefront.hh"
+
+#include "gpu/workgroup.hh"
+#include "isa/builder.hh"
+#include "sim/logging.hh"
+
+namespace ifp::gpu {
+
+Wavefront::Wavefront(WorkGroup *parent, unsigned id)
+    : wg(parent), idInWg(id)
+{
+}
+
+void
+Wavefront::initRegs(const isa::Kernel &kernel, int wg_id)
+{
+    regs.fill(0);
+    regs[isa::rZero] = 0;
+    regs[isa::rWgId] = wg_id;
+    regs[isa::rWfId] = idInWg;
+    regs[isa::rNumWgs] = kernel.numWgs;
+    regs[isa::rWfPerWg] = kernel.wavefrontsPerWg();
+    ifp_assert(kernel.args.size() <= isa::numRegs - isa::rArg0,
+               "too many kernel arguments (%zu)", kernel.args.size());
+    for (std::size_t i = 0; i < kernel.args.size(); ++i)
+        regs[isa::rArg0 + i] = kernel.args[i];
+}
+
+} // namespace ifp::gpu

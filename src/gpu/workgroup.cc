@@ -1,0 +1,74 @@
+#include "gpu/workgroup.hh"
+
+#include "sim/logging.hh"
+
+namespace ifp::gpu {
+
+const char *
+wgStateName(WgState state)
+{
+    switch (state) {
+      case WgState::Pending: return "pending";
+      case WgState::Dispatching: return "dispatching";
+      case WgState::Running: return "running";
+      case WgState::SwitchingOut: return "switching-out";
+      case WgState::SwappedOut: return "swapped-out";
+      case WgState::ReadySwapIn: return "ready-swap-in";
+      case WgState::SwitchingIn: return "switching-in";
+      case WgState::Done: return "done";
+    }
+    return "?";
+}
+
+WorkGroup::WorkGroup(int wg_id, const isa::Kernel &k)
+    : id(wg_id), kernel(&k), lds(k.ldsBytes, 0)
+{
+    unsigned num_wfs = k.wavefrontsPerWg();
+    wavefronts.reserve(num_wfs);
+    for (unsigned i = 0; i < num_wfs; ++i) {
+        wavefronts.push_back(std::make_unique<Wavefront>(this, i));
+        wavefronts.back()->initRegs(k, wg_id);
+    }
+}
+
+std::int64_t
+WorkGroup::ldsRead(std::uint64_t offset) const
+{
+    ifp_assert(offset + 8 <= lds.size(),
+               "wg%d LDS read out of bounds (%llu/%zu)", id,
+               static_cast<unsigned long long>(offset), lds.size());
+    std::uint64_t raw = 0;
+    for (unsigned i = 0; i < 8; ++i)
+        raw |= static_cast<std::uint64_t>(lds[offset + i]) << (8 * i);
+    return static_cast<std::int64_t>(raw);
+}
+
+void
+WorkGroup::ldsWrite(std::uint64_t offset, std::int64_t value)
+{
+    ifp_assert(offset + 8 <= lds.size(),
+               "wg%d LDS write out of bounds (%llu/%zu)", id,
+               static_cast<unsigned long long>(offset), lds.size());
+    auto raw = static_cast<std::uint64_t>(value);
+    for (unsigned i = 0; i < 8; ++i)
+        lds[offset + i] = static_cast<std::uint8_t>(raw >> (8 * i));
+}
+
+void
+WorkGroup::beginWait(sim::Tick now)
+{
+    if (waitingWfs == 0)
+        waitStartTick = now;
+    ++waitingWfs;
+}
+
+void
+WorkGroup::endWait(sim::Tick now)
+{
+    ifp_assert(waitingWfs > 0, "wg%d endWait underflow", id);
+    --waitingWfs;
+    if (waitingWfs == 0)
+        waitingTicks += now - waitStartTick;
+}
+
+} // namespace ifp::gpu

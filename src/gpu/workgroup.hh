@@ -1,0 +1,114 @@
+/**
+ * @file
+ * Work-group: the unit of dispatch, synchronization and context
+ * switching.
+ *
+ * A WG owns its wavefronts and LDS image, tracks its lifecycle state
+ * (the paper's stalled / switching-out / waiting / ready / switching-in
+ * states), its waiting condition, and the running-vs-waiting time
+ * accounting behind Figure 11.
+ */
+
+#ifndef IFP_GPU_WORKGROUP_HH
+#define IFP_GPU_WORKGROUP_HH
+
+#include <memory>
+#include <vector>
+
+#include "gpu/wavefront.hh"
+#include "isa/kernel.hh"
+#include "mem/atomic_op.hh"
+#include "sim/types.hh"
+
+namespace ifp::gpu {
+
+/** Lifecycle of a work-group. */
+enum class WgState
+{
+    Pending,       //!< created, not yet dispatched
+    Dispatching,   //!< reserved on a CU, launch latency elapsing
+    Running,       //!< resident (wavefronts may individually wait)
+    SwitchingOut,  //!< context save in flight
+    SwappedOut,    //!< context in memory, waiting on a condition
+    ReadySwapIn,   //!< context in memory, eligible to run
+    SwitchingIn,   //!< context restore in flight
+    Done,          //!< all wavefronts halted
+};
+
+/** Printable name of a WgState. */
+const char *wgStateName(WgState state);
+
+/** One work-group instance of a kernel launch. */
+class WorkGroup
+{
+  public:
+    WorkGroup(int id, const isa::Kernel &kernel);
+
+    /// @name Identity and placement
+    /// @{
+    int id;
+    const isa::Kernel *kernel;
+    int cuId = -1;               //!< resident CU, -1 otherwise
+    WgState state = WgState::Pending;
+    /// @}
+
+    std::vector<std::unique_ptr<Wavefront>> wavefronts;
+
+    /// @name Intra-WG barrier
+    /// @{
+    unsigned barrierArrived = 0;
+    /// @}
+
+    /** LDS image (functional). */
+    std::vector<std::uint8_t> lds;
+
+    /// @name Waiting condition (for CP tracking / rescue / debug)
+    /// @{
+    bool hasWaitCond = false;
+    mem::Addr waitAddr = 0;
+    mem::MemValue waitExpected = 0;
+    /** Set while a condition-met resume should follow a swap-out. */
+    bool resumePending = false;
+    /// @}
+
+    /// @name Accounting (Figure 11 / Figure 15)
+    /// @{
+    sim::Tick dispatchTick = 0;
+    sim::Tick completeTick = 0;
+    sim::Tick waitingTicks = 0;   //!< accumulated sync-wait time
+    sim::Tick waitStartTick = 0;
+    unsigned waitingWfs = 0;      //!< WFs currently in a waiting state
+    unsigned contextSaves = 0;
+    unsigned contextRestores = 0;
+    /// @}
+
+    unsigned doneWfs = 0;
+
+    /** All wavefronts have halted. */
+    bool complete() const { return doneWfs == wavefronts.size(); }
+
+    /** LDS loads/stores (functional, 8-byte). */
+    std::int64_t ldsRead(std::uint64_t offset) const;
+    void ldsWrite(std::uint64_t offset, std::int64_t value);
+
+    /**
+     * A wavefront entered a sync-waiting state (WaitSync / Sleeping /
+     * swapped out). Starts the waiting clock on the 0 -> 1 transition.
+     */
+    void beginWait(sim::Tick now);
+
+    /** A waiting wavefront resumed; stops the clock on 1 -> 0. */
+    void endWait(sim::Tick now);
+
+    /** Total resident+swapped lifetime, dispatch to completion. */
+    sim::Tick
+    execTicks() const
+    {
+        return completeTick > dispatchTick ? completeTick - dispatchTick
+                                           : 0;
+    }
+};
+
+} // namespace ifp::gpu
+
+#endif // IFP_GPU_WORKGROUP_HH

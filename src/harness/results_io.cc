@@ -1,0 +1,82 @@
+#include "harness/results_io.hh"
+
+namespace ifp::harness {
+
+namespace {
+
+/** Minimal JSON string escaping (names are ASCII identifiers). */
+std::string
+jsonEscape(const std::string &s)
+{
+    std::string out;
+    out.reserve(s.size());
+    for (char c : s) {
+        switch (c) {
+          case '"': out += "\\\""; break;
+          case '\\': out += "\\\\"; break;
+          case '\n': out += "\\n"; break;
+          case '\t': out += "\\t"; break;
+          default: out += c;
+        }
+    }
+    return out;
+}
+
+} // anonymous namespace
+
+void
+writeResultJson(std::ostream &os, const Experiment &exp,
+                const core::RunResult &r)
+{
+    os << "{";
+    os << "\"workload\":\"" << jsonEscape(exp.workload) << "\",";
+    os << "\"policy\":\"" << core::policyName(exp.policy) << "\",";
+    os << "\"oversubscribed\":"
+       << (exp.oversubscribed ? "true" : "false") << ",";
+    os << "\"numWgs\":" << exp.params.numWgs << ",";
+    os << "\"wgsPerGroup\":" << exp.params.wgsPerGroup << ",";
+    os << "\"iters\":" << exp.params.iters << ",";
+    os << "\"completed\":" << (r.completed ? "true" : "false") << ",";
+    os << "\"deadlocked\":" << (r.deadlocked ? "true" : "false")
+       << ",";
+    os << "\"validated\":" << (r.validated ? "true" : "false") << ",";
+    os << "\"gpuCycles\":" << r.gpuCycles << ",";
+    os << "\"instructions\":" << r.instructions << ",";
+    os << "\"atomicInstructions\":" << r.atomicInstructions << ",";
+    os << "\"waitingAtomics\":" << r.waitingAtomics << ",";
+    os << "\"armWaits\":" << r.armWaits << ",";
+    os << "\"sleeps\":" << r.sleeps << ",";
+    os << "\"contextSaves\":" << r.contextSaves << ",";
+    os << "\"contextRestores\":" << r.contextRestores << ",";
+    os << "\"forcedPreemptions\":" << r.forcedPreemptions << ",";
+    os << "\"condResumesAll\":" << r.condResumesAll << ",";
+    os << "\"condResumesOne\":" << r.condResumesOne << ",";
+    os << "\"cpRescues\":" << r.cpRescues << ",";
+    os << "\"spills\":" << r.spills << ",";
+    os << "\"logFullRetries\":" << r.logFullRetries << ",";
+    os << "\"maxConditions\":" << r.maxConditions << ",";
+    os << "\"maxWaiters\":" << r.maxWaiters << ",";
+    os << "\"maxMonitoredLines\":" << r.maxMonitoredLines << ",";
+    os << "\"maxLogEntries\":" << r.maxLogEntries << ",";
+    os << "\"totalWgExecCycles\":" << r.totalWgExecCycles << ",";
+    os << "\"totalWgWaitCycles\":" << r.totalWgWaitCycles;
+    os << "}";
+}
+
+void
+writeResultsJson(
+    std::ostream &os,
+    const std::vector<std::pair<Experiment, core::RunResult>> &runs)
+{
+    os << "[\n";
+    for (std::size_t i = 0; i < runs.size(); ++i) {
+        os << "  ";
+        writeResultJson(os, runs[i].first, runs[i].second);
+        if (i + 1 < runs.size())
+            os << ",";
+        os << "\n";
+    }
+    os << "]\n";
+}
+
+} // namespace ifp::harness

@@ -1,0 +1,30 @@
+/**
+ * @file
+ * Machine-readable result output: serialize an (Experiment,
+ * RunResult) pair as JSON for plotting scripts and CI comparisons.
+ */
+
+#ifndef IFP_HARNESS_RESULTS_IO_HH
+#define IFP_HARNESS_RESULTS_IO_HH
+
+#include <ostream>
+
+#include "harness/runner.hh"
+
+namespace ifp::harness {
+
+/** Write one experiment + result as a JSON object. */
+void writeResultJson(std::ostream &os, const Experiment &exp,
+                     const core::RunResult &result);
+
+/**
+ * Write many results as a JSON array (calls writeResultJson per
+ * element).
+ */
+void writeResultsJson(
+    std::ostream &os,
+    const std::vector<std::pair<Experiment, core::RunResult>> &runs);
+
+} // namespace ifp::harness
+
+#endif // IFP_HARNESS_RESULTS_IO_HH

@@ -1,0 +1,63 @@
+#include "harness/runner.hh"
+
+#include "sim/logging.hh"
+
+namespace ifp::harness {
+
+workloads::WorkloadParams
+defaultEvalParams()
+{
+    workloads::WorkloadParams params;
+    params.numWgs = 64;       // 8 WGs per CU on the 8-CU machine
+    params.wgsPerGroup = 8;   // L: one locality group per CU
+    params.wiPerWg = 64;      // n: one wavefront per WG
+    params.iters = 4;
+    params.csValuCycles = 30;
+    return params;
+}
+
+core::RunResult
+runExperimentWithSystem(const Experiment &exp,
+                        const std::function<void(core::GpuSystem &)>
+                            &inspect)
+{
+    workloads::WorkloadPtr workload =
+        workloads::makeWorkload(exp.workload);
+
+    workloads::WorkloadParams params = exp.params;
+    params.style = core::styleFor(exp.policy);
+    params.backoffMaxCycles =
+        static_cast<std::int64_t>(exp.sleepMaxBackoffCycles);
+
+    core::RunConfig run_cfg = exp.runCfg;
+    run_cfg.policy.policy = exp.policy;
+    run_cfg.policy.timeoutIntervalCycles = exp.timeoutIntervalCycles;
+    run_cfg.policy.sleepMaxBackoffCycles = exp.sleepMaxBackoffCycles;
+    run_cfg.oversubscribed = exp.oversubscribed;
+
+    core::GpuSystem system(run_cfg);
+    isa::Kernel kernel = workload->build(system, params);
+
+    core::RunResult result = system.run(
+        kernel,
+        [&](const mem::BackingStore &store, std::string &err) {
+            return workload->validate(store, params, err);
+        });
+
+    if (result.completed && !result.validated) {
+        ifp_fatal("%s/%s: validation failed: %s", exp.workload.c_str(),
+                  core::policyName(exp.policy),
+                  result.validationError.c_str());
+    }
+    if (inspect)
+        inspect(system);
+    return result;
+}
+
+core::RunResult
+runExperiment(const Experiment &exp)
+{
+    return runExperimentWithSystem(exp, nullptr);
+}
+
+} // namespace ifp::harness

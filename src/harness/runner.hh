@@ -1,0 +1,57 @@
+/**
+ * @file
+ * Experiment runner: one call = one (benchmark, policy, scenario)
+ * simulation, with the codegen style and controller derived from the
+ * policy. The benches and tests drive all paper experiments through
+ * this interface.
+ */
+
+#ifndef IFP_HARNESS_RUNNER_HH
+#define IFP_HARNESS_RUNNER_HH
+
+#include <string>
+
+#include "core/gpu_system.hh"
+#include "core/run_result.hh"
+#include "workloads/registry.hh"
+
+namespace ifp::harness {
+
+/** Everything configuring one experiment run. */
+struct Experiment
+{
+    std::string workload = "SPM_G";
+    core::Policy policy = core::Policy::Awg;
+    bool oversubscribed = false;
+
+    /** Workload geometry (style is overwritten from the policy). */
+    workloads::WorkloadParams params;
+
+    /** Machine/scenario configuration (policy overwritten). */
+    core::RunConfig runCfg;
+
+    /** Timeout policy interval (Figure 8 sweeps this). */
+    sim::Cycles timeoutIntervalCycles = 20'000;
+    /** Sleep policy maximum backoff (Figure 7 sweeps this). */
+    sim::Cycles sleepMaxBackoffCycles = 16'384;
+};
+
+/** Run one experiment and return its result. */
+core::RunResult runExperiment(const Experiment &exp);
+
+/**
+ * Run one experiment with a caller-provided system hook, letting
+ * tests inspect the composed GpuSystem after the run. @p inspect may
+ * be null.
+ */
+core::RunResult
+runExperimentWithSystem(const Experiment &exp,
+                        const std::function<void(core::GpuSystem &)>
+                            &inspect);
+
+/** The default evaluation geometry used by all paper benches. */
+workloads::WorkloadParams defaultEvalParams();
+
+} // namespace ifp::harness
+
+#endif // IFP_HARNESS_RUNNER_HH

@@ -1,0 +1,94 @@
+#include "harness/table.hh"
+
+#include <algorithm>
+#include <cmath>
+#include <cstdio>
+
+#include "sim/logging.hh"
+
+namespace ifp::harness {
+
+TextTable::TextTable(std::vector<std::string> hdrs)
+    : headers(std::move(hdrs))
+{
+}
+
+void
+TextTable::addRow(std::vector<std::string> cells)
+{
+    ifp_assert(cells.size() == headers.size(),
+               "row has %zu cells, table has %zu columns",
+               cells.size(), headers.size());
+    rows.push_back(std::move(cells));
+}
+
+void
+TextTable::print(std::ostream &os) const
+{
+    std::vector<std::size_t> widths(headers.size());
+    for (std::size_t c = 0; c < headers.size(); ++c)
+        widths[c] = headers[c].size();
+    for (const auto &row : rows) {
+        for (std::size_t c = 0; c < row.size(); ++c)
+            widths[c] = std::max(widths[c], row[c].size());
+    }
+
+    auto emit_row = [&](const std::vector<std::string> &cells) {
+        for (std::size_t c = 0; c < cells.size(); ++c) {
+            os << cells[c];
+            if (c + 1 < cells.size()) {
+                os << std::string(widths[c] - cells[c].size() + 2,
+                                  ' ');
+            }
+        }
+        os << '\n';
+    };
+
+    emit_row(headers);
+    std::size_t total = 0;
+    for (std::size_t c = 0; c < widths.size(); ++c)
+        total += widths[c] + (c + 1 < widths.size() ? 2 : 0);
+    os << std::string(total, '-') << '\n';
+    for (const auto &row : rows)
+        emit_row(row);
+}
+
+void
+TextTable::printCsv(std::ostream &os) const
+{
+    auto emit = [&](const std::vector<std::string> &cells) {
+        for (std::size_t c = 0; c < cells.size(); ++c) {
+            os << cells[c];
+            if (c + 1 < cells.size())
+                os << ',';
+        }
+        os << '\n';
+    };
+    emit(headers);
+    for (const auto &row : rows)
+        emit(row);
+}
+
+std::string
+formatDouble(double value, int precision)
+{
+    char buf[64];
+    std::snprintf(buf, sizeof(buf), "%.*f", precision, value);
+    return buf;
+}
+
+double
+geomean(const std::vector<double> &values)
+{
+    double log_sum = 0.0;
+    std::size_t n = 0;
+    for (double v : values) {
+        if (v <= 0.0)
+            continue;
+        log_sum += std::log(v);
+        ++n;
+    }
+    return n == 0 ? 0.0 : std::exp(log_sum / static_cast<double>(n));
+}
+
+} // namespace ifp::harness

@@ -1,0 +1,44 @@
+/**
+ * @file
+ * Aligned text tables and small numeric helpers for the benchmark
+ * harness (the benches print the same rows/series as the paper's
+ * tables and figures).
+ */
+
+#ifndef IFP_HARNESS_TABLE_HH
+#define IFP_HARNESS_TABLE_HH
+
+#include <ostream>
+#include <string>
+#include <vector>
+
+namespace ifp::harness {
+
+/** A simple aligned-column text table. */
+class TextTable
+{
+  public:
+    explicit TextTable(std::vector<std::string> headers);
+
+    void addRow(std::vector<std::string> cells);
+
+    /** Print with a header rule; columns auto-sized. */
+    void print(std::ostream &os) const;
+
+    /** Print as CSV (for plotting scripts). */
+    void printCsv(std::ostream &os) const;
+
+  private:
+    std::vector<std::string> headers;
+    std::vector<std::vector<std::string>> rows;
+};
+
+/** Format @p value with @p precision digits after the point. */
+std::string formatDouble(double value, int precision = 2);
+
+/** Geometric mean; ignores non-positive entries. */
+double geomean(const std::vector<double> &values);
+
+} // namespace ifp::harness
+
+#endif // IFP_HARNESS_TABLE_HH

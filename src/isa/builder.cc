@@ -1,0 +1,267 @@
+#include "isa/builder.hh"
+
+#include "sim/logging.hh"
+
+namespace ifp::isa {
+
+Instr &
+KernelBuilder::emit(Opcode op)
+{
+    code.emplace_back();
+    code.back().op = op;
+    return code.back();
+}
+
+Label
+KernelBuilder::label()
+{
+    labelTargets.push_back(-1);
+    return Label(labelTargets.size() - 1);
+}
+
+void
+KernelBuilder::bind(Label &l)
+{
+    ifp_assert(l.validLabel, "binding an invalid label");
+    ifp_assert(labelTargets[l.index] < 0, "label bound twice");
+    labelTargets[l.index] = static_cast<std::int64_t>(code.size());
+}
+
+Label
+KernelBuilder::here()
+{
+    Label l = label();
+    bind(l);
+    return l;
+}
+
+void
+KernelBuilder::nop()
+{
+    emit(Opcode::Nop);
+}
+
+void
+KernelBuilder::movi(Reg dst, std::int64_t imm)
+{
+    Instr &i = emit(Opcode::Movi);
+    i.dst = dst;
+    i.imm = imm;
+}
+
+void
+KernelBuilder::mov(Reg dst, Reg src)
+{
+    Instr &i = emit(Opcode::Mov);
+    i.dst = dst;
+    i.src0 = src;
+}
+
+namespace {
+
+void
+binOpReg(Instr &i, Reg dst, Reg a, Reg b)
+{
+    i.dst = dst;
+    i.src0 = a;
+    i.src1 = b;
+}
+
+void
+binOpImm(Instr &i, Reg dst, Reg a, std::int64_t imm)
+{
+    i.dst = dst;
+    i.src0 = a;
+    i.useImm = true;
+    i.imm = imm;
+}
+
+} // anonymous namespace
+
+void KernelBuilder::add(Reg dst, Reg a, Reg b)
+{ binOpReg(emit(Opcode::Add), dst, a, b); }
+void KernelBuilder::addi(Reg dst, Reg a, std::int64_t imm)
+{ binOpImm(emit(Opcode::Add), dst, a, imm); }
+void KernelBuilder::sub(Reg dst, Reg a, Reg b)
+{ binOpReg(emit(Opcode::Sub), dst, a, b); }
+void KernelBuilder::subi(Reg dst, Reg a, std::int64_t imm)
+{ binOpImm(emit(Opcode::Sub), dst, a, imm); }
+void KernelBuilder::mul(Reg dst, Reg a, Reg b)
+{ binOpReg(emit(Opcode::Mul), dst, a, b); }
+void KernelBuilder::muli(Reg dst, Reg a, std::int64_t imm)
+{ binOpImm(emit(Opcode::Mul), dst, a, imm); }
+void KernelBuilder::divi(Reg dst, Reg a, std::int64_t imm)
+{ binOpImm(emit(Opcode::Div), dst, a, imm); }
+void KernelBuilder::remi(Reg dst, Reg a, std::int64_t imm)
+{ binOpImm(emit(Opcode::Rem), dst, a, imm); }
+void KernelBuilder::andi(Reg dst, Reg a, std::int64_t imm)
+{ binOpImm(emit(Opcode::And), dst, a, imm); }
+void KernelBuilder::ori(Reg dst, Reg a, std::int64_t imm)
+{ binOpImm(emit(Opcode::Or), dst, a, imm); }
+void KernelBuilder::xori(Reg dst, Reg a, std::int64_t imm)
+{ binOpImm(emit(Opcode::Xor), dst, a, imm); }
+void KernelBuilder::shli(Reg dst, Reg a, std::int64_t imm)
+{ binOpImm(emit(Opcode::Shl), dst, a, imm); }
+void KernelBuilder::shri(Reg dst, Reg a, std::int64_t imm)
+{ binOpImm(emit(Opcode::Shr), dst, a, imm); }
+void KernelBuilder::cmpEq(Reg dst, Reg a, Reg b)
+{ binOpReg(emit(Opcode::CmpEq), dst, a, b); }
+void KernelBuilder::cmpEqi(Reg dst, Reg a, std::int64_t imm)
+{ binOpImm(emit(Opcode::CmpEq), dst, a, imm); }
+void KernelBuilder::cmpNe(Reg dst, Reg a, Reg b)
+{ binOpReg(emit(Opcode::CmpNe), dst, a, b); }
+void KernelBuilder::cmpNei(Reg dst, Reg a, std::int64_t imm)
+{ binOpImm(emit(Opcode::CmpNe), dst, a, imm); }
+void KernelBuilder::cmpLt(Reg dst, Reg a, Reg b)
+{ binOpReg(emit(Opcode::CmpLt), dst, a, b); }
+void KernelBuilder::cmpLti(Reg dst, Reg a, std::int64_t imm)
+{ binOpImm(emit(Opcode::CmpLt), dst, a, imm); }
+void KernelBuilder::cmpLe(Reg dst, Reg a, Reg b)
+{ binOpReg(emit(Opcode::CmpLe), dst, a, b); }
+void KernelBuilder::cmpLei(Reg dst, Reg a, std::int64_t imm)
+{ binOpImm(emit(Opcode::CmpLe), dst, a, imm); }
+
+void
+KernelBuilder::branch(Opcode op, Reg cond, const Label &target)
+{
+    ifp_assert(target.validLabel, "branch to invalid label");
+    Instr &i = emit(op);
+    i.src0 = cond;
+    fixups.push_back(Fixup{code.size() - 1, target.index});
+}
+
+void
+KernelBuilder::bz(Reg cond, const Label &target)
+{
+    branch(Opcode::Bz, cond, target);
+}
+
+void
+KernelBuilder::bnz(Reg cond, const Label &target)
+{
+    branch(Opcode::Bnz, cond, target);
+}
+
+void
+KernelBuilder::br(const Label &target)
+{
+    branch(Opcode::Br, 0, target);
+}
+
+void
+KernelBuilder::halt()
+{
+    emit(Opcode::Halt);
+}
+
+void
+KernelBuilder::ld(Reg dst, Reg addr, std::int64_t offset)
+{
+    Instr &i = emit(Opcode::Ld);
+    i.dst = dst;
+    i.src0 = addr;
+    i.imm = offset;
+}
+
+void
+KernelBuilder::st(Reg addr, Reg value, std::int64_t offset)
+{
+    Instr &i = emit(Opcode::St);
+    i.src0 = addr;
+    i.src1 = value;
+    i.imm = offset;
+}
+
+void
+KernelBuilder::ldLds(Reg dst, Reg addr, std::int64_t offset)
+{
+    Instr &i = emit(Opcode::LdLds);
+    i.dst = dst;
+    i.src0 = addr;
+    i.imm = offset;
+}
+
+void
+KernelBuilder::stLds(Reg addr, Reg value, std::int64_t offset)
+{
+    Instr &i = emit(Opcode::StLds);
+    i.src0 = addr;
+    i.src1 = value;
+    i.imm = offset;
+}
+
+void
+KernelBuilder::atom(Reg dst, mem::AtomicOpcode aop, Reg addr,
+                    std::int64_t offset, Reg operand, Reg cas_compare,
+                    bool acquire, bool release)
+{
+    Instr &i = emit(Opcode::Atom);
+    i.dst = dst;
+    i.src0 = addr;
+    i.src1 = operand;
+    i.src2 = cas_compare;
+    i.imm = offset;
+    i.aop = aop;
+    i.acquire = acquire;
+    i.release = release;
+}
+
+void
+KernelBuilder::atomWait(Reg dst, mem::AtomicOpcode aop, Reg addr,
+                        std::int64_t offset, Reg operand, Reg expected,
+                        bool acquire, bool release)
+{
+    Instr &i = emit(Opcode::AtomWait);
+    i.dst = dst;
+    i.src0 = addr;
+    i.src1 = operand;
+    i.src2 = expected;
+    i.imm = offset;
+    i.aop = aop;
+    i.acquire = acquire;
+    i.release = release;
+}
+
+void
+KernelBuilder::armWait(Reg addr, std::int64_t offset, Reg expected)
+{
+    Instr &i = emit(Opcode::ArmWait);
+    i.src0 = addr;
+    i.src1 = expected;
+    i.imm = offset;
+}
+
+void
+KernelBuilder::sleepR(Reg cycles)
+{
+    Instr &i = emit(Opcode::SleepR);
+    i.src0 = cycles;
+}
+
+void
+KernelBuilder::valu(std::int64_t cycles)
+{
+    ifp_assert(cycles > 0, "valu must occupy at least one cycle");
+    Instr &i = emit(Opcode::Valu);
+    i.imm = cycles;
+}
+
+void
+KernelBuilder::bar()
+{
+    emit(Opcode::Bar);
+}
+
+std::vector<Instr>
+KernelBuilder::build()
+{
+    for (const Fixup &fixup : fixups) {
+        std::int64_t target = labelTargets[fixup.labelIndex];
+        ifp_assert(target >= 0, "branch to unbound label");
+        code[fixup.instrIndex].imm = target;
+    }
+    fixups.clear();
+    return code;
+}
+
+} // namespace ifp::isa

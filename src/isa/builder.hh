@@ -1,0 +1,180 @@
+/**
+ * @file
+ * KernelBuilder: a tiny assembler for the mini GPU ISA.
+ *
+ * Provides labels with forward references, convenience emitters for
+ * every opcode, and register-allocation conventions:
+ *
+ *   r0          always-zero (initialized to 0; by convention not
+ *               written)
+ *   r1          global work-group id
+ *   r2          wavefront id within the WG
+ *   r3          total number of WGs in the grid (G)
+ *   r4          wavefronts per WG
+ *   r8..r15     kernel arguments
+ *   r16..r31    scratch (suggested)
+ *
+ * Example — a spin lock acquire:
+ * @code
+ *   KernelBuilder b;
+ *   auto spin = b.here();
+ *   b.atom(r20, AtomicOpcode::Exch, rLock, 0, rOne);  // try lock
+ *   b.bnz(r20, spin);                                 // retry
+ * @endcode
+ */
+
+#ifndef IFP_ISA_BUILDER_HH
+#define IFP_ISA_BUILDER_HH
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "isa/kernel.hh"
+
+namespace ifp::isa {
+
+/// @name Register conventions
+/// @{
+constexpr Reg rZero = 0;
+constexpr Reg rWgId = 1;
+constexpr Reg rWfId = 2;
+constexpr Reg rNumWgs = 3;
+constexpr Reg rWfPerWg = 4;
+constexpr Reg rArg0 = 8;
+/// @}
+
+/** A branch target; create with label(), place with bind(). */
+class Label
+{
+  public:
+    Label() = default;
+
+  private:
+    friend class KernelBuilder;
+    explicit Label(std::size_t idx) : index(idx), validLabel(true) {}
+    std::size_t index = 0;
+    bool validLabel = false;
+};
+
+/** Assembler for Kernel code. */
+class KernelBuilder
+{
+  public:
+    KernelBuilder() = default;
+
+    /// @name Labels
+    /// @{
+
+    /** Create an unbound label for forward branches. */
+    Label label();
+
+    /** Bind @p l to the next emitted instruction. */
+    void bind(Label &l);
+
+    /** A label bound to the current position (backward branches). */
+    Label here();
+    /// @}
+
+    /// @name ALU
+    /// @{
+    void nop();
+    void movi(Reg dst, std::int64_t imm);
+    void mov(Reg dst, Reg src);
+    void add(Reg dst, Reg a, Reg b);
+    void addi(Reg dst, Reg a, std::int64_t imm);
+    void sub(Reg dst, Reg a, Reg b);
+    void subi(Reg dst, Reg a, std::int64_t imm);
+    void mul(Reg dst, Reg a, Reg b);
+    void muli(Reg dst, Reg a, std::int64_t imm);
+    void divi(Reg dst, Reg a, std::int64_t imm);
+    void remi(Reg dst, Reg a, std::int64_t imm);
+    void andi(Reg dst, Reg a, std::int64_t imm);
+    void ori(Reg dst, Reg a, std::int64_t imm);
+    void xori(Reg dst, Reg a, std::int64_t imm);
+    void shli(Reg dst, Reg a, std::int64_t imm);
+    void shri(Reg dst, Reg a, std::int64_t imm);
+    void cmpEq(Reg dst, Reg a, Reg b);
+    void cmpEqi(Reg dst, Reg a, std::int64_t imm);
+    void cmpNe(Reg dst, Reg a, Reg b);
+    void cmpNei(Reg dst, Reg a, std::int64_t imm);
+    void cmpLt(Reg dst, Reg a, Reg b);
+    void cmpLti(Reg dst, Reg a, std::int64_t imm);
+    void cmpLe(Reg dst, Reg a, Reg b);
+    void cmpLei(Reg dst, Reg a, std::int64_t imm);
+    /// @}
+
+    /// @name Control flow
+    /// @{
+    void bz(Reg cond, const Label &target);
+    void bnz(Reg cond, const Label &target);
+    void br(const Label &target);
+    void halt();
+    /// @}
+
+    /// @name Memory
+    /// @{
+    void ld(Reg dst, Reg addr, std::int64_t offset = 0);
+    void st(Reg addr, Reg value, std::int64_t offset = 0);
+    void ldLds(Reg dst, Reg addr, std::int64_t offset = 0);
+    void stLds(Reg addr, Reg value, std::int64_t offset = 0);
+    /// @}
+
+    /// @name Synchronization
+    /// @{
+
+    /** Regular atomic: dst = old value. @p cas_compare for CAS only. */
+    void atom(Reg dst, mem::AtomicOpcode aop, Reg addr,
+              std::int64_t offset, Reg operand, Reg cas_compare = 0,
+              bool acquire = false, bool release = false);
+
+    /**
+     * Waiting atomic (the paper's instruction family): expected value
+     * in @p expected; on failure the WG enters a waiting state and the
+     * instruction re-executes when resumed (Mesa semantics).
+     */
+    void atomWait(Reg dst, mem::AtomicOpcode aop, Reg addr,
+                  std::int64_t offset, Reg operand, Reg expected,
+                  bool acquire = false, bool release = false);
+
+    /** Wait-instruction (MonR/MonRS): arm monitor on (addr, expected). */
+    void armWait(Reg addr, std::int64_t offset, Reg expected);
+
+    /** Sleep the wavefront for r[cycles] cycles (s_sleep). */
+    void sleepR(Reg cycles);
+
+    /** Occupy the SIMD for @p cycles (models per-lane vector work). */
+    void valu(std::int64_t cycles);
+
+    /** Work-group barrier (__syncthreads). */
+    void bar();
+    /// @}
+
+    /** Number of instructions emitted so far. */
+    std::size_t size() const { return code.size(); }
+
+    /**
+     * Finalize: patches all label references and returns the code.
+     * Panics if any used label is unbound.
+     */
+    std::vector<Instr> build();
+
+  private:
+    Instr &emit(Opcode op);
+    void branch(Opcode op, Reg cond, const Label &target);
+
+    struct Fixup
+    {
+        std::size_t instrIndex;
+        std::size_t labelIndex;
+    };
+
+    std::vector<Instr> code;
+    /** Bound position per label index; -1 when unbound. */
+    std::vector<std::int64_t> labelTargets;
+    std::vector<Fixup> fixups;
+};
+
+} // namespace ifp::isa
+
+#endif // IFP_ISA_BUILDER_HH

@@ -1,0 +1,156 @@
+#include "isa/instruction.hh"
+
+#include <sstream>
+
+#include "sim/logging.hh"
+
+namespace ifp::isa {
+
+bool
+accessesGlobalMemory(const Instr &instr)
+{
+    switch (instr.op) {
+      case Opcode::Ld:
+      case Opcode::St:
+      case Opcode::Atom:
+      case Opcode::AtomWait:
+      case Opcode::ArmWait:
+        return true;
+      default:
+        return false;
+    }
+}
+
+bool
+isBranch(const Instr &instr)
+{
+    return instr.op == Opcode::Bz || instr.op == Opcode::Bnz ||
+           instr.op == Opcode::Br;
+}
+
+std::string
+opcodeName(Opcode op)
+{
+    switch (op) {
+      case Opcode::Nop: return "nop";
+      case Opcode::Movi: return "movi";
+      case Opcode::Mov: return "mov";
+      case Opcode::Add: return "add";
+      case Opcode::Sub: return "sub";
+      case Opcode::Mul: return "mul";
+      case Opcode::Div: return "div";
+      case Opcode::Rem: return "rem";
+      case Opcode::And: return "and";
+      case Opcode::Or: return "or";
+      case Opcode::Xor: return "xor";
+      case Opcode::Shl: return "shl";
+      case Opcode::Shr: return "shr";
+      case Opcode::CmpEq: return "cmp.eq";
+      case Opcode::CmpNe: return "cmp.ne";
+      case Opcode::CmpLt: return "cmp.lt";
+      case Opcode::CmpLe: return "cmp.le";
+      case Opcode::Bz: return "bz";
+      case Opcode::Bnz: return "bnz";
+      case Opcode::Br: return "br";
+      case Opcode::Ld: return "ld";
+      case Opcode::St: return "st";
+      case Opcode::LdLds: return "ld.lds";
+      case Opcode::StLds: return "st.lds";
+      case Opcode::Atom: return "atom";
+      case Opcode::AtomWait: return "atom.wait";
+      case Opcode::ArmWait: return "wait";
+      case Opcode::SleepR: return "s_sleep";
+      case Opcode::Valu: return "valu";
+      case Opcode::Bar: return "bar.wg";
+      case Opcode::Halt: return "halt";
+    }
+    ifp_panic("unknown opcode %d", static_cast<int>(op));
+}
+
+std::string
+disassemble(const Instr &instr)
+{
+    std::ostringstream os;
+    auto reg = [](Reg r) { return "r" + std::to_string(r); };
+
+    switch (instr.op) {
+      case Opcode::Nop:
+      case Opcode::Bar:
+      case Opcode::Halt:
+        os << opcodeName(instr.op);
+        break;
+      case Opcode::Movi:
+        os << "movi " << reg(instr.dst) << ", " << instr.imm;
+        break;
+      case Opcode::Mov:
+        os << "mov " << reg(instr.dst) << ", " << reg(instr.src0);
+        break;
+      case Opcode::Add:
+      case Opcode::Sub:
+      case Opcode::Mul:
+      case Opcode::Div:
+      case Opcode::Rem:
+      case Opcode::And:
+      case Opcode::Or:
+      case Opcode::Xor:
+      case Opcode::Shl:
+      case Opcode::Shr:
+      case Opcode::CmpEq:
+      case Opcode::CmpNe:
+      case Opcode::CmpLt:
+      case Opcode::CmpLe:
+        os << opcodeName(instr.op) << ' ' << reg(instr.dst) << ", "
+           << reg(instr.src0) << ", ";
+        if (instr.useImm)
+            os << instr.imm;
+        else
+            os << reg(instr.src1);
+        break;
+      case Opcode::Bz:
+      case Opcode::Bnz:
+        os << opcodeName(instr.op) << ' ' << reg(instr.src0) << ", @"
+           << instr.imm;
+        break;
+      case Opcode::Br:
+        os << "br @" << instr.imm;
+        break;
+      case Opcode::Ld:
+      case Opcode::LdLds:
+        os << opcodeName(instr.op) << ' ' << reg(instr.dst) << ", ["
+           << reg(instr.src0) << '+' << instr.imm << ']';
+        break;
+      case Opcode::St:
+      case Opcode::StLds:
+        os << opcodeName(instr.op) << " [" << reg(instr.src0) << '+'
+           << instr.imm << "], " << reg(instr.src1);
+        break;
+      case Opcode::Atom:
+      case Opcode::AtomWait:
+        os << opcodeName(instr.op) << '.'
+           << mem::atomicOpcodeName(instr.aop) << ' ' << reg(instr.dst)
+           << ", [" << reg(instr.src0) << '+' << instr.imm << "], "
+           << reg(instr.src1);
+        if (instr.op == Opcode::AtomWait ||
+            instr.aop == mem::AtomicOpcode::Cas) {
+            os << ", " << reg(instr.src2);
+        }
+        if (instr.acquire)
+            os << " acq";
+        if (instr.release)
+            os << " rel";
+        break;
+      case Opcode::ArmWait:
+        os << "wait [" << reg(instr.src0) << '+' << instr.imm << "], "
+           << reg(instr.src1);
+        break;
+      case Opcode::SleepR:
+        os << "s_sleep " << reg(instr.src0);
+        break;
+      case Opcode::Valu:
+        os << "valu " << instr.imm;
+        break;
+    }
+    return os.str();
+}
+
+} // namespace ifp::isa

@@ -1,0 +1,106 @@
+/**
+ * @file
+ * The simulator's miniature GPU ISA.
+ *
+ * Workloads (the HeteroSync suite and the example kernels) are written
+ * against this ISA through the KernelBuilder assembler. Execution is
+ * modeled at wavefront granularity: one instruction stream per
+ * wavefront, with per-lane vector work represented by the `Valu`
+ * occupancy instruction. This matches the structure of the HeteroSync
+ * kernels, where a master lane performs all synchronization.
+ *
+ * Synchronization instructions:
+ *  - Atom      : regular atomic performed at the L2
+ *  - AtomWait  : *waiting atomic* (the paper's new instruction family);
+ *                carries an expected value, and on failure the WG
+ *                enters a waiting state with no window of vulnerability
+ *  - ArmWait   : wait-instruction (MonR/MonRS styles); arms the monitor
+ *                *after* the preceding check — exposing the paper's
+ *                window-of-vulnerability race
+ *  - SleepR    : s_sleep-style fixed-duration wavefront sleep
+ *  - Bar       : intra-WG barrier (__syncthreads)
+ */
+
+#ifndef IFP_ISA_INSTRUCTION_HH
+#define IFP_ISA_INSTRUCTION_HH
+
+#include <cstdint>
+#include <string>
+
+#include "mem/atomic_op.hh"
+#include "sim/types.hh"
+
+namespace ifp::isa {
+
+/** Number of general-purpose registers per wavefront. */
+constexpr unsigned numRegs = 32;
+
+/** Register index. */
+using Reg = std::uint8_t;
+
+/** Instruction opcodes. */
+enum class Opcode : std::uint8_t
+{
+    Nop,
+    Movi,    //!< dst = imm
+    Mov,     //!< dst = r[src0]
+    Add,     //!< dst = r[src0] + (useImm ? imm : r[src1])
+    Sub,
+    Mul,
+    Div,
+    Rem,
+    And,
+    Or,
+    Xor,
+    Shl,
+    Shr,
+    CmpEq,   //!< dst = (r[src0] == rhs) ? 1 : 0
+    CmpNe,
+    CmpLt,   //!< signed
+    CmpLe,
+    Bz,      //!< if (r[src0] == 0) pc = imm
+    Bnz,     //!< if (r[src0] != 0) pc = imm
+    Br,      //!< pc = imm
+    Ld,      //!< dst = mem[r[src0] + imm]           (global, 8 B)
+    St,      //!< mem[r[src0] + imm] = r[src1]       (global, 8 B)
+    LdLds,   //!< dst = lds[r[src0] + imm]
+    StLds,   //!< lds[r[src0] + imm] = r[src1]
+    Atom,    //!< dst = atomic(aop, r[src0]+imm, r[src1], cas: r[src2])
+    AtomWait,//!< waiting atomic; expected value in r[src2]
+    ArmWait, //!< arm monitor on (r[src0]+imm, expected r[src1])
+    SleepR,  //!< sleep for r[src0] cycles (s_sleep)
+    Valu,    //!< occupy the SIMD for imm cycles (per-lane work)
+    Bar,     //!< work-group barrier
+    Halt,    //!< wavefront terminates
+};
+
+/** One decoded instruction. */
+struct Instr
+{
+    Opcode op = Opcode::Nop;
+    Reg dst = 0;
+    Reg src0 = 0;
+    Reg src1 = 0;
+    Reg src2 = 0;
+    bool useImm = false;      //!< ALU: replace r[src1] with imm
+    std::int64_t imm = 0;     //!< immediate / offset / branch target
+    mem::AtomicOpcode aop = mem::AtomicOpcode::Load;
+    bool acquire = false;     //!< memory-order acquire (atomics)
+    bool release = false;     //!< memory-order release (atomics)
+};
+
+/** True for instructions that access global memory. */
+bool accessesGlobalMemory(const Instr &instr);
+
+/** True for branch instructions. */
+bool isBranch(const Instr &instr);
+
+/** Render one instruction as assembly-like text. */
+std::string disassemble(const Instr &instr);
+
+/** Mnemonic for an opcode. */
+std::string opcodeName(Opcode op);
+
+} // namespace ifp::isa
+
+#endif // IFP_ISA_INSTRUCTION_HH

@@ -1,0 +1,73 @@
+/**
+ * @file
+ * Kernel descriptor: code plus launch geometry and resource usage.
+ *
+ * Resource declarations drive both occupancy (how many WGs fit on a CU)
+ * and the WG context size used for context-switch cost and Figure 5.
+ */
+
+#ifndef IFP_ISA_KERNEL_HH
+#define IFP_ISA_KERNEL_HH
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "isa/instruction.hh"
+#include "sim/types.hh"
+
+namespace ifp::isa {
+
+/** Wavefront width (work-items per wavefront). */
+constexpr unsigned wavefrontSize = 64;
+
+/** A compiled kernel ready for dispatch. */
+struct Kernel
+{
+    std::string name;
+    std::vector<Instr> code;
+
+    /// @name Launch geometry
+    /// @{
+    unsigned wiPerWg = 64;      //!< n: work-items per work-group
+    unsigned numWgs = 1;        //!< G: grid size in work-groups
+    /// @}
+
+    /// @name Declared resource usage (drives occupancy + context size)
+    /// @{
+    unsigned vgprsPerWi = 16;   //!< vector registers per work-item
+    unsigned sgprsPerWf = 32;   //!< scalar registers per wavefront
+    unsigned ldsBytes = 1024;   //!< LDS allocated per work-group
+    unsigned maxWgsPerCu = 8;   //!< register-file occupancy bound
+    /// @}
+
+    /** Kernel arguments, loaded into r8.. at wavefront launch. */
+    std::vector<mem::MemValue> args;
+
+    /** Wavefronts per work-group. */
+    unsigned
+    wavefrontsPerWg() const
+    {
+        return (wiPerWg + wavefrontSize - 1) / wavefrontSize;
+    }
+
+    /**
+     * Architectural context of one WG, in bytes: vector registers,
+     * scalar registers, the LDS image and fixed hardware state
+     * (program counters, barrier state, EXEC masks). This is what a
+     * context switch must move (Figure 5 of the paper).
+     */
+    std::uint64_t
+    contextBytes() const
+    {
+        std::uint64_t vgpr = std::uint64_t(wiPerWg) * vgprsPerWi * 4;
+        std::uint64_t sgpr =
+            std::uint64_t(wavefrontsPerWg()) * sgprsPerWf * 4;
+        std::uint64_t hw_state = 64 + 48ULL * wavefrontsPerWg();
+        return vgpr + sgpr + ldsBytes + hw_state;
+    }
+};
+
+} // namespace ifp::isa
+
+#endif // IFP_ISA_KERNEL_HH

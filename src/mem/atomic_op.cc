@@ -1,0 +1,91 @@
+#include "mem/atomic_op.hh"
+
+#include <algorithm>
+
+#include "sim/logging.hh"
+
+namespace ifp::mem {
+
+AtomicResult
+applyAtomic(AtomicOpcode op, MemValue old_value, MemValue operand,
+            MemValue compare)
+{
+    AtomicResult res{old_value, old_value, false};
+    switch (op) {
+      case AtomicOpcode::Load:
+        return res;
+      case AtomicOpcode::Store:
+        res.newValue = operand;
+        break;
+      case AtomicOpcode::Add:
+        res.newValue = old_value + operand;
+        break;
+      case AtomicOpcode::Sub:
+        res.newValue = old_value - operand;
+        break;
+      case AtomicOpcode::Exch:
+        res.newValue = operand;
+        break;
+      case AtomicOpcode::Cas:
+        res.newValue = (old_value == compare) ? operand : old_value;
+        break;
+      case AtomicOpcode::Min:
+        res.newValue = std::min(old_value, operand);
+        break;
+      case AtomicOpcode::Max:
+        res.newValue = std::max(old_value, operand);
+        break;
+      case AtomicOpcode::And:
+        res.newValue = old_value & operand;
+        break;
+      case AtomicOpcode::Or:
+        res.newValue = old_value | operand;
+        break;
+      case AtomicOpcode::Xor:
+        res.newValue = old_value ^ operand;
+        break;
+      case AtomicOpcode::Inc:
+        res.newValue = old_value + 1;
+        break;
+      case AtomicOpcode::Dec:
+        res.newValue = old_value - 1;
+        break;
+    }
+    res.wrote = res.newValue != old_value;
+    return res;
+}
+
+bool
+waitingAtomicSucceeded(AtomicOpcode op, MemValue observed,
+                       MemValue expected)
+{
+    // CAS succeeds when the exchange happened, i.e. the observed value
+    // matched its comparison operand; all other waiting atomics succeed
+    // when the observed value equals the expectation. For CAS the
+    // caller passes the CAS compare operand as @p expected.
+    (void)op;
+    return observed == expected;
+}
+
+std::string
+atomicOpcodeName(AtomicOpcode op)
+{
+    switch (op) {
+      case AtomicOpcode::Load: return "load";
+      case AtomicOpcode::Store: return "store";
+      case AtomicOpcode::Add: return "add";
+      case AtomicOpcode::Sub: return "sub";
+      case AtomicOpcode::Exch: return "exch";
+      case AtomicOpcode::Cas: return "cas";
+      case AtomicOpcode::Min: return "min";
+      case AtomicOpcode::Max: return "max";
+      case AtomicOpcode::And: return "and";
+      case AtomicOpcode::Or: return "or";
+      case AtomicOpcode::Xor: return "xor";
+      case AtomicOpcode::Inc: return "inc";
+      case AtomicOpcode::Dec: return "dec";
+    }
+    ifp_panic("unknown atomic opcode %d", static_cast<int>(op));
+}
+
+} // namespace ifp::mem

@@ -1,0 +1,77 @@
+/**
+ * @file
+ * Atomic read-modify-write opcodes and their functional semantics.
+ *
+ * GPU atomics in this model are performed at the shared L2 cache (as on
+ * GCN-class hardware); the L2 bank ALU evaluates these operations. The
+ * same definitions drive both regular atomics and the paper's *waiting*
+ * atomics, which add an expected-value operand (see mem/request.hh).
+ */
+
+#ifndef IFP_MEM_ATOMIC_OP_HH
+#define IFP_MEM_ATOMIC_OP_HH
+
+#include <string>
+
+#include "sim/types.hh"
+
+namespace ifp::mem {
+
+/** The RMW operation an atomic request performs at the L2 ALU. */
+enum class AtomicOpcode
+{
+    Load,    //!< atomic load; no modification
+    Store,   //!< atomic store of operand
+    Add,     //!< fetch-and-add operand
+    Sub,     //!< fetch-and-subtract operand
+    Exch,    //!< exchange with operand
+    Cas,     //!< compare(compare)-and-swap(operand)
+    Min,     //!< fetch-and-min
+    Max,     //!< fetch-and-max
+    And,     //!< fetch-and-and
+    Or,      //!< fetch-and-or
+    Xor,     //!< fetch-and-xor
+    Inc,     //!< fetch-and-increment (operand ignored)
+    Dec,     //!< fetch-and-decrement (operand ignored)
+};
+
+/** Result of functionally applying an atomic operation. */
+struct AtomicResult
+{
+    MemValue oldValue;  //!< value observed before the operation
+    MemValue newValue;  //!< value stored back (== oldValue for loads)
+    bool wrote;         //!< whether memory changed at all
+};
+
+/**
+ * Functionally apply @p op to @p old_value.
+ *
+ * @param op       the RMW opcode
+ * @param old_value value currently in memory
+ * @param operand  the instruction's data operand
+ * @param compare  the comparison operand (CAS only)
+ * @return the old value, the value to write back, and whether memory
+ *         contents actually change.
+ */
+AtomicResult applyAtomic(AtomicOpcode op, MemValue old_value,
+                         MemValue operand, MemValue compare);
+
+/**
+ * Whether a *waiting* form of @p op succeeded.
+ *
+ * A waiting atomic carries an expected value; it succeeds when the value
+ * it observed equals the expectation (for CAS, when the swap happened).
+ *
+ * @param op        the RMW opcode
+ * @param observed  the old value the atomic observed
+ * @param expected  the expected-value operand
+ */
+bool waitingAtomicSucceeded(AtomicOpcode op, MemValue observed,
+                            MemValue expected);
+
+/** Short mnemonic for tracing/disassembly, e.g. "add", "cas". */
+std::string atomicOpcodeName(AtomicOpcode op);
+
+} // namespace ifp::mem
+
+#endif // IFP_MEM_ATOMIC_OP_HH

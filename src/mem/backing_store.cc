@@ -1,0 +1,75 @@
+#include "mem/backing_store.hh"
+
+#include "sim/logging.hh"
+
+namespace ifp::mem {
+
+BackingStore::Page &
+BackingStore::pageFor(Addr addr)
+{
+    Addr page_addr = addr / pageBytes;
+    auto it = pages.find(page_addr);
+    if (it == pages.end()) {
+        auto page = std::make_unique<Page>();
+        page->fill(0);
+        it = pages.emplace(page_addr, std::move(page)).first;
+    }
+    return *it->second;
+}
+
+const BackingStore::Page *
+BackingStore::pageForConst(Addr addr) const
+{
+    auto it = pages.find(addr / pageBytes);
+    return it == pages.end() ? nullptr : it->second.get();
+}
+
+MemValue
+BackingStore::read(Addr addr, unsigned size) const
+{
+    ifp_assert(size >= 1 && size <= 8, "bad access size %u", size);
+    ifp_assert(addr / pageBytes == (addr + size - 1) / pageBytes,
+               "access crosses page boundary");
+    const Page *page = pageForConst(addr);
+    if (!page)
+        return 0;
+    std::uint64_t raw = 0;
+    unsigned offset = addr % pageBytes;
+    for (unsigned i = 0; i < size; ++i)
+        raw |= static_cast<std::uint64_t>((*page)[offset + i]) << (8 * i);
+    // Sign-extend so that e.g. a 4-byte -1 reads back as -1.
+    if (size < 8) {
+        unsigned shift = 64 - 8 * size;
+        return static_cast<MemValue>(
+            static_cast<std::int64_t>(raw << shift) >> shift);
+    }
+    return static_cast<MemValue>(raw);
+}
+
+void
+BackingStore::write(Addr addr, MemValue value, unsigned size)
+{
+    ifp_assert(size >= 1 && size <= 8, "bad access size %u", size);
+    ifp_assert(addr / pageBytes == (addr + size - 1) / pageBytes,
+               "access crosses page boundary");
+    if (read(addr, size) != value)
+        ++mutationCount;
+    Page &page = pageFor(addr);
+    unsigned offset = addr % pageBytes;
+    auto raw = static_cast<std::uint64_t>(value);
+    for (unsigned i = 0; i < size; ++i)
+        page[offset + i] = static_cast<std::uint8_t>(raw >> (8 * i));
+}
+
+AtomicResult
+BackingStore::atomic(Addr addr, AtomicOpcode op, MemValue operand,
+                     MemValue compare, unsigned size)
+{
+    MemValue old_value = read(addr, size);
+    AtomicResult res = applyAtomic(op, old_value, operand, compare);
+    if (res.wrote)
+        write(addr, res.newValue, size);
+    return res;
+}
+
+} // namespace ifp::mem

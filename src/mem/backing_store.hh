@@ -1,0 +1,73 @@
+/**
+ * @file
+ * Sparse functional memory.
+ *
+ * The timing model in this simulator is *decoupled* from data: caches
+ * and DRAM model latency/occupancy only, while all values live in one
+ * globally consistent BackingStore that devices access functionally at
+ * service time. This is sound for the workloads modeled here because
+ * GPU L1s are write-through and all synchronization operations are
+ * performed at the shared L2 — there is no coherence-visible staleness
+ * to capture. (The paper's window-of-vulnerability race is an *event
+ * ordering* race between monitor arming and atomic updates; it is fully
+ * represented by the timing model.)
+ *
+ * The store also maintains a mutation counter used by the deadlock
+ * detector: a counter that only advances when some write actually
+ * changes a memory value.
+ */
+
+#ifndef IFP_MEM_BACKING_STORE_HH
+#define IFP_MEM_BACKING_STORE_HH
+
+#include <array>
+#include <cstdint>
+#include <memory>
+#include <unordered_map>
+
+#include "mem/atomic_op.hh"
+#include "sim/types.hh"
+
+namespace ifp::mem {
+
+/** Sparse, page-granular functional memory image. */
+class BackingStore
+{
+  public:
+    static constexpr unsigned pageBytes = 4096;
+
+    /** Read @p size (<= 8) bytes at @p addr as a little-endian value. */
+    MemValue read(Addr addr, unsigned size = 8) const;
+
+    /** Write @p size (<= 8) bytes at @p addr. */
+    void write(Addr addr, MemValue value, unsigned size = 8);
+
+    /**
+     * Functionally perform an atomic RMW.
+     * Bumps the mutation counter only when the stored value changes.
+     */
+    AtomicResult atomic(Addr addr, AtomicOpcode op, MemValue operand,
+                        MemValue compare, unsigned size = 8);
+
+    /**
+     * Monotonic counter of value-changing writes. The deadlock detector
+     * samples this: spinning reads and failed CASes do not advance it.
+     */
+    std::uint64_t mutations() const { return mutationCount; }
+
+    /** Number of pages currently instantiated. */
+    std::size_t numPages() const { return pages.size(); }
+
+  private:
+    using Page = std::array<std::uint8_t, pageBytes>;
+
+    Page &pageFor(Addr addr);
+    const Page *pageForConst(Addr addr) const;
+
+    std::unordered_map<Addr, std::unique_ptr<Page>> pages;
+    std::uint64_t mutationCount = 0;
+};
+
+} // namespace ifp::mem
+
+#endif // IFP_MEM_BACKING_STORE_HH

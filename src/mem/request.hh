@@ -1,0 +1,135 @@
+/**
+ * @file
+ * Memory request/response transport.
+ *
+ * A MemRequest travels from a compute unit through the L1 to the shared
+ * L2 (and possibly DRAM). The response is delivered by invoking the
+ * request's onResponse callback; intermediate devices may chain their
+ * own bookkeeping around it.
+ *
+ * Waiting atomics (the paper's new instructions) are ordinary atomics
+ * with `waiting == true` and an `expected` operand. When a waiting
+ * atomic fails its comparison at the L2, the response carries a
+ * WaitDecision telling the issuing work-group how to wait (stall on the
+ * CU, context switch out, or retry because the Monitor Log is full).
+ */
+
+#ifndef IFP_MEM_REQUEST_HH
+#define IFP_MEM_REQUEST_HH
+
+#include <functional>
+#include <memory>
+#include <string>
+
+#include "mem/atomic_op.hh"
+#include "sim/types.hh"
+
+namespace ifp::mem {
+
+/** Kind of memory access. */
+enum class MemOp
+{
+    Read,     //!< plain load
+    Write,    //!< plain store
+    Atomic,   //!< RMW performed at the L2 (possibly waiting)
+    ArmWait,  //!< wait-instruction: arm the monitor (MonR/MonRS styles)
+};
+
+/** How a failed waiting atomic / armed wait should behave. */
+enum class WaitKind
+{
+    Proceed,  //!< operation succeeded, keep executing
+    Stall,    //!< wait while keeping CU resources
+    Switch,   //!< yield resources: context switch the WG out
+    Retry,    //!< Monitor Log full: re-execute the atomic (Mesa)
+};
+
+/** Decision attached to the response of a waiting operation. */
+struct WaitDecision
+{
+    WaitKind kind = WaitKind::Proceed;
+    /**
+     * A rescue/timeout interval in GPU cycles; 0 means none. For the
+     * Timeout policy this is the policy interval itself; for monitor
+     * policies it is the backstop that re-activates the WG if the
+     * monitor misses or mispredicts.
+     */
+    sim::Cycles timeoutCycles = 0;
+};
+
+/** A memory transaction in flight. */
+struct MemRequest
+{
+    MemOp op = MemOp::Read;
+    Addr addr = 0;
+    unsigned size = 8;
+
+    /// @name Atomic payload
+    /// @{
+    AtomicOpcode aop = AtomicOpcode::Load;
+    MemValue operand = 0;
+    MemValue compare = 0;    //!< CAS comparison operand
+    bool waiting = false;    //!< waiting-atomic semantics requested
+    MemValue expected = 0;   //!< expected value for waiting forms
+    bool acquire = false;    //!< acquire semantics (invalidates L1)
+    bool release = false;    //!< release semantics
+    /// @}
+
+    /// @name Requester identity
+    /// @{
+    int cuId = -1;
+    int wgId = -1;
+    int wfId = -1;
+    /// @}
+
+    /// @name Response payload
+    /// @{
+    MemValue result = 0;        //!< loaded / observed-old value
+    bool waitFailed = false;    //!< waiting atomic failed its compare
+    WaitDecision decision;      //!< how the WG should wait
+    /// @}
+
+    sim::Tick issueTick = 0;
+
+    /** Completion callback; invoked exactly once, at response time. */
+    std::function<void()> onResponse;
+
+    /** Fire the completion callback. */
+    void
+    respond()
+    {
+        if (onResponse)
+            onResponse();
+    }
+
+    bool isUpdate() const
+    {
+        return op == MemOp::Write || op == MemOp::Atomic;
+    }
+};
+
+using MemRequestPtr = std::shared_ptr<MemRequest>;
+
+/**
+ * The expected value a waiting atomic compares against: the CAS
+ * comparison operand for CAS, the explicit expected operand otherwise.
+ */
+inline MemValue
+waitExpectedOf(const MemRequestPtr &req)
+{
+    return req->aop == AtomicOpcode::Cas ? req->compare : req->expected;
+}
+
+/** Generic interface of anything that accepts memory requests. */
+class MemDevice
+{
+  public:
+    virtual ~MemDevice() = default;
+
+    /** Hand over a request; the device responds asynchronously. */
+    virtual void access(const MemRequestPtr &req) = 0;
+};
+
+} // namespace ifp::mem
+
+#endif // IFP_MEM_REQUEST_HH

@@ -1,0 +1,77 @@
+/**
+ * @file
+ * Hook interface between the L2 cache and the synchronization
+ * machinery (SyncMon / waiting-policy controllers).
+ *
+ * The L2 performs all atomics. When a *waiting* atomic fails its
+ * expected-value comparison, or a wait-instruction arrives to arm the
+ * monitor, the L2 consults the installed SyncObserver for a
+ * WaitDecision. Whenever an access touches a cacheline whose monitored
+ * bit is set, the L2 reports it so the observer can run its resume
+ * policy.
+ */
+
+#ifndef IFP_MEM_SYNC_HOOKS_HH
+#define IFP_MEM_SYNC_HOOKS_HH
+
+#include "mem/request.hh"
+#include "sim/types.hh"
+
+namespace ifp::mem {
+
+/**
+ * Interface implemented by waiting-policy controllers (Timeout,
+ * MonRS/MonR/MonNR variants, AWG, MinResume).
+ */
+class SyncObserver
+{
+  public:
+    virtual ~SyncObserver() = default;
+
+    /**
+     * A waiting atomic failed its comparison at the L2.
+     *
+     * @param req      the failing request (expected value, WG identity)
+     * @param observed the value the atomic observed
+     * @return how the issuing WG should wait
+     */
+    virtual WaitDecision onWaitFail(const MemRequestPtr &req,
+                                    MemValue observed) = 0;
+
+    /**
+     * A wait-instruction (MonR/MonRS style) arrived to arm the
+     * monitor for (req->addr, req->expected).
+     */
+    virtual WaitDecision onArmWait(const MemRequestPtr &req) = 0;
+
+    /**
+     * An access touched a line whose monitored bit is set.
+     *
+     * @param addr      the word address accessed
+     * @param new_value value after the access (== old for reads)
+     * @param is_update true for writes / value-producing atomics
+     * @param by_wg     WG id of the accessor (-1 for external agents)
+     */
+    virtual void onMonitoredAccess(Addr addr, MemValue new_value,
+                                   bool is_update, int by_wg) = 0;
+
+    /**
+     * The stall/rescue timer of a waiting WG expired before its
+     * condition was met. The controller decides what happens next:
+     * Proceed resumes the WG (it retries, Mesa-style), Stall re-arms
+     * the stall, Switch context switches the WG out (AWG's stall-
+     * period misprediction path).
+     */
+    virtual WaitDecision
+    onStallTimeout(int wg_id, Addr addr, MemValue expected)
+    {
+        (void)wg_id;
+        (void)addr;
+        (void)expected;
+        return WaitDecision{WaitKind::Proceed, 0};
+    }
+};
+
+} // namespace ifp::mem
+
+#endif // IFP_MEM_SYNC_HOOKS_HH

@@ -1,0 +1,94 @@
+/**
+ * @file
+ * Named simulation objects and clock-domain helpers.
+ *
+ * SimObject gives every model a name for tracing and stats registration.
+ * Clocked adds a clock period and the cycle/tick conversions every
+ * timing model needs (mirrors gem5's ClockedObject).
+ */
+
+#ifndef IFP_SIM_CLOCKED_HH
+#define IFP_SIM_CLOCKED_HH
+
+#include <string>
+#include <utility>
+
+#include "sim/event_queue.hh"
+#include "sim/logging.hh"
+#include "sim/types.hh"
+
+namespace ifp::sim {
+
+/**
+ * Base class for every named component in the simulated system.
+ */
+class SimObject
+{
+  public:
+    SimObject(std::string name, EventQueue &eq)
+        : _name(std::move(name)), _eventq(eq)
+    {}
+
+    virtual ~SimObject() = default;
+
+    SimObject(const SimObject &) = delete;
+    SimObject &operator=(const SimObject &) = delete;
+
+    /** Hierarchical instance name, e.g. "gpu.cu3.l1". */
+    const std::string &name() const { return _name; }
+
+    /** The event queue this object schedules on. */
+    EventQueue &eventq() const { return _eventq; }
+
+    /** Current simulated time. */
+    Tick curTick() const { return _eventq.curTick(); }
+
+  private:
+    std::string _name;
+    EventQueue &_eventq;
+};
+
+/**
+ * A SimObject that belongs to a clock domain.
+ */
+class Clocked : public SimObject
+{
+  public:
+    Clocked(std::string name, EventQueue &eq, Tick clock_period)
+        : SimObject(std::move(name), eq), period(clock_period)
+    {
+        ifp_assert(period > 0, "clock period must be positive");
+    }
+
+    /** Length of one clock cycle in ticks. */
+    Tick clockPeriod() const { return period; }
+
+    /** Current time expressed in local cycles (truncating). */
+    Cycles curCycle() const { return curTick() / period; }
+
+    /**
+     * The tick of the next clock edge at least @p cycles cycles in the
+     * future. clockEdge(0) is the current edge if we sit exactly on one,
+     * otherwise the next edge.
+     */
+    Tick
+    clockEdge(Cycles cycles = 0) const
+    {
+        Tick now = curTick();
+        Tick edge = ((now + period - 1) / period) * period;
+        return edge + cycles * period;
+    }
+
+    /** Convert a cycle count of this domain into ticks. */
+    Tick cyclesToTicks(Cycles cycles) const { return cycles * period; }
+
+    /** Convert ticks into (truncated) cycles of this domain. */
+    Cycles ticksToCycles(Tick ticks) const { return ticks / period; }
+
+  private:
+    Tick period;
+};
+
+} // namespace ifp::sim
+
+#endif // IFP_SIM_CLOCKED_HH

@@ -1,0 +1,142 @@
+#include "sim/event_queue.hh"
+
+#include <algorithm>
+
+#include "sim/logging.hh"
+
+namespace ifp::sim {
+
+Event::~Event()
+{
+    ifp_assert(!_scheduled,
+               "event '%s' destroyed while scheduled",
+               description().c_str());
+}
+
+EventQueue::EventQueue()
+{
+    setTraceTickSource(&_curTick);
+}
+
+EventQueue::~EventQueue()
+{
+    setTraceTickSource(nullptr);
+    // Squash whatever is left so owned events can be destroyed and
+    // externally-owned events do not trip the Event destructor assert.
+    while (!heap.empty()) {
+        HeapEntry entry = heap.top();
+        heap.pop();
+        if (entry.event->_scheduled &&
+            entry.event->_sequence == entry.sequence) {
+            entry.event->_scheduled = false;
+        }
+    }
+    owned.clear();
+}
+
+void
+EventQueue::schedule(Event *event, Tick when)
+{
+    ifp_assert(event != nullptr, "scheduling null event");
+    ifp_assert(!event->_scheduled, "event '%s' already scheduled",
+               event->description().c_str());
+    ifp_assert(when >= _curTick,
+               "scheduling event '%s' in the past (%lu < %lu)",
+               event->description().c_str(),
+               static_cast<unsigned long>(when),
+               static_cast<unsigned long>(_curTick));
+
+    event->_scheduled = true;
+    event->_squashed = false;
+    event->_when = when;
+    event->_sequence = nextSequence++;
+    heap.push(HeapEntry{when, event->_sequence, event});
+    ++liveEvents;
+}
+
+void
+EventQueue::deschedule(Event *event)
+{
+    ifp_assert(event != nullptr, "descheduling null event");
+    ifp_assert(event->_scheduled, "event '%s' not scheduled",
+               event->description().c_str());
+    event->_scheduled = false;
+    event->_squashed = true;
+    ifp_assert(liveEvents > 0, "live event underflow");
+    --liveEvents;
+}
+
+void
+EventQueue::reschedule(Event *event, Tick when)
+{
+    if (event->_scheduled)
+        deschedule(event);
+    schedule(event, when);
+}
+
+void
+EventQueue::schedule(Tick when, std::function<void()> fn, std::string desc)
+{
+    auto ev = std::make_unique<LambdaEvent>(std::move(fn),
+                                            std::move(desc));
+    schedule(ev.get(), when);
+    owned.push_back(std::move(ev));
+}
+
+void
+EventQueue::collectOwned()
+{
+    // Drop owned one-shot events that have already fired. Sweeping is
+    // amortized: only run when the vector doubled since the last
+    // sweep, keeping the total cost linear in events executed.
+    if (owned.size() < 64 || owned.size() < 2 * ownedAfterSweep)
+        return;
+    std::erase_if(owned, [](const std::unique_ptr<LambdaEvent> &ev) {
+        return !ev->scheduled();
+    });
+    ownedAfterSweep = owned.size();
+}
+
+bool
+EventQueue::step()
+{
+    while (!heap.empty()) {
+        HeapEntry entry = heap.top();
+        heap.pop();
+        Event *event = entry.event;
+        // Stale entry: event was descheduled (and possibly rescheduled
+        // with a newer sequence number).
+        if (!event->_scheduled || event->_sequence != entry.sequence)
+            continue;
+
+        ifp_assert(entry.when >= _curTick, "time went backwards");
+        _curTick = entry.when;
+        event->_scheduled = false;
+        ifp_assert(liveEvents > 0, "live event underflow");
+        --liveEvents;
+        ++executed;
+        event->process();
+        collectOwned();
+        return true;
+    }
+    return false;
+}
+
+Tick
+EventQueue::simulate(Tick limit)
+{
+    while (!heap.empty()) {
+        const HeapEntry &top = heap.top();
+        Event *event = top.event;
+        if (!event->_scheduled || event->_sequence != top.sequence) {
+            heap.pop();
+            continue;
+        }
+        if (top.when > limit)
+            break;
+        step();
+    }
+    return _curTick;
+}
+
+} // namespace ifp::sim

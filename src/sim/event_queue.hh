@@ -1,0 +1,162 @@
+/**
+ * @file
+ * Discrete-event simulation kernel.
+ *
+ * The EventQueue keeps a min-heap of (tick, sequence, event) triples and
+ * executes them in order. Events scheduled for the same tick run in the
+ * order they were scheduled, which keeps the simulator deterministic.
+ *
+ * Two event flavours are provided:
+ *  - Event: subclass and override process().
+ *  - LambdaEvent / EventQueue::schedule(tick, fn): wrap a callable.
+ *
+ * An event object is owned by its creator and must outlive its scheduled
+ * occurrence; the queue never deletes events. LambdaEvents created via
+ * the schedule(tick, fn) convenience are owned by the queue.
+ */
+
+#ifndef IFP_SIM_EVENT_QUEUE_HH
+#define IFP_SIM_EVENT_QUEUE_HH
+
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <queue>
+#include <string>
+#include <vector>
+
+#include "sim/types.hh"
+
+namespace ifp::sim {
+
+class EventQueue;
+
+/**
+ * Base class for all schedulable events.
+ */
+class Event
+{
+  public:
+    virtual ~Event();
+
+    /** Callback invoked when the event's tick is reached. */
+    virtual void process() = 0;
+
+    /** Human-readable description, used in traces. */
+    virtual std::string description() const { return "generic event"; }
+
+    /** True while the event sits in some queue. */
+    bool scheduled() const { return _scheduled; }
+
+    /** Tick this event is scheduled for (valid only when scheduled). */
+    Tick when() const { return _when; }
+
+  private:
+    friend class EventQueue;
+
+    bool _scheduled = false;
+    bool _squashed = false;
+    Tick _when = 0;
+    std::uint64_t _sequence = 0;
+};
+
+/** Event wrapping an arbitrary callable. */
+class LambdaEvent : public Event
+{
+  public:
+    explicit LambdaEvent(std::function<void()> fn, std::string desc = "")
+        : callback(std::move(fn)), desc(std::move(desc))
+    {}
+
+    void process() override { callback(); }
+
+    std::string
+    description() const override
+    {
+        return desc.empty() ? "lambda event" : desc;
+    }
+
+  private:
+    std::function<void()> callback;
+    std::string desc;
+};
+
+/**
+ * The global ordering structure of the simulation.
+ */
+class EventQueue
+{
+  public:
+    EventQueue();
+    ~EventQueue();
+
+    EventQueue(const EventQueue &) = delete;
+    EventQueue &operator=(const EventQueue &) = delete;
+
+    /** Current simulated time. */
+    Tick curTick() const { return _curTick; }
+
+    /** Schedule @p event at absolute tick @p when (>= curTick). */
+    void schedule(Event *event, Tick when);
+
+    /** Remove a scheduled event from the queue. */
+    void deschedule(Event *event);
+
+    /** Deschedule (if needed) and reschedule at a new tick. */
+    void reschedule(Event *event, Tick when);
+
+    /**
+     * Convenience: schedule a one-shot callable. The queue owns the
+     * temporary event and frees it after execution.
+     */
+    void schedule(Tick when, std::function<void()> fn,
+                  std::string desc = "");
+
+    /** True when no events remain. */
+    bool empty() const { return heap.empty(); }
+
+    /** Number of pending events. */
+    std::size_t size() const { return liveEvents; }
+
+    /**
+     * Run until the queue drains or @p limit is exceeded.
+     * @return the tick of the last executed event.
+     */
+    Tick simulate(Tick limit = maxTick);
+
+    /** Execute exactly one event, if any. @return true if one ran. */
+    bool step();
+
+    /** Total number of events executed so far. */
+    std::uint64_t numExecuted() const { return executed; }
+
+  private:
+    struct HeapEntry
+    {
+        Tick when;
+        std::uint64_t sequence;
+        Event *event;
+
+        bool
+        operator>(const HeapEntry &other) const
+        {
+            return when != other.when ? when > other.when
+                                      : sequence > other.sequence;
+        }
+    };
+
+    std::priority_queue<HeapEntry, std::vector<HeapEntry>,
+                        std::greater<HeapEntry>> heap;
+    std::vector<std::unique_ptr<LambdaEvent>> owned;
+    std::size_t ownedAfterSweep = 0;
+    Tick _curTick = 0;
+    std::uint64_t nextSequence = 0;
+    std::uint64_t executed = 0;
+    std::size_t liveEvents = 0;
+
+    void collectOwned();
+};
+
+} // namespace ifp::sim
+
+#endif // IFP_SIM_EVENT_QUEUE_HH

@@ -1,0 +1,105 @@
+#include "sim/logging.hh"
+
+#include <cinttypes>
+#include <cstdint>
+#include <mutex>
+#include <set>
+
+namespace ifp::sim {
+
+namespace {
+
+std::set<std::string> enabledFlags;
+const std::uint64_t *traceTickSource = nullptr;
+
+void
+vreport(const char *prefix, const char *fmt, va_list args)
+{
+    std::fprintf(stderr, "%s", prefix);
+    std::vfprintf(stderr, fmt, args);
+    std::fprintf(stderr, "\n");
+}
+
+} // anonymous namespace
+
+void
+panicImpl(const char *file, int line, const char *fmt, ...)
+{
+    std::fprintf(stderr, "panic: %s:%d: ", file, line);
+    va_list args;
+    va_start(args, fmt);
+    std::vfprintf(stderr, fmt, args);
+    va_end(args);
+    std::fprintf(stderr, "\n");
+    std::abort();
+}
+
+void
+fatalImpl(const char *file, int line, const char *fmt, ...)
+{
+    std::fprintf(stderr, "fatal: %s:%d: ", file, line);
+    va_list args;
+    va_start(args, fmt);
+    std::vfprintf(stderr, fmt, args);
+    va_end(args);
+    std::fprintf(stderr, "\n");
+    std::exit(1);
+}
+
+void
+warnImpl(const char *fmt, ...)
+{
+    va_list args;
+    va_start(args, fmt);
+    vreport("warn: ", fmt, args);
+    va_end(args);
+}
+
+void
+informImpl(const char *fmt, ...)
+{
+    va_list args;
+    va_start(args, fmt);
+    vreport("info: ", fmt, args);
+    va_end(args);
+}
+
+void
+setDebugFlag(const std::string &flag)
+{
+    enabledFlags.insert(flag);
+}
+
+void
+clearDebugFlag(const std::string &flag)
+{
+    enabledFlags.erase(flag);
+}
+
+bool
+debugFlagEnabled(const std::string &flag)
+{
+    return enabledFlags.count(flag) != 0;
+}
+
+void
+tracePrintf(const std::string &flag, const char *fmt, ...)
+{
+    if (!debugFlagEnabled(flag))
+        return;
+    std::uint64_t tick = traceTickSource ? *traceTickSource : 0;
+    std::fprintf(stderr, "%12" PRIu64 ": %s: ", tick, flag.c_str());
+    va_list args;
+    va_start(args, fmt);
+    std::vfprintf(stderr, fmt, args);
+    va_end(args);
+    std::fprintf(stderr, "\n");
+}
+
+void
+setTraceTickSource(const std::uint64_t *tick_counter)
+{
+    traceTickSource = tick_counter;
+}
+
+} // namespace ifp::sim

@@ -1,0 +1,67 @@
+/**
+ * @file
+ * Error and status reporting helpers, in the spirit of gem5's
+ * base/logging.hh.
+ *
+ * panic()  - an internal simulator invariant was violated; aborts.
+ * fatal()  - the user asked for something unsupported; exits cleanly.
+ * warn()   - something is questionable but simulation continues.
+ * inform() - plain status output.
+ *
+ * A lightweight trace facility (debug flags + tracePrintf) stands in for
+ * gem5's DPRINTF. Flags are enabled by name at runtime, so unit tests and
+ * examples can turn on per-module tracing without recompiling.
+ */
+
+#ifndef IFP_SIM_LOGGING_HH
+#define IFP_SIM_LOGGING_HH
+
+#include <cstdarg>
+#include <cstdio>
+#include <cstdlib>
+#include <string>
+
+namespace ifp::sim {
+
+[[noreturn]] void panicImpl(const char *file, int line, const char *fmt,
+                            ...) __attribute__((format(printf, 3, 4)));
+[[noreturn]] void fatalImpl(const char *file, int line, const char *fmt,
+                            ...) __attribute__((format(printf, 3, 4)));
+void warnImpl(const char *fmt, ...) __attribute__((format(printf, 1, 2)));
+void informImpl(const char *fmt, ...) __attribute__((format(printf, 1, 2)));
+
+#define ifp_panic(...) \
+    ::ifp::sim::panicImpl(__FILE__, __LINE__, __VA_ARGS__)
+#define ifp_fatal(...) \
+    ::ifp::sim::fatalImpl(__FILE__, __LINE__, __VA_ARGS__)
+#define ifp_assert(cond, ...)                                         \
+    do {                                                              \
+        if (!(cond))                                                  \
+            ::ifp::sim::panicImpl(__FILE__, __LINE__, __VA_ARGS__);   \
+    } while (0)
+
+/** Enable a debug/trace flag by name (e.g. "SyncMon", "CU"). */
+void setDebugFlag(const std::string &flag);
+
+/** Disable a previously enabled debug flag. */
+void clearDebugFlag(const std::string &flag);
+
+/** True when the given trace flag has been enabled. */
+bool debugFlagEnabled(const std::string &flag);
+
+/**
+ * Emit one trace line, prefixed with the current tick and the flag name,
+ * if the flag is enabled. Mirrors gem5's DPRINTF.
+ */
+void tracePrintf(const std::string &flag, const char *fmt, ...)
+    __attribute__((format(printf, 2, 3)));
+
+/**
+ * Hook used by tracePrintf to learn the current simulated time.
+ * EventQueue installs itself here; 0 is printed when unset.
+ */
+void setTraceTickSource(const std::uint64_t *tick_counter);
+
+} // namespace ifp::sim
+
+#endif // IFP_SIM_LOGGING_HH

@@ -1,0 +1,83 @@
+/**
+ * @file
+ * Deterministic pseudo-random number generation.
+ *
+ * All randomness in the simulator flows through explicitly seeded Rng
+ * instances so that every run is reproducible bit-for-bit. The generator
+ * is xoshiro256**, which is fast and has no observable bias for the
+ * modest quantities of randomness the simulator consumes.
+ */
+
+#ifndef IFP_SIM_RNG_HH
+#define IFP_SIM_RNG_HH
+
+#include <cstdint>
+
+namespace ifp::sim {
+
+/** Deterministic xoshiro256** generator. */
+class Rng
+{
+  public:
+    explicit Rng(std::uint64_t seed = 0x9E3779B97F4A7C15ULL)
+    {
+        // SplitMix64 seeding, as recommended by the xoshiro authors.
+        std::uint64_t x = seed;
+        for (auto &word : state) {
+            x += 0x9E3779B97F4A7C15ULL;
+            std::uint64_t z = x;
+            z = (z ^ (z >> 30)) * 0xBF58476D1CE4E5B9ULL;
+            z = (z ^ (z >> 27)) * 0x94D049BB133111EBULL;
+            word = z ^ (z >> 31);
+        }
+    }
+
+    /** Next raw 64-bit value. */
+    std::uint64_t
+    next()
+    {
+        const std::uint64_t result = rotl(state[1] * 5, 7) * 9;
+        const std::uint64_t t = state[1] << 17;
+        state[2] ^= state[0];
+        state[3] ^= state[1];
+        state[1] ^= state[2];
+        state[0] ^= state[3];
+        state[2] ^= t;
+        state[3] = rotl(state[3], 45);
+        return result;
+    }
+
+    /** Uniform value in [0, bound). @p bound must be non-zero. */
+    std::uint64_t
+    uniform(std::uint64_t bound)
+    {
+        return next() % bound;
+    }
+
+    /** Uniform value in [lo, hi] inclusive. */
+    std::uint64_t
+    range(std::uint64_t lo, std::uint64_t hi)
+    {
+        return lo + uniform(hi - lo + 1);
+    }
+
+    /** Uniform double in [0, 1). */
+    double
+    real()
+    {
+        return static_cast<double>(next() >> 11) * 0x1.0p-53;
+    }
+
+  private:
+    static std::uint64_t
+    rotl(std::uint64_t x, int k)
+    {
+        return (x << k) | (x >> (64 - k));
+    }
+
+    std::uint64_t state[4];
+};
+
+} // namespace ifp::sim
+
+#endif // IFP_SIM_RNG_HH

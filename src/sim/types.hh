@@ -1,0 +1,57 @@
+/**
+ * @file
+ * Fundamental simulation types: ticks, cycles and addresses.
+ *
+ * The simulator counts time in abstract "ticks". Every clocked component
+ * converts its local cycle count into ticks through its clock period
+ * (see sim/clocked.hh). With the default GPU clock of 2 GHz and a tick
+ * resolution of 1 ps, one GPU cycle equals 500 ticks.
+ */
+
+#ifndef IFP_SIM_TYPES_HH
+#define IFP_SIM_TYPES_HH
+
+#include <cstdint>
+#include <limits>
+
+namespace ifp::sim {
+
+/** Absolute simulated time, in picoseconds. */
+using Tick = std::uint64_t;
+
+/** Relative time expressed in cycles of some clock domain. */
+using Cycles = std::uint64_t;
+
+/** Largest representable tick; used as "never". */
+constexpr Tick maxTick = std::numeric_limits<Tick>::max();
+
+/** Ticks per second: 1 ps resolution. */
+constexpr Tick ticksPerSecond = 1'000'000'000'000ULL;
+
+/** Convert a frequency in Hz into a clock period in ticks. */
+constexpr Tick
+periodFromFrequency(std::uint64_t hz)
+{
+    return ticksPerSecond / hz;
+}
+
+/** Convert microseconds of simulated time into ticks. */
+constexpr Tick
+ticksFromMicroseconds(std::uint64_t us)
+{
+    return us * (ticksPerSecond / 1'000'000ULL);
+}
+
+} // namespace ifp::sim
+
+namespace ifp::mem {
+
+/** Physical/virtual address within the simulated memory space. */
+using Addr = std::uint64_t;
+
+/** The value type transported by memory operations. */
+using MemValue = std::int64_t;
+
+} // namespace ifp::mem
+
+#endif // IFP_SIM_TYPES_HH

@@ -1,0 +1,236 @@
+/**
+ * @file
+ * The Synchronization Monitor (SyncMon) controller.
+ *
+ * Attached to the L2 (where GPU atomics execute), the SyncMon
+ * implements the paper's family of monitor-based waiting policies:
+ *
+ *  - MonRS-All : wait-instructions arm *address* conditions; any
+ *                access to a monitored address sporadically resumes
+ *                all of its waiters without checking the condition.
+ *  - MonR-All  : wait-instructions arm (address, value) conditions;
+ *                updates that meet a condition resume all its waiters.
+ *                Subject to the window-of-vulnerability race.
+ *  - MonNR-All : *waiting atomics* register conditions atomically at
+ *                the L2 (no race); resume all on condition met.
+ *  - MonNR-One : as MonNR-All but resumes one waiter per met update;
+ *                the rest resume on later updates or by timeout.
+ *  - AWG       : MonNR plus the resume predictor (waiter count +
+ *                Bloom-filter unique-update count) and the stall-
+ *                period predictor that delays context switches.
+ *  - MinResume : the oracle of Figure 9 — a waiter is resumed only
+ *                when its condition actually holds, one at a time.
+ *
+ * Capacity overflows spill through the Command Processor into the
+ * Monitor Log (virtualization); a full log makes the waiting atomic
+ * fail without waiting (Mesa retry).
+ */
+
+#ifndef IFP_SYNCMON_SYNC_MONITOR_HH
+#define IFP_SYNCMON_SYNC_MONITOR_HH
+
+#include <unordered_map>
+
+#include "cp/command_processor.hh"
+#include "gpu/sched_iface.hh"
+#include "mem/backing_store.hh"
+#include "mem/l2_cache.hh"
+#include "mem/sync_hooks.hh"
+#include "sim/clocked.hh"
+#include "sim/stats.hh"
+#include "syncmon/bloom_filter.hh"
+#include "syncmon/condition_cache.hh"
+
+namespace ifp::syncmon {
+
+/** Which resume policy the SyncMon runs. */
+enum class SyncMonMode
+{
+    MonRSAll,   //!< sporadic notify, resume all
+    MonRAll,    //!< condition check on update, resume all (racy arm)
+    MonNRAll,   //!< waiting atomics, resume all
+    MonNROne,   //!< waiting atomics, resume one
+    Awg,        //!< waiting atomics + resume/stall prediction
+    MinResume,  //!< oracle: resume exactly the waiters that can run
+};
+
+/** Printable name of a mode. */
+const char *syncMonModeName(SyncMonMode mode);
+
+/**
+ * What happens when a condition cache set is full (the paper leaves
+ * the study of Monitor Log replacement/fairness policies as future
+ * work; both options are implemented here).
+ */
+enum class SpillPolicy
+{
+    SpillNew,        //!< the arriving condition goes to the log
+    EvictYoungest,   //!< the set's youngest condition is demoted
+};
+
+/** SyncMon hardware/behaviour configuration (defaults per §V.C). */
+struct SyncMonConfig
+{
+    unsigned sets = 256;
+    unsigned ways = 4;
+    unsigned waitingListCapacity = 512;
+    unsigned bloomFilters = 512;
+    unsigned bloomCells = 24;
+    unsigned bloomHashes = 6;
+
+    /** Backstop timeout re-activating waiters, in GPU cycles. */
+    sim::Cycles rescueIntervalCycles = 20'000;
+    /** AWG: floor of the predicted stall window. */
+    sim::Cycles minStallCycles = 500;
+    /** AWG: default prediction before any observation. */
+    sim::Cycles defaultStallCycles = 2'000;
+    /** AWG: EWMA weight of new wait-latency observations. */
+    double ewmaAlpha = 0.25;
+    /** AWG predictor: unique updates above this mean "resume all". */
+    unsigned uniqueUpdateThreshold = 2;
+    /**
+     * AWG's stall-period prediction (stall for a predicted window
+     * before paying for a context switch). Disabling it makes AWG
+     * switch immediately when oversubscribed, like the MonNR
+     * policies — the ablation knob for §IV.B's optimization.
+     */
+    bool stallPredictionEnabled = true;
+    /** Set-conflict handling (virtualization fairness study). */
+    SpillPolicy spillPolicy = SpillPolicy::SpillNew;
+    /**
+     * Lazy monitor cleanup: a line stays monitored (and its Bloom
+     * filter keeps accumulating) for this many cycles after its last
+     * condition retires. Eagerly clearing tag bits on the retire path
+     * would be expensive hardware; the grace period also lets the
+     * predictor see the arrival bursts of back-to-back barrier
+     * rounds.
+     */
+    sim::Cycles monitorIdleCycles = 50'000;
+};
+
+/** The SyncMon: a mem::SyncObserver installed into the L2. */
+class SyncMonController : public sim::Clocked, public mem::SyncObserver
+{
+  public:
+    SyncMonController(std::string name, sim::EventQueue &eq,
+                      SyncMonMode mode, const SyncMonConfig &cfg,
+                      mem::L2Cache &l2, mem::BackingStore &store,
+                      cp::CommandProcessor &cp);
+
+    void setScheduler(gpu::WgScheduler *s) { scheduler = s; }
+
+    /// @name mem::SyncObserver
+    /// @{
+    mem::WaitDecision onWaitFail(const mem::MemRequestPtr &req,
+                                 mem::MemValue observed) override;
+    mem::WaitDecision onArmWait(const mem::MemRequestPtr &req) override;
+    void onMonitoredAccess(mem::Addr addr, mem::MemValue new_value,
+                           bool is_update, int by_wg) override;
+    mem::WaitDecision onStallTimeout(int wg_id, mem::Addr addr,
+                                     mem::MemValue expected) override;
+    /// @}
+
+    SyncMonMode mode() const { return policyMode; }
+
+    /// @name Hardware budget and Figure 13 accounting
+    /// @{
+    std::uint64_t conditionCacheBits() const;
+    std::uint64_t bloomBits() const { return blooms.sizeBits(); }
+    unsigned maxConditions() const { return conds.maxValid(); }
+    unsigned maxWaiters() const { return waiters.maxInUse(); }
+    /// @}
+
+    sim::StatGroup &stats() { return statGroup; }
+    const sim::StatGroup &stats() const { return statGroup; }
+
+  private:
+    bool usesAddrOnlyConditions() const
+    {
+        return policyMode == SyncMonMode::MonRSAll;
+    }
+
+    /**
+     * Register (addr, expected, wg) in the condition cache; spills to
+     * the Monitor Log on overflow. Returns the resulting decision.
+     */
+    mem::WaitDecision registerWaiter(mem::Addr addr,
+                                     mem::MemValue expected, int wg_id);
+
+    /** Pop and resume the first waiter of @p entry. */
+    void resumeOne(ConditionCache::Entry &entry);
+
+    /** Resume every waiter and remove the condition. */
+    void resumeAll(ConditionCache::Entry &entry);
+
+    /** Remove a specific WG's waiter nodes from @p entry. */
+    void removeWaiter(ConditionCache::Entry &entry, int wg_id);
+
+    /**
+     * Demote @p entry and all its waiters to the Monitor Log.
+     * @return false when the log lacks room (entry left untouched).
+     */
+    bool demoteToLog(ConditionCache::Entry &entry);
+
+    /** Drop the condition if it has no waiters left. */
+    void maybeRetire(ConditionCache::Entry &entry);
+
+    /** Bookkeeping around condition insertion/retirement. */
+    void noteConditionInserted(mem::Addr addr);
+    void noteConditionRemoved(mem::Addr addr);
+
+    /** Line base of @p addr (monitored bits/Blooms are per line). */
+    mem::Addr
+    lineOf(mem::Addr addr) const
+    {
+        return addr & ~static_cast<mem::Addr>(
+                   l2.config().lineBytes - 1);
+    }
+
+    /** Stall-vs-switch decision for a freshly registered waiter. */
+    mem::WaitDecision waitDecisionFor(mem::Addr addr);
+
+    /** AWG stall-period prediction for @p addr, in cycles. */
+    sim::Cycles predictStall(mem::Addr addr) const;
+
+    /** Record an observed wait latency for the stall predictor. */
+    void observeWaitLatency(mem::Addr addr, sim::Tick waited);
+
+    SyncMonMode policyMode;
+    SyncMonConfig config;
+    mem::L2Cache &l2;
+    mem::BackingStore &store;
+    cp::CommandProcessor &cp;
+    gpu::WgScheduler *scheduler = nullptr;
+
+    ConditionCache conds;
+    WaitingWgList waiters;
+    BloomFilterBank blooms;
+
+    /** AWG stall-period predictor state (EWMA per address). */
+    std::unordered_map<mem::Addr, double> stallEwma;
+
+    /** Live conditions per monitored line (lazy cleanup refcount). */
+    std::unordered_map<mem::Addr, unsigned> lineConds;
+    /** Tick at which a line's last condition retired. */
+    std::unordered_map<mem::Addr, sim::Tick> lineIdleSince;
+
+    sim::StatGroup statGroup;
+    sim::Scalar &registrations;
+    sim::Scalar &spills;
+    sim::Scalar &logFullRetries;
+    sim::Scalar &resumesAllStat;
+    sim::Scalar &resumesOneStat;
+    sim::Scalar &sporadicResumes;
+    sim::Scalar &predictAll;
+    sim::Scalar &predictOne;
+    sim::Scalar &bloomResets;
+    sim::Scalar &stallTimeouts;
+    sim::Scalar &switchedOnTimeout;
+    sim::Scalar &evictionsToLog;
+    /** Distribution of observed condition-met latencies (cycles). */
+    sim::Histogram &waitLatency;
+};
+
+} // namespace ifp::syncmon
+
+#endif // IFP_SYNCMON_SYNC_MONITOR_HH

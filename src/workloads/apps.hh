@@ -1,0 +1,70 @@
+/**
+ * @file
+ * Application-style benchmarks from Table 2: a lock-protected hash
+ * table and a bank-account transfer workload. Both exercise the same
+ * sync-primitive emitters as the microbenchmarks but with data-
+ * dependent lock selection (HT) and two-lock ordered acquisition (BA).
+ */
+
+#ifndef IFP_WORKLOADS_APPS_HH
+#define IFP_WORKLOADS_APPS_HH
+
+#include "workloads/workload.hh"
+
+namespace ifp::workloads {
+
+/** Hash table with one test-and-set lock per bucket (HT). */
+class HashTableWorkload : public Workload
+{
+  public:
+    explicit HashTableWorkload(unsigned buckets = 16)
+        : buckets(buckets)
+    {}
+
+    std::string name() const override;
+    std::string abbrev() const override;
+    Table2Row characteristics() const override;
+    isa::Kernel build(core::GpuSystem &system,
+                      const WorkloadParams &params) const override;
+    bool validate(const mem::BackingStore &store,
+                  const WorkloadParams &params,
+                  std::string &error) const override;
+
+  private:
+    unsigned buckets;
+    mutable mem::Addr locksBase = 0;
+    mutable mem::Addr countsBase = 0;
+};
+
+/**
+ * Bank-account transfers (BA): each transfer locks two accounts in
+ * ascending order (deadlock-free ordering), moves one unit, and
+ * unlocks. The validator checks conservation of the total balance.
+ */
+class BankAccountWorkload : public Workload
+{
+  public:
+    BankAccountWorkload(unsigned accounts = 16,
+                        std::int64_t initial_balance = 1000)
+        : accounts(accounts), initialBalance(initial_balance)
+    {}
+
+    std::string name() const override;
+    std::string abbrev() const override;
+    Table2Row characteristics() const override;
+    isa::Kernel build(core::GpuSystem &system,
+                      const WorkloadParams &params) const override;
+    bool validate(const mem::BackingStore &store,
+                  const WorkloadParams &params,
+                  std::string &error) const override;
+
+  private:
+    unsigned accounts;
+    std::int64_t initialBalance;
+    mutable mem::Addr locksBase = 0;
+    mutable mem::Addr balancesBase = 0;
+};
+
+} // namespace ifp::workloads
+
+#endif // IFP_WORKLOADS_APPS_HH

@@ -1,0 +1,74 @@
+/**
+ * @file
+ * HeteroSync inter-WG tree barriers.
+ *
+ * All variants run `iters` barrier rounds with per-lane work between
+ * rounds. The two-level structure groups L WGs per first-level
+ * barrier with a second level across group leaders:
+ *
+ *  - TB_LG     : centralized atomic tree barrier (shared arrival
+ *                counters + broadcast release flags).
+ *  - LFTB_LG   : decentralized ("lock-free") tree barrier — every WG
+ *                owns its arrive/release flags; leaders poll members.
+ *  - TBEX_LG / LFTBEX_LG : the LocalExch variants add an LDS data
+ *                exchange between wavefronts each round.
+ */
+
+#ifndef IFP_WORKLOADS_BARRIERS_HH
+#define IFP_WORKLOADS_BARRIERS_HH
+
+#include "workloads/workload.hh"
+
+namespace ifp::workloads {
+
+/** Centralized two-level atomic tree barrier (TB / TBEX). */
+class TreeBarrierWorkload : public Workload
+{
+  public:
+    explicit TreeBarrierWorkload(bool exchange) : exchange(exchange) {}
+
+    std::string name() const override;
+    std::string abbrev() const override;
+    Table2Row characteristics() const override;
+    isa::Kernel build(core::GpuSystem &system,
+                      const WorkloadParams &params) const override;
+    bool validate(const mem::BackingStore &store,
+                  const WorkloadParams &params,
+                  std::string &error) const override;
+
+  private:
+    bool exchange;
+    mutable mem::Addr localCountBase = 0;
+    mutable mem::Addr localReleaseBase = 0;
+    mutable mem::Addr globalBase = 0;   //!< count at +0, release at +64
+    mutable mem::Addr doneBase = 0;
+};
+
+/** Decentralized two-level tree barrier (LFTB / LFTBEX). */
+class LfTreeBarrierWorkload : public Workload
+{
+  public:
+    explicit LfTreeBarrierWorkload(bool exchange) : exchange(exchange)
+    {}
+
+    std::string name() const override;
+    std::string abbrev() const override;
+    Table2Row characteristics() const override;
+    isa::Kernel build(core::GpuSystem &system,
+                      const WorkloadParams &params) const override;
+    bool validate(const mem::BackingStore &store,
+                  const WorkloadParams &params,
+                  std::string &error) const override;
+
+  private:
+    bool exchange;
+    mutable mem::Addr arriveBase = 0;        //!< one line per WG
+    mutable mem::Addr releaseBase = 0;       //!< one line per WG
+    mutable mem::Addr groupArriveBase = 0;   //!< one line per group
+    mutable mem::Addr groupReleaseBase = 0;  //!< one line per group
+    mutable mem::Addr doneBase = 0;
+};
+
+} // namespace ifp::workloads
+
+#endif // IFP_WORKLOADS_BARRIERS_HH

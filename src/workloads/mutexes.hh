@@ -1,0 +1,94 @@
+/**
+ * @file
+ * HeteroSync mutex microbenchmarks.
+ *
+ * Every work-group performs `iters` lock / critical-section / unlock
+ * rounds on the synchronization variables of its locality group (one
+ * group for globally scoped variants, groups of L WGs for locally
+ * scoped ones). The critical section increments a shared counter,
+ * which the validator checks for mutual exclusion (a lost update
+ * means the lock was broken).
+ */
+
+#ifndef IFP_WORKLOADS_MUTEXES_HH
+#define IFP_WORKLOADS_MUTEXES_HH
+
+#include "workloads/workload.hh"
+
+namespace ifp::workloads {
+
+/** Test-and-set lock (SPM_G / SPM_L / SPMBO_G / SPMBO_L). */
+class SpinMutexWorkload : public Workload
+{
+  public:
+    SpinMutexWorkload(Scope scope, bool backoff)
+        : scope(scope), backoff(backoff)
+    {}
+
+    std::string name() const override;
+    std::string abbrev() const override;
+    Table2Row characteristics() const override;
+    isa::Kernel build(core::GpuSystem &system,
+                      const WorkloadParams &params) const override;
+    bool validate(const mem::BackingStore &store,
+                  const WorkloadParams &params,
+                  std::string &error) const override;
+
+  private:
+    Scope scope;
+    bool backoff;
+    mutable mem::Addr locksBase = 0;
+    mutable mem::Addr dataBase = 0;
+};
+
+/** Centralized ticket lock via fetch-and-add (FAM_G / FAM_L). */
+class FaMutexWorkload : public Workload
+{
+  public:
+    explicit FaMutexWorkload(Scope scope) : scope(scope) {}
+
+    std::string name() const override;
+    std::string abbrev() const override;
+    Table2Row characteristics() const override;
+    isa::Kernel build(core::GpuSystem &system,
+                      const WorkloadParams &params) const override;
+    bool validate(const mem::BackingStore &store,
+                  const WorkloadParams &params,
+                  std::string &error) const override;
+
+  private:
+    Scope scope;
+    mutable mem::Addr syncBase = 0;   //!< ticket + now-serving lines
+    mutable mem::Addr dataBase = 0;
+};
+
+/**
+ * Decentralized ticket lock (SLM_G / SLM_L): the queue-based
+ * "sleep mutex" of Figure 10. Each acquirer takes a private queue
+ * slot and waits for its own slot to be unlocked by its predecessor.
+ */
+class SleepMutexWorkload : public Workload
+{
+  public:
+    explicit SleepMutexWorkload(Scope scope) : scope(scope) {}
+
+    std::string name() const override;
+    std::string abbrev() const override;
+    Table2Row characteristics() const override;
+    isa::Kernel build(core::GpuSystem &system,
+                      const WorkloadParams &params) const override;
+    bool validate(const mem::BackingStore &store,
+                  const WorkloadParams &params,
+                  std::string &error) const override;
+
+  private:
+    Scope scope;
+    mutable mem::Addr tailBase = 0;
+    mutable mem::Addr queueBase = 0;
+    mutable mem::Addr dataBase = 0;
+    mutable std::uint64_t queueStride = 0;
+};
+
+} // namespace ifp::workloads
+
+#endif // IFP_WORKLOADS_MUTEXES_HH

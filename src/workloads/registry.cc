@@ -1,0 +1,62 @@
+#include "workloads/registry.hh"
+
+#include "sim/logging.hh"
+#include "workloads/apps.hh"
+#include "workloads/barriers.hh"
+#include "workloads/mutexes.hh"
+
+namespace ifp::workloads {
+
+std::vector<WorkloadPtr>
+makeHeteroSyncSuite()
+{
+    std::vector<WorkloadPtr> suite;
+    suite.push_back(
+        std::make_unique<SpinMutexWorkload>(Scope::Global, false));
+    suite.push_back(
+        std::make_unique<SpinMutexWorkload>(Scope::Global, true));
+    suite.push_back(std::make_unique<FaMutexWorkload>(Scope::Global));
+    suite.push_back(
+        std::make_unique<SleepMutexWorkload>(Scope::Global));
+    suite.push_back(
+        std::make_unique<SpinMutexWorkload>(Scope::Local, false));
+    suite.push_back(
+        std::make_unique<SpinMutexWorkload>(Scope::Local, true));
+    suite.push_back(std::make_unique<FaMutexWorkload>(Scope::Local));
+    suite.push_back(std::make_unique<SleepMutexWorkload>(Scope::Local));
+    suite.push_back(std::make_unique<TreeBarrierWorkload>(false));
+    suite.push_back(std::make_unique<LfTreeBarrierWorkload>(false));
+    suite.push_back(std::make_unique<TreeBarrierWorkload>(true));
+    suite.push_back(std::make_unique<LfTreeBarrierWorkload>(true));
+    return suite;
+}
+
+std::vector<WorkloadPtr>
+makeFullSuite()
+{
+    std::vector<WorkloadPtr> suite = makeHeteroSyncSuite();
+    suite.push_back(std::make_unique<HashTableWorkload>());
+    suite.push_back(std::make_unique<BankAccountWorkload>());
+    return suite;
+}
+
+WorkloadPtr
+makeWorkload(const std::string &abbrev)
+{
+    for (WorkloadPtr &w : makeFullSuite()) {
+        if (w->abbrev() == abbrev)
+            return std::move(w);
+    }
+    ifp_fatal("unknown workload '%s'", abbrev.c_str());
+}
+
+std::vector<std::string>
+heteroSyncAbbrevs()
+{
+    std::vector<std::string> names;
+    for (const WorkloadPtr &w : makeHeteroSyncSuite())
+        names.push_back(w->abbrev());
+    return names;
+}
+
+} // namespace ifp::workloads

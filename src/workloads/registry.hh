@@ -1,0 +1,33 @@
+/**
+ * @file
+ * Benchmark registry: the evaluated suite, by figure-axis order.
+ */
+
+#ifndef IFP_WORKLOADS_REGISTRY_HH
+#define IFP_WORKLOADS_REGISTRY_HH
+
+#include <vector>
+
+#include "workloads/workload.hh"
+
+namespace ifp::workloads {
+
+/**
+ * The 12 benchmarks of Figures 14/15, in axis order:
+ * SPM_G, SPMBO_G, FAM_G, SLM_G, SPM_L, SPMBO_L, FAM_L, SLM_L,
+ * TB_LG, LFTB_LG, TBEX_LG, LFTBEX_LG.
+ */
+std::vector<WorkloadPtr> makeHeteroSyncSuite();
+
+/** The full Table 2 set: the suite plus HashTable and BankAccount. */
+std::vector<WorkloadPtr> makeFullSuite();
+
+/** A single benchmark by abbreviation (panics on unknown names). */
+WorkloadPtr makeWorkload(const std::string &abbrev);
+
+/** Abbreviations of the 12-suite, in axis order. */
+std::vector<std::string> heteroSyncAbbrevs();
+
+} // namespace ifp::workloads
+
+#endif // IFP_WORKLOADS_REGISTRY_HH

@@ -1,0 +1,183 @@
+#include "workloads/sync_emitters.hh"
+
+#include "sim/logging.hh"
+
+namespace ifp::workloads {
+
+using core::SyncStyle;
+using isa::KernelBuilder;
+using isa::Label;
+using isa::Reg;
+using mem::AtomicOpcode;
+
+void
+emitSyncProlog(KernelBuilder &b, const StyleParams &sp)
+{
+    b.movi(rOne, 1);
+    if (sp.style == SyncStyle::SleepBackoff || sp.softwareBackoff)
+        b.movi(rBackoffMax, sp.backoffMax);
+}
+
+namespace {
+
+/**
+ * Emit the backoff step shared by the SleepBackoff style and the
+ * software-backoff (SPMBO) variant: pause for rBackoff cycles, then
+ * double rBackoff up to rBackoffMax.
+ */
+void
+emitBackoffStep(KernelBuilder &b, const StyleParams &sp)
+{
+    if (sp.softwareBackoff) {
+        // Software delay loop: no s_sleep on the Baseline machine.
+        // Each iteration is ~2 issue cycles; rTmp1 counts down.
+        b.shri(rTmp1, rBackoff, 1);
+        b.addi(rTmp1, rTmp1, 1);
+        Label delay = b.here();
+        b.subi(rTmp1, rTmp1, 1);
+        b.bnz(rTmp1, delay);
+    } else {
+        b.sleepR(rBackoff);
+    }
+    // backoff = min(2 * backoff, backoffMax)
+    b.shli(rBackoff, rBackoff, 1);
+    Label capped = b.label();
+    b.cmpLe(rTmp1, rBackoff, rBackoffMax);
+    b.bnz(rTmp1, capped);
+    b.mov(rBackoff, rBackoffMax);
+    b.bind(capped);
+}
+
+} // anonymous namespace
+
+void
+emitTasAcquire(KernelBuilder &b, const StyleParams &sp, Reg addr_reg,
+               std::int64_t offset)
+{
+    switch (sp.style) {
+      case SyncStyle::Busy: {
+        if (sp.softwareBackoff)
+            b.movi(rBackoff, sp.backoffMin);
+        Label retry = b.here();
+        Label done = b.label();
+        b.atom(rAtomResult, AtomicOpcode::Exch, addr_reg, offset, rOne,
+               0, /*acquire=*/true);
+        if (sp.softwareBackoff) {
+            b.bz(rAtomResult, done);
+            emitBackoffStep(b, sp);
+            b.br(retry);
+        } else {
+            b.bnz(rAtomResult, retry);
+        }
+        b.bind(done);
+        return;
+      }
+      case SyncStyle::SleepBackoff: {
+        b.movi(rBackoff, sp.backoffMin);
+        Label retry = b.here();
+        Label done = b.label();
+        b.atom(rAtomResult, AtomicOpcode::Exch, addr_reg, offset, rOne,
+               0, /*acquire=*/true);
+        b.bz(rAtomResult, done);
+        emitBackoffStep(b, sp);
+        b.br(retry);
+        b.bind(done);
+        return;
+      }
+      case SyncStyle::WaitAtomic: {
+        // The waiting exchange re-executes in hardware until it
+        // observes the expected free value (Mesa semantics); the
+        // branch guards against spurious resumes.
+        Label retry = b.here();
+        b.atomWait(rAtomResult, AtomicOpcode::Exch, addr_reg, offset,
+                   rOne, isa::rZero, /*acquire=*/true);
+        b.bnz(rAtomResult, retry);
+        return;
+      }
+      case SyncStyle::WaitInstr: {
+        // Figure 10 (top): the wait arms the monitor *after* the
+        // failed attempt — the window-of-vulnerability pattern.
+        Label retry = b.here();
+        Label done = b.label();
+        b.atom(rAtomResult, AtomicOpcode::Exch, addr_reg, offset, rOne,
+               0, /*acquire=*/true);
+        b.bz(rAtomResult, done);
+        b.armWait(addr_reg, offset, isa::rZero);
+        b.br(retry);
+        b.bind(done);
+        return;
+      }
+    }
+    ifp_panic("unknown sync style");
+}
+
+void
+emitTasRelease(KernelBuilder &b, Reg addr_reg, std::int64_t offset)
+{
+    b.atom(rAtomResult, AtomicOpcode::Exch, addr_reg, offset,
+           isa::rZero, 0, /*acquire=*/false, /*release=*/true);
+}
+
+void
+emitWaitEq(KernelBuilder &b, const StyleParams &sp, Reg addr_reg,
+           std::int64_t offset, Reg expected_reg)
+{
+    switch (sp.style) {
+      case SyncStyle::Busy: {
+        if (sp.softwareBackoff)
+            b.movi(rBackoff, sp.backoffMin);
+        Label poll = b.here();
+        Label done = b.label();
+        b.atom(rAtomResult, AtomicOpcode::Load, addr_reg, offset,
+               isa::rZero, 0, /*acquire=*/true);
+        b.cmpEq(rTmp0, rAtomResult, expected_reg);
+        if (sp.softwareBackoff) {
+            b.bnz(rTmp0, done);
+            emitBackoffStep(b, sp);
+            b.br(poll);
+        } else {
+            b.bz(rTmp0, poll);
+        }
+        b.bind(done);
+        return;
+      }
+      case SyncStyle::SleepBackoff: {
+        b.movi(rBackoff, sp.backoffMin);
+        Label poll = b.here();
+        Label done = b.label();
+        b.atom(rAtomResult, AtomicOpcode::Load, addr_reg, offset,
+               isa::rZero, 0, /*acquire=*/true);
+        b.cmpEq(rTmp0, rAtomResult, expected_reg);
+        b.bnz(rTmp0, done);
+        emitBackoffStep(b, sp);
+        b.br(poll);
+        b.bind(done);
+        return;
+      }
+      case SyncStyle::WaitAtomic: {
+        // compare-and-wait: the paper's new load-class waiting atomic
+        // (Figure 10, bottom).
+        Label retry = b.here();
+        b.atomWait(rAtomResult, AtomicOpcode::Load, addr_reg, offset,
+                   isa::rZero, expected_reg, /*acquire=*/true);
+        b.cmpEq(rTmp0, rAtomResult, expected_reg);
+        b.bz(rTmp0, retry);
+        return;
+      }
+      case SyncStyle::WaitInstr: {
+        Label poll = b.here();
+        Label done = b.label();
+        b.atom(rAtomResult, AtomicOpcode::Load, addr_reg, offset,
+               isa::rZero, 0, /*acquire=*/true);
+        b.cmpEq(rTmp0, rAtomResult, expected_reg);
+        b.bnz(rTmp0, done);
+        b.armWait(addr_reg, offset, expected_reg);
+        b.br(poll);
+        b.bind(done);
+        return;
+      }
+    }
+    ifp_panic("unknown sync style");
+}
+
+} // namespace ifp::workloads

@@ -1,0 +1,80 @@
+/**
+ * @file
+ * Style-parameterized synchronization code emitters.
+ *
+ * The same benchmark compiles into four waiting styles (Table of
+ * core/policy.hh): busy spinning, software exponential backoff with
+ * s_sleep, check + wait-instruction (which reproduces Figure 10's
+ * window-of-vulnerability pattern), and waiting atomics (the paper's
+ * new instruction family, Figure 10 bottom).
+ *
+ * Register conventions used by the emitters (callers must respect):
+ *   r0        always zero
+ *   r16       constant 1
+ *   r17       current backoff (SleepBackoff style, clobbered)
+ *   r18       maximum backoff (SleepBackoff style, preloaded)
+ *   r22       atomic result (clobbered)
+ *   r24..r25  emitter scratch (clobbered)
+ */
+
+#ifndef IFP_WORKLOADS_SYNC_EMITTERS_HH
+#define IFP_WORKLOADS_SYNC_EMITTERS_HH
+
+#include "core/policy.hh"
+#include "isa/builder.hh"
+
+namespace ifp::workloads {
+
+/// @name Emitter register conventions
+/// @{
+constexpr isa::Reg rOne = 16;
+constexpr isa::Reg rBackoff = 17;
+constexpr isa::Reg rBackoffMax = 18;
+constexpr isa::Reg rIter = 19;
+constexpr isa::Reg rSyncAddr = 20;
+constexpr isa::Reg rDataAddr = 21;
+constexpr isa::Reg rAtomResult = 22;
+constexpr isa::Reg rDataVal = 23;
+constexpr isa::Reg rTmp0 = 24;
+constexpr isa::Reg rTmp1 = 25;
+/// @}
+
+/** Parameters shared by the emitters. */
+struct StyleParams
+{
+    core::SyncStyle style = core::SyncStyle::Busy;
+    std::int64_t backoffMin = 64;
+    std::int64_t backoffMax = 16'384;
+    /** SPMBO: software delay-loop backoff instead of s_sleep. */
+    bool softwareBackoff = false;
+};
+
+/**
+ * Emit the per-kernel prologue the emitters rely on (loads the
+ * constant registers). Call once before any other emitter.
+ */
+void emitSyncProlog(isa::KernelBuilder &b, const StyleParams &sp);
+
+/**
+ * Acquire a test-and-set lock at [addr_reg + offset] (0 = free,
+ * 1 = held). Clobbers rAtomResult, rTmp0, rBackoff.
+ */
+void emitTasAcquire(isa::KernelBuilder &b, const StyleParams &sp,
+                    isa::Reg addr_reg, std::int64_t offset = 0);
+
+/** Release a test-and-set lock (store 0 with release semantics). */
+void emitTasRelease(isa::KernelBuilder &b, isa::Reg addr_reg,
+                    std::int64_t offset = 0);
+
+/**
+ * Wait until the value at [addr_reg + offset] equals r[expected_reg]
+ * (ticket locks, barrier flags). Clobbers rAtomResult, rTmp0,
+ * rBackoff.
+ */
+void emitWaitEq(isa::KernelBuilder &b, const StyleParams &sp,
+                isa::Reg addr_reg, std::int64_t offset,
+                isa::Reg expected_reg);
+
+} // namespace ifp::workloads
+
+#endif // IFP_WORKLOADS_SYNC_EMITTERS_HH

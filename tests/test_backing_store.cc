@@ -1,0 +1,112 @@
+/**
+ * @file
+ * Unit tests for the functional backing store, including the
+ * mutation-counter semantics the deadlock detector depends on.
+ */
+
+#include <gtest/gtest.h>
+
+#include "mem/backing_store.hh"
+
+namespace ifp::mem {
+namespace {
+
+TEST(BackingStore, ReadsZeroInitially)
+{
+    BackingStore s;
+    EXPECT_EQ(s.read(0x1000, 8), 0);
+    EXPECT_EQ(s.read(0xFFFF'0000ULL, 8), 0);
+    EXPECT_EQ(s.numPages(), 0u);
+}
+
+TEST(BackingStore, WriteReadRoundTrip)
+{
+    BackingStore s;
+    s.write(0x2000, 0x1122334455667788LL, 8);
+    EXPECT_EQ(s.read(0x2000, 8), 0x1122334455667788LL);
+    // Partial reads see the little-endian low bytes.
+    EXPECT_EQ(s.read(0x2000, 1), static_cast<MemValue>(
+        static_cast<std::int8_t>(0x88)));
+}
+
+TEST(BackingStore, SignExtensionOnNarrowReads)
+{
+    BackingStore s;
+    s.write(0x100, -1, 4);
+    EXPECT_EQ(s.read(0x100, 4), -1);
+    s.write(0x200, -2, 8);
+    EXPECT_EQ(s.read(0x200, 8), -2);
+}
+
+TEST(BackingStore, NegativeValuesRoundTrip)
+{
+    BackingStore s;
+    s.write(0x300, -123456789LL, 8);
+    EXPECT_EQ(s.read(0x300, 8), -123456789LL);
+}
+
+TEST(BackingStore, MutationCounterOnlyAdvancesOnChange)
+{
+    BackingStore s;
+    EXPECT_EQ(s.mutations(), 0u);
+    s.write(0x100, 5, 8);
+    EXPECT_EQ(s.mutations(), 1u);
+    s.write(0x100, 5, 8);  // same value: spin loops must not count
+    EXPECT_EQ(s.mutations(), 1u);
+    s.write(0x100, 6, 8);
+    EXPECT_EQ(s.mutations(), 2u);
+}
+
+TEST(BackingStore, AtomicRmwRoundTrip)
+{
+    BackingStore s;
+    s.write(0x400, 10, 8);
+    AtomicResult r = s.atomic(0x400, AtomicOpcode::Add, 5, 0, 8);
+    EXPECT_EQ(r.oldValue, 10);
+    EXPECT_EQ(r.newValue, 15);
+    EXPECT_EQ(s.read(0x400, 8), 15);
+}
+
+TEST(BackingStore, FailedCasDoesNotMutate)
+{
+    BackingStore s;
+    s.write(0x500, 1, 8);
+    std::uint64_t before = s.mutations();
+    AtomicResult r = s.atomic(0x500, AtomicOpcode::Cas, 9, 7, 8);
+    EXPECT_FALSE(r.wrote);
+    EXPECT_EQ(s.read(0x500, 8), 1);
+    EXPECT_EQ(s.mutations(), before);
+}
+
+TEST(BackingStore, ExchangeOfSameValueDoesNotMutate)
+{
+    // A failed test-and-set (exchanging 1 over 1) must not look like
+    // progress to the deadlock detector.
+    BackingStore s;
+    s.write(0x600, 1, 8);
+    std::uint64_t before = s.mutations();
+    s.atomic(0x600, AtomicOpcode::Exch, 1, 0, 8);
+    EXPECT_EQ(s.mutations(), before);
+}
+
+TEST(BackingStore, IndependentAddresses)
+{
+    BackingStore s;
+    s.write(0x1000, 1, 8);
+    s.write(0x1008, 2, 8);
+    s.write(0x2000, 3, 8);
+    EXPECT_EQ(s.read(0x1000, 8), 1);
+    EXPECT_EQ(s.read(0x1008, 8), 2);
+    EXPECT_EQ(s.read(0x2000, 8), 3);
+}
+
+TEST(BackingStore, SparsePageAllocation)
+{
+    BackingStore s;
+    s.write(0x0, 1, 8);
+    s.write(0x10'0000, 1, 8);
+    EXPECT_EQ(s.numPages(), 2u);
+}
+
+} // anonymous namespace
+} // namespace ifp::mem

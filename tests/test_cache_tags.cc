@@ -1,0 +1,107 @@
+/**
+ * @file
+ * Unit tests for the set-associative tag array.
+ */
+
+#include <gtest/gtest.h>
+
+#include "mem/cache_tags.hh"
+
+namespace ifp::mem {
+namespace {
+
+TEST(CacheTags, LineAlignment)
+{
+    CacheTags tags(1024, 2, 64);
+    EXPECT_EQ(tags.lineOf(0x1234), 0x1200u | 0x00u);
+    EXPECT_EQ(tags.lineOf(0x1240), 0x1240u);
+    EXPECT_EQ(tags.lineOf(0x127F), 0x1240u);
+}
+
+TEST(CacheTags, MissThenHitAfterInsert)
+{
+    CacheTags tags(1024, 2, 64);
+    EXPECT_EQ(tags.lookup(0x1000), nullptr);
+    tags.insert(0x1000);
+    CacheTags::Line *line = tags.lookup(0x1010);
+    ASSERT_NE(line, nullptr);
+    EXPECT_EQ(line->lineAddr, 0x1000u);
+}
+
+TEST(CacheTags, LruEviction)
+{
+    // 2-way, 64B lines, 2 sets (256 B total).
+    CacheTags tags(256, 2, 64);
+    // Three lines mapping to set 0 (stride = sets * line = 128).
+    tags.insert(0x0000);
+    tags.insert(0x0080);
+    tags.touch(*tags.lookup(0x0000));  // make 0x0080 the LRU
+    CacheTags::Victim victim = tags.insert(0x0100);
+    EXPECT_TRUE(victim.evicted);
+    EXPECT_EQ(victim.lineAddr, 0x0080u);
+    EXPECT_NE(tags.lookup(0x0000), nullptr);
+    EXPECT_EQ(tags.lookup(0x0080), nullptr);
+    EXPECT_NE(tags.lookup(0x0100), nullptr);
+}
+
+TEST(CacheTags, PinnedLinesAreNotVictims)
+{
+    CacheTags tags(256, 2, 64);
+    tags.insert(0x0000);
+    tags.insert(0x0080);
+    tags.lookup(0x0000)->pinned = true;
+    tags.lookup(0x0080)->pinned = true;
+    CacheTags::Victim victim = tags.insert(0x0100);
+    EXPECT_TRUE(victim.noWayFree);
+    EXPECT_EQ(tags.lookup(0x0100), nullptr);
+
+    tags.lookup(0x0080)->pinned = false;
+    victim = tags.insert(0x0100);
+    EXPECT_FALSE(victim.noWayFree);
+    EXPECT_EQ(victim.lineAddr, 0x0080u);
+}
+
+TEST(CacheTags, DirtyVictimReported)
+{
+    CacheTags tags(256, 1, 64);  // direct-mapped, 4 sets
+    tags.insert(0x0000);
+    tags.lookup(0x0000)->dirty = true;
+    CacheTags::Victim victim = tags.insert(0x0100);  // same set
+    EXPECT_TRUE(victim.evicted);
+    EXPECT_TRUE(victim.wasDirty);
+}
+
+TEST(CacheTags, InvalidateAllAndOne)
+{
+    CacheTags tags(1024, 2, 64);
+    tags.insert(0x0000);
+    tags.insert(0x1000);
+    EXPECT_EQ(tags.numValid(), 2u);
+    tags.invalidate(0x0000);
+    EXPECT_EQ(tags.numValid(), 1u);
+    EXPECT_EQ(tags.lookup(0x0000), nullptr);
+    tags.invalidateAll();
+    EXPECT_EQ(tags.numValid(), 0u);
+}
+
+TEST(CacheTags, GeometryAccessors)
+{
+    CacheTags tags(512 * 1024, 16, 64);
+    EXPECT_EQ(tags.sets(), 512u);
+    EXPECT_EQ(tags.ways(), 16u);
+    EXPECT_EQ(tags.lineSize(), 64u);
+}
+
+TEST(CacheTags, FillsWholeSetBeforeEvicting)
+{
+    CacheTags tags(512, 4, 64);  // 2 sets, 4 ways
+    for (int i = 0; i < 4; ++i) {
+        CacheTags::Victim victim = tags.insert(0x0000 + i * 0x80);
+        EXPECT_FALSE(victim.evicted);
+    }
+    CacheTags::Victim victim = tags.insert(4 * 0x80);
+    EXPECT_TRUE(victim.evicted);
+}
+
+} // anonymous namespace
+} // namespace ifp::mem

@@ -1,0 +1,79 @@
+/**
+ * @file
+ * Determinism: identical experiments must produce bit-identical
+ * results — cycle counts, instruction counts and scheduling activity.
+ * The whole evaluation methodology depends on this.
+ */
+
+#include <gtest/gtest.h>
+
+#include "test_helpers.hh"
+
+namespace ifp {
+namespace {
+
+using core::Policy;
+
+struct DetCase
+{
+    std::string workload;
+    Policy policy;
+    bool oversubscribed;
+};
+
+void
+PrintTo(const DetCase &c, std::ostream *os)
+{
+    *os << "workload=" << c.workload << " " << "oversubscribed=" << c.oversubscribed << " ";
+}
+
+
+std::string
+detName(const ::testing::TestParamInfo<DetCase> &info)
+{
+    std::string name = info.param.workload + "_" +
+                       core::policyName(info.param.policy) +
+                       (info.param.oversubscribed ? "_over" : "");
+    for (char &c : name) {
+        if (!std::isalnum(static_cast<unsigned char>(c)))
+            c = '_';
+    }
+    return name;
+}
+
+class Determinism : public ::testing::TestWithParam<DetCase>
+{
+};
+
+TEST_P(Determinism, RepeatedRunsAreIdentical)
+{
+    const DetCase &c = GetParam();
+    core::RunResult a =
+        test::runSmall(c.workload, c.policy, c.oversubscribed);
+    core::RunResult b =
+        test::runSmall(c.workload, c.policy, c.oversubscribed);
+    EXPECT_EQ(a.completed, b.completed);
+    EXPECT_EQ(a.deadlocked, b.deadlocked);
+    EXPECT_EQ(a.gpuCycles, b.gpuCycles);
+    EXPECT_EQ(a.instructions, b.instructions);
+    EXPECT_EQ(a.atomicInstructions, b.atomicInstructions);
+    EXPECT_EQ(a.contextSaves, b.contextSaves);
+    EXPECT_EQ(a.contextRestores, b.contextRestores);
+    EXPECT_EQ(a.condResumesAll, b.condResumesAll);
+    EXPECT_EQ(a.condResumesOne, b.condResumesOne);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    RepresentativeRuns, Determinism,
+    ::testing::Values(DetCase{"SPM_G", Policy::Baseline, false},
+                      DetCase{"SPM_G", Policy::Awg, false},
+                      DetCase{"FAM_G", Policy::MonNROne, false},
+                      DetCase{"TB_LG", Policy::MonNRAll, false},
+                      DetCase{"SLM_L", Policy::Sleep, false},
+                      DetCase{"LFTB_LG", Policy::Timeout, false},
+                      DetCase{"FAM_G", Policy::Awg, true},
+                      DetCase{"TB_LG", Policy::Timeout, true}),
+    detName);
+
+} // anonymous namespace
+} // namespace ifp

@@ -1,0 +1,176 @@
+/**
+ * @file
+ * Unit tests for the discrete-event kernel.
+ */
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "sim/event_queue.hh"
+
+namespace ifp::sim {
+namespace {
+
+class Recorder : public Event
+{
+  public:
+    Recorder(std::vector<int> &log, int id) : log(log), id(id) {}
+
+    void process() override { log.push_back(id); }
+
+  private:
+    std::vector<int> &log;
+    int id;
+};
+
+TEST(EventQueue, StartsAtTickZeroAndEmpty)
+{
+    EventQueue eq;
+    EXPECT_EQ(eq.curTick(), 0u);
+    EXPECT_TRUE(eq.empty());
+    EXPECT_EQ(eq.size(), 0u);
+    EXPECT_FALSE(eq.step());
+}
+
+TEST(EventQueue, ExecutesInTimeOrder)
+{
+    EventQueue eq;
+    std::vector<int> log;
+    Recorder a(log, 1), b(log, 2), c(log, 3);
+    eq.schedule(&b, 200);
+    eq.schedule(&a, 100);
+    eq.schedule(&c, 300);
+    eq.simulate();
+    EXPECT_EQ(log, (std::vector<int>{1, 2, 3}));
+    EXPECT_EQ(eq.curTick(), 300u);
+}
+
+TEST(EventQueue, SameTickFifoOrder)
+{
+    EventQueue eq;
+    std::vector<int> log;
+    Recorder a(log, 1), b(log, 2), c(log, 3);
+    eq.schedule(&a, 50);
+    eq.schedule(&b, 50);
+    eq.schedule(&c, 50);
+    eq.simulate();
+    EXPECT_EQ(log, (std::vector<int>{1, 2, 3}));
+}
+
+TEST(EventQueue, DescheduleRemovesEvent)
+{
+    EventQueue eq;
+    std::vector<int> log;
+    Recorder a(log, 1), b(log, 2);
+    eq.schedule(&a, 10);
+    eq.schedule(&b, 20);
+    eq.deschedule(&a);
+    EXPECT_FALSE(a.scheduled());
+    eq.simulate();
+    EXPECT_EQ(log, (std::vector<int>{2}));
+}
+
+TEST(EventQueue, RescheduleMovesEvent)
+{
+    EventQueue eq;
+    std::vector<int> log;
+    Recorder a(log, 1), b(log, 2);
+    eq.schedule(&a, 10);
+    eq.schedule(&b, 20);
+    eq.reschedule(&a, 30);
+    eq.simulate();
+    EXPECT_EQ(log, (std::vector<int>{2, 1}));
+    EXPECT_EQ(eq.curTick(), 30u);
+}
+
+TEST(EventQueue, LambdaEventsRunAndAreReclaimed)
+{
+    EventQueue eq;
+    int hits = 0;
+    for (int i = 0; i < 200; ++i)
+        eq.schedule(i + 1, [&hits] { ++hits; });
+    eq.simulate();
+    EXPECT_EQ(hits, 200);
+    EXPECT_TRUE(eq.empty());
+}
+
+TEST(EventQueue, SimulateRespectsLimit)
+{
+    EventQueue eq;
+    std::vector<int> log;
+    Recorder a(log, 1), b(log, 2);
+    eq.schedule(&a, 100);
+    eq.schedule(&b, 500);
+    eq.simulate(250);
+    EXPECT_EQ(log, (std::vector<int>{1}));
+    EXPECT_TRUE(b.scheduled());
+    eq.simulate();
+    EXPECT_EQ(log, (std::vector<int>{1, 2}));
+}
+
+TEST(EventQueue, EventsCanScheduleMoreEvents)
+{
+    EventQueue eq;
+    int depth = 0;
+    std::function<void()> chain = [&] {
+        if (++depth < 10)
+            eq.schedule(eq.curTick() + 5, chain);
+    };
+    eq.schedule(5, chain);
+    eq.simulate();
+    EXPECT_EQ(depth, 10);
+    EXPECT_EQ(eq.curTick(), 50u);
+}
+
+TEST(EventQueue, SchedulingAtCurrentTickRunsAfterCurrentEvent)
+{
+    EventQueue eq;
+    std::vector<int> log;
+    eq.schedule(10, [&] {
+        log.push_back(1);
+        eq.schedule(10, [&] { log.push_back(2); });
+    });
+    eq.simulate();
+    EXPECT_EQ(log, (std::vector<int>{1, 2}));
+    EXPECT_EQ(eq.curTick(), 10u);
+}
+
+TEST(EventQueue, CountsExecutedEvents)
+{
+    EventQueue eq;
+    for (int i = 0; i < 7; ++i)
+        eq.schedule(i + 1, [] {});
+    eq.simulate();
+    EXPECT_EQ(eq.numExecuted(), 7u);
+}
+
+TEST(EventQueue, DescheduledEventCanBeDestroyedSafely)
+{
+    EventQueue eq;
+    std::vector<int> log;
+    {
+        Recorder a(log, 1);
+        eq.schedule(&a, 10);
+        eq.deschedule(&a);
+        // 'a' destroyed here while a stale heap entry remains.
+    }
+    eq.simulate();
+    EXPECT_TRUE(log.empty());
+}
+
+TEST(EventQueue, RescheduleLeavesOnlyOneLiveOccurrence)
+{
+    EventQueue eq;
+    std::vector<int> log;
+    Recorder a(log, 1);
+    eq.schedule(&a, 10);
+    eq.reschedule(&a, 20);
+    eq.reschedule(&a, 15);
+    eq.simulate();
+    EXPECT_EQ(log.size(), 1u);
+    EXPECT_EQ(eq.curTick(), 15u);
+}
+
+} // anonymous namespace
+} // namespace ifp::sim

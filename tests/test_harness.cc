@@ -1,0 +1,128 @@
+/**
+ * @file
+ * Tests for the experiment harness utilities (tables, geomean) and
+ * for paper-shape properties the benches rely on.
+ */
+
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+#include "harness/table.hh"
+#include "test_helpers.hh"
+
+namespace ifp::harness {
+namespace {
+
+TEST(TextTable, AlignsColumns)
+{
+    TextTable t({"name", "value"});
+    t.addRow({"a", "1"});
+    t.addRow({"longer-name", "22"});
+    std::ostringstream os;
+    t.print(os);
+    std::string out = os.str();
+    EXPECT_NE(out.find("name"), std::string::npos);
+    EXPECT_NE(out.find("longer-name"), std::string::npos);
+    // Header separator present.
+    EXPECT_NE(out.find("----"), std::string::npos);
+}
+
+TEST(TextTable, CsvOutput)
+{
+    TextTable t({"a", "b"});
+    t.addRow({"1", "2"});
+    std::ostringstream os;
+    t.printCsv(os);
+    EXPECT_EQ(os.str(), "a,b\n1,2\n");
+}
+
+TEST(Numeric, FormatDouble)
+{
+    EXPECT_EQ(formatDouble(1.2345, 2), "1.23");
+    EXPECT_EQ(formatDouble(12.0, 1), "12.0");
+    EXPECT_EQ(formatDouble(0.5, 0), "0");  // round-half-even of 0.5
+}
+
+TEST(Numeric, Geomean)
+{
+    EXPECT_DOUBLE_EQ(geomean({4.0, 1.0}), 2.0);
+    EXPECT_DOUBLE_EQ(geomean({8.0}), 8.0);
+    EXPECT_DOUBLE_EQ(geomean({}), 0.0);
+    // Non-positive entries (deadlocks) are skipped.
+    EXPECT_DOUBLE_EQ(geomean({4.0, 0.0, 1.0}), 2.0);
+}
+
+TEST(PaperShape, AwgBeatsBaselineOnContendedLocks)
+{
+    auto baseline =
+        ifp::test::runSmall("SPM_G", core::Policy::Baseline);
+    auto awg = ifp::test::runSmall("SPM_G", core::Policy::Awg);
+    ASSERT_TRUE(baseline.completed);
+    ASSERT_TRUE(awg.completed);
+    EXPECT_GT(baseline.gpuCycles, 2 * awg.gpuCycles);
+}
+
+TEST(PaperShape, AwgExecutesFarFewerAtomicsThanBusyWaiting)
+{
+    auto baseline =
+        ifp::test::runSmall("FAM_G", core::Policy::Baseline);
+    auto awg = ifp::test::runSmall("FAM_G", core::Policy::Awg);
+    EXPECT_GT(baseline.atomicInstructions,
+              3 * awg.atomicInstructions);
+}
+
+TEST(PaperShape, MonNrOneHandlesMutexContentionBetterThanAll)
+{
+    auto all = ifp::test::runSmall("SPM_G", core::Policy::MonNRAll);
+    auto one = ifp::test::runSmall("SPM_G", core::Policy::MonNROne);
+    ASSERT_TRUE(all.completed);
+    ASSERT_TRUE(one.completed);
+    EXPECT_LT(one.gpuCycles, all.gpuCycles);
+    EXPECT_LE(one.atomicInstructions, all.atomicInstructions);
+}
+
+TEST(PaperShape, MonNrAllHandlesBarriersBetterThanOne)
+{
+    auto all = ifp::test::runSmall("TB_LG", core::Policy::MonNRAll);
+    auto one = ifp::test::runSmall("TB_LG", core::Policy::MonNROne);
+    ASSERT_TRUE(all.completed);
+    ASSERT_TRUE(one.completed);
+    EXPECT_LT(all.gpuCycles, one.gpuCycles);
+}
+
+TEST(PaperShape, AwgTracksTheBetterFixedPolicy)
+{
+    // The headline behavioural claim: AWG's predictor matches
+    // MonNR-One on mutexes and MonNR-All on barriers (within a small
+    // tolerance for predictor warm-up).
+    auto awg_mutex = ifp::test::runSmall("SPM_G", core::Policy::Awg);
+    auto one_mutex =
+        ifp::test::runSmall("SPM_G", core::Policy::MonNROne);
+    EXPECT_LE(awg_mutex.gpuCycles,
+              one_mutex.gpuCycles + one_mutex.gpuCycles / 4);
+
+    auto awg_barrier = ifp::test::runSmall("TB_LG", core::Policy::Awg);
+    auto all_barrier =
+        ifp::test::runSmall("TB_LG", core::Policy::MonNRAll);
+    EXPECT_LE(awg_barrier.gpuCycles,
+              all_barrier.gpuCycles + all_barrier.gpuCycles / 2);
+}
+
+TEST(PaperShape, MinResumeIsTheWaitEfficiencyFloor)
+{
+    for (const char *w : {"SPM_G", "FAM_G", "TB_LG"}) {
+        auto oracle =
+            ifp::test::runSmall(w, core::Policy::MinResume);
+        auto sporadic =
+            ifp::test::runSmall(w, core::Policy::MonRSAll);
+        ASSERT_TRUE(oracle.completed) << w;
+        ASSERT_TRUE(sporadic.completed) << w;
+        EXPECT_LE(oracle.atomicInstructions,
+                  sporadic.atomicInstructions)
+            << w;
+    }
+}
+
+} // anonymous namespace
+} // namespace ifp::harness

@@ -1,0 +1,79 @@
+/**
+ * @file
+ * Shared fixtures and helpers for the test suite.
+ */
+
+#ifndef IFP_TESTS_TEST_HELPERS_HH
+#define IFP_TESTS_TEST_HELPERS_HH
+
+#include <gtest/gtest.h>
+
+#include "core/gpu_system.hh"
+#include "harness/runner.hh"
+#include "isa/builder.hh"
+#include "workloads/registry.hh"
+
+namespace ifp::test {
+
+/** Small-but-contended geometry for fast integration tests. */
+inline workloads::WorkloadParams
+smallParams()
+{
+    workloads::WorkloadParams params;
+    params.numWgs = 16;
+    params.wgsPerGroup = 4;
+    params.wiPerWg = 64;
+    params.iters = 2;
+    params.csValuCycles = 20;
+    return params;
+}
+
+/** Run one (workload, policy) experiment with small geometry. */
+inline core::RunResult
+runSmall(const std::string &workload, core::Policy policy,
+         bool oversubscribed = false)
+{
+    harness::Experiment exp;
+    exp.workload = workload;
+    exp.policy = policy;
+    exp.oversubscribed = oversubscribed;
+    exp.params = smallParams();
+    if (oversubscribed) {
+        exp.params.iters = 12;
+        exp.runCfg.cuLossMicroseconds = 5;
+    }
+    return harness::runExperiment(exp);
+}
+
+/** A RunConfig sized for unit tests (fewer deadlock-window cycles). */
+inline core::RunConfig
+testRunConfig(core::Policy policy = core::Policy::Awg)
+{
+    core::RunConfig cfg;
+    cfg.policy.policy = policy;
+    cfg.deadlockWindowCycles = 200'000;
+    cfg.maxCycles = 50'000'000;
+    return cfg;
+}
+
+/**
+ * Assemble a single-WG kernel from a builder (convenience for
+ * execution tests).
+ */
+inline isa::Kernel
+makeTestKernel(isa::KernelBuilder &b, unsigned num_wgs = 1,
+               unsigned wi_per_wg = 64)
+{
+    isa::Kernel k;
+    k.name = "test";
+    k.code = b.build();
+    k.numWgs = num_wgs;
+    k.wiPerWg = wi_per_wg;
+    k.ldsBytes = 1024;
+    k.maxWgsPerCu = 8;
+    return k;
+}
+
+} // namespace ifp::test
+
+#endif // IFP_TESTS_TEST_HELPERS_HH

@@ -1,0 +1,162 @@
+/**
+ * @file
+ * Tests for the mini ISA: builder, labels, disassembly and kernel
+ * resource/context accounting.
+ */
+
+#include <gtest/gtest.h>
+
+#include "isa/builder.hh"
+#include "isa/instruction.hh"
+#include "isa/kernel.hh"
+
+namespace ifp::isa {
+namespace {
+
+TEST(Builder, EmitsSequentialCode)
+{
+    KernelBuilder b;
+    b.movi(1, 42);
+    b.addi(2, 1, 8);
+    b.halt();
+    auto code = b.build();
+    ASSERT_EQ(code.size(), 3u);
+    EXPECT_EQ(code[0].op, Opcode::Movi);
+    EXPECT_EQ(code[0].imm, 42);
+    EXPECT_EQ(code[1].op, Opcode::Add);
+    EXPECT_TRUE(code[1].useImm);
+    EXPECT_EQ(code[2].op, Opcode::Halt);
+}
+
+TEST(Builder, BackwardBranchTargets)
+{
+    KernelBuilder b;
+    b.movi(1, 3);
+    Label loop = b.here();
+    b.subi(1, 1, 1);
+    b.bnz(1, loop);
+    b.halt();
+    auto code = b.build();
+    ASSERT_EQ(code.size(), 4u);
+    EXPECT_EQ(code[2].op, Opcode::Bnz);
+    EXPECT_EQ(code[2].imm, 1);  // points at the subi
+}
+
+TEST(Builder, ForwardBranchFixups)
+{
+    KernelBuilder b;
+    Label done = b.label();
+    b.bz(1, done);
+    b.movi(2, 1);
+    b.bind(done);
+    b.halt();
+    auto code = b.build();
+    EXPECT_EQ(code[0].imm, 2);  // resolved to the halt
+}
+
+TEST(Builder, MultipleReferencesToOneLabel)
+{
+    KernelBuilder b;
+    Label target = b.label();
+    b.bz(1, target);
+    b.bnz(2, target);
+    b.br(target);
+    b.bind(target);
+    b.halt();
+    auto code = b.build();
+    for (int i = 0; i < 3; ++i)
+        EXPECT_EQ(code[i].imm, 3);
+}
+
+TEST(Builder, AtomicEncodings)
+{
+    KernelBuilder b;
+    b.atom(5, mem::AtomicOpcode::Cas, 6, 16, 7, 8, true, false);
+    b.atomWait(5, mem::AtomicOpcode::Load, 6, 0, 0, 9);
+    b.armWait(6, 8, 10);
+    auto code = b.build();
+    EXPECT_EQ(code[0].op, Opcode::Atom);
+    EXPECT_EQ(code[0].aop, mem::AtomicOpcode::Cas);
+    EXPECT_EQ(code[0].src2, 8);
+    EXPECT_TRUE(code[0].acquire);
+    EXPECT_EQ(code[1].op, Opcode::AtomWait);
+    EXPECT_EQ(code[1].src2, 9);
+    EXPECT_EQ(code[2].op, Opcode::ArmWait);
+    EXPECT_EQ(code[2].src1, 10);
+    EXPECT_EQ(code[2].imm, 8);
+}
+
+TEST(Instruction, Classification)
+{
+    Instr ld;
+    ld.op = Opcode::Ld;
+    EXPECT_TRUE(accessesGlobalMemory(ld));
+    Instr lds;
+    lds.op = Opcode::LdLds;
+    EXPECT_FALSE(accessesGlobalMemory(lds));
+    Instr br;
+    br.op = Opcode::Br;
+    EXPECT_TRUE(isBranch(br));
+    Instr add;
+    add.op = Opcode::Add;
+    EXPECT_FALSE(isBranch(add));
+}
+
+TEST(Disassembly, RendersRepresentativeInstructions)
+{
+    KernelBuilder b;
+    b.movi(1, 42);
+    b.add(2, 1, 3);
+    b.addi(2, 1, 5);
+    b.ld(4, 5, 16);
+    b.atomWait(5, mem::AtomicOpcode::Exch, 6, 0, 7, 8, true);
+    b.bar();
+    auto code = b.build();
+    EXPECT_EQ(disassemble(code[0]), "movi r1, 42");
+    EXPECT_EQ(disassemble(code[1]), "add r2, r1, r3");
+    EXPECT_EQ(disassemble(code[2]), "add r2, r1, 5");
+    EXPECT_EQ(disassemble(code[3]), "ld r4, [r5+16]");
+    EXPECT_EQ(disassemble(code[4]),
+              "atom.wait.exch r5, [r6+0], r7, r8 acq");
+    EXPECT_EQ(disassemble(code[5]), "bar.wg");
+}
+
+TEST(Kernel, WavefrontGeometry)
+{
+    Kernel k;
+    k.wiPerWg = 64;
+    EXPECT_EQ(k.wavefrontsPerWg(), 1u);
+    k.wiPerWg = 65;
+    EXPECT_EQ(k.wavefrontsPerWg(), 2u);
+    k.wiPerWg = 256;
+    EXPECT_EQ(k.wavefrontsPerWg(), 4u);
+}
+
+TEST(Kernel, ContextSizeScalesWithResources)
+{
+    Kernel small;
+    small.wiPerWg = 64;
+    small.vgprsPerWi = 8;
+    small.ldsBytes = 0;
+    Kernel big = small;
+    big.vgprsPerWi = 40;
+    EXPECT_GT(big.contextBytes(), small.contextBytes());
+    // 64 WIs x 32 extra VGPRs x 4 B = 8 KB difference.
+    EXPECT_EQ(big.contextBytes() - small.contextBytes(), 8192u);
+}
+
+TEST(Kernel, ContextSizeInPaperRange)
+{
+    // Figure 5: WG contexts between ~2 and ~10 KB.
+    Kernel k;
+    k.wiPerWg = 64;
+    k.vgprsPerWi = 12;
+    k.ldsBytes = 1024;
+    EXPECT_GE(k.contextBytes(), 2 * 1024u);
+    k.vgprsPerWi = 38;
+    k.ldsBytes = 2048;
+    EXPECT_LE(k.contextBytes(), 12 * 1024u);
+}
+
+} // anonymous namespace
+} // namespace ifp::isa

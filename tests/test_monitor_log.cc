@@ -1,0 +1,103 @@
+/**
+ * @file
+ * Tests for the Monitor Log (the SyncMon -> CP virtualization
+ * interface): circular-buffer semantics, capacity, and its residence
+ * in global memory.
+ */
+
+#include <gtest/gtest.h>
+
+#include "cp/monitor_log.hh"
+
+namespace ifp::cp {
+namespace {
+
+TEST(MonitorLog, StartsEmpty)
+{
+    mem::BackingStore store;
+    MonitorLog log(0x1000, 8, store);
+    EXPECT_TRUE(log.empty());
+    EXPECT_FALSE(log.full());
+    EXPECT_EQ(log.size(), 0u);
+    EXPECT_FALSE(log.pop().has_value());
+}
+
+TEST(MonitorLog, FifoOrder)
+{
+    mem::BackingStore store;
+    MonitorLog log(0x1000, 8, store);
+    EXPECT_TRUE(log.append({0xA0, 1, 10}));
+    EXPECT_TRUE(log.append({0xB0, 2, 20}));
+    EXPECT_TRUE(log.append({0xC0, 3, 30}));
+    auto e = log.pop();
+    ASSERT_TRUE(e.has_value());
+    EXPECT_EQ(e->addr, 0xA0u);
+    EXPECT_EQ(e->expected, 1);
+    EXPECT_EQ(e->wgId, 10);
+    EXPECT_EQ(log.pop()->wgId, 20);
+    EXPECT_EQ(log.pop()->wgId, 30);
+    EXPECT_TRUE(log.empty());
+}
+
+TEST(MonitorLog, RejectsWhenFull)
+{
+    mem::BackingStore store;
+    MonitorLog log(0x1000, 2, store);
+    EXPECT_TRUE(log.append({0xA0, 1, 1}));
+    EXPECT_TRUE(log.append({0xB0, 2, 2}));
+    EXPECT_TRUE(log.full());
+    EXPECT_FALSE(log.append({0xC0, 3, 3}));
+    EXPECT_EQ(log.totalRejected(), 1u);
+    log.pop();
+    EXPECT_TRUE(log.append({0xC0, 3, 3}));
+}
+
+TEST(MonitorLog, WrapsAroundTheCircularBuffer)
+{
+    mem::BackingStore store;
+    MonitorLog log(0x1000, 3, store);
+    for (int round = 0; round < 5; ++round) {
+        EXPECT_TRUE(log.append({0x100, round, round}));
+        auto e = log.pop();
+        ASSERT_TRUE(e.has_value());
+        EXPECT_EQ(e->wgId, round);
+    }
+    EXPECT_EQ(log.totalAppends(), 5u);
+}
+
+TEST(MonitorLog, EntriesResideInGlobalMemory)
+{
+    mem::BackingStore store;
+    MonitorLog log(0x8000, 4, store);
+    log.append({0xDEAD00, -7, 42});
+    // First entry at the base: addr, expected value, WG id.
+    EXPECT_EQ(store.read(0x8000, 8), 0xDEAD00);
+    EXPECT_EQ(store.read(0x8008, 8), -7);
+    EXPECT_EQ(store.read(0x8010, 8), 42);
+}
+
+TEST(MonitorLog, TracksHighWaterMark)
+{
+    mem::BackingStore store;
+    MonitorLog log(0x1000, 8, store);
+    log.append({0xA0, 1, 1});
+    log.append({0xB0, 2, 2});
+    log.append({0xC0, 3, 3});
+    log.pop();
+    log.pop();
+    EXPECT_EQ(log.size(), 1u);
+    EXPECT_EQ(log.maxSize(), 3u);
+}
+
+TEST(MonitorLog, NegativeExpectedValuesRoundTrip)
+{
+    mem::BackingStore store;
+    MonitorLog log(0x1000, 4, store);
+    log.append({0x40, -1, 5});
+    auto e = log.pop();
+    ASSERT_TRUE(e.has_value());
+    EXPECT_EQ(e->expected, -1);
+}
+
+} // anonymous namespace
+} // namespace ifp::cp

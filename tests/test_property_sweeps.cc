@@ -1,0 +1,162 @@
+/**
+ * @file
+ * Property-style sweeps: the correctness invariants (mutual
+ * exclusion, barrier completion, conservation) must hold for *every*
+ * geometry — grid sizes, locality-group sizes, iteration counts and
+ * multi-wavefront work-groups — under representative policies.
+ */
+
+#include <gtest/gtest.h>
+
+#include "test_helpers.hh"
+
+namespace ifp {
+namespace {
+
+using core::Policy;
+
+struct SweepCase
+{
+    std::string workload;
+    Policy policy;
+    unsigned numWgs;
+    unsigned group;
+    unsigned wiPerWg;
+    unsigned iters;
+};
+
+void
+PrintTo(const SweepCase &c, std::ostream *os)
+{
+    *os << "workload=" << c.workload << " " << "numWgs=" << c.numWgs << " " << "group=" << c.group << " " << "wiPerWg=" << c.wiPerWg << " " << "iters=" << c.iters << " ";
+}
+
+
+std::string
+sweepName(const ::testing::TestParamInfo<SweepCase> &info)
+{
+    const SweepCase &c = info.param;
+    std::string name = c.workload + "_" + core::policyName(c.policy) +
+                       "_G" + std::to_string(c.numWgs) + "_L" +
+                       std::to_string(c.group) + "_n" +
+                       std::to_string(c.wiPerWg) + "_i" +
+                       std::to_string(c.iters);
+    for (char &ch : name) {
+        if (!std::isalnum(static_cast<unsigned char>(ch)))
+            ch = '_';
+    }
+    return name;
+}
+
+class GeometrySweep : public ::testing::TestWithParam<SweepCase>
+{
+};
+
+TEST_P(GeometrySweep, InvariantsHold)
+{
+    const SweepCase &c = GetParam();
+    harness::Experiment exp;
+    exp.workload = c.workload;
+    exp.policy = c.policy;
+    exp.params.numWgs = c.numWgs;
+    exp.params.wgsPerGroup = c.group;
+    exp.params.wiPerWg = c.wiPerWg;
+    exp.params.iters = c.iters;
+    exp.params.csValuCycles = 20;
+
+    core::RunResult result = harness::runExperiment(exp);
+    EXPECT_TRUE(result.completed) << result.statusString();
+    EXPECT_TRUE(result.validated) << result.validationError;
+}
+
+std::vector<SweepCase>
+sweepCases()
+{
+    std::vector<SweepCase> cases;
+    // Geometry axis (one wavefront per WG).
+    for (auto [wgs, group] : std::initializer_list<
+             std::pair<unsigned, unsigned>>{{8, 2},
+                                            {12, 3},
+                                            {16, 4},
+                                            {32, 8},
+                                            {48, 6}}) {
+        for (const char *w : {"SPM_G", "FAM_L", "SLM_G", "TB_LG",
+                              "LFTB_LG"}) {
+            cases.push_back(
+                {w, Policy::Awg, wgs, group, 64, 2});
+        }
+    }
+    // Iteration axis.
+    for (unsigned iters : {1u, 3u, 8u}) {
+        cases.push_back({"FAM_G", Policy::Awg, 16, 4, 64, iters});
+        cases.push_back({"TB_LG", Policy::MonNRAll, 16, 4, 64,
+                         iters});
+    }
+    // Multi-wavefront WGs (n > 64): the master wavefront
+    // synchronizes; the others join through the WG barrier.
+    for (unsigned wi : {128u, 192u, 256u}) {
+        cases.push_back({"SPM_G", Policy::Awg, 16, 4, wi, 2});
+        cases.push_back({"TB_LG", Policy::Awg, 16, 4, wi, 2});
+        cases.push_back({"TBEX_LG", Policy::MonNRAll, 16, 4, wi, 2});
+        cases.push_back({"HT", Policy::Baseline, 16, 4, wi, 2});
+    }
+    // Policy axis on an irregular geometry.
+    for (Policy p : {Policy::Baseline, Policy::Timeout,
+                     Policy::MonRSAll, Policy::MonNROne,
+                     Policy::MinResume}) {
+        cases.push_back({"BA", p, 24, 4, 64, 3});
+        cases.push_back({"LFTBEX_LG", p, 24, 4, 64, 2});
+    }
+    return cases;
+}
+
+INSTANTIATE_TEST_SUITE_P(AllGeometries, GeometrySweep,
+                         ::testing::ValuesIn(sweepCases()),
+                         sweepName);
+
+TEST(GeometryProperties, RuntimeMonotoneInIterations)
+{
+    auto cycles = [](unsigned iters) {
+        harness::Experiment exp;
+        exp.workload = "FAM_G";
+        exp.policy = Policy::Awg;
+        exp.params = ifp::test::smallParams();
+        exp.params.iters = iters;
+        return harness::runExperiment(exp).gpuCycles;
+    };
+    sim::Cycles c1 = cycles(1), c2 = cycles(2), c4 = cycles(4);
+    EXPECT_LT(c1, c2);
+    EXPECT_LT(c2, c4);
+}
+
+TEST(GeometryProperties, MoreContendersMoreBaselinePain)
+{
+    auto baseline_cycles = [](unsigned wgs) {
+        harness::Experiment exp;
+        exp.workload = "SPM_G";
+        exp.policy = Policy::Baseline;
+        exp.params = ifp::test::smallParams();
+        exp.params.numWgs = wgs;
+        exp.params.wgsPerGroup = wgs / 4;
+        return static_cast<double>(
+                   harness::runExperiment(exp).gpuCycles) /
+               wgs;  // per-WG cost
+    };
+    // Per-acquisition cost grows superlinearly with contention.
+    EXPECT_GT(baseline_cycles(32), 1.5 * baseline_cycles(8));
+}
+
+TEST(GeometryProperties, MultiWavefrontWgsUseMoreContext)
+{
+    core::GpuSystem system(ifp::test::testRunConfig());
+    workloads::WorkloadParams params = ifp::test::smallParams();
+    workloads::WorkloadPtr w = workloads::makeWorkload("SPM_G");
+    params.wiPerWg = 64;
+    std::uint64_t one_wf = w->build(system, params).contextBytes();
+    params.wiPerWg = 256;
+    std::uint64_t four_wf = w->build(system, params).contextBytes();
+    EXPECT_GT(four_wf, 3 * one_wf);
+}
+
+} // anonymous namespace
+} // namespace ifp

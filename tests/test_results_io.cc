@@ -1,0 +1,77 @@
+/**
+ * @file
+ * Tests for the JSON result serialization.
+ */
+
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+#include "harness/results_io.hh"
+#include "test_helpers.hh"
+
+namespace ifp::harness {
+namespace {
+
+TEST(ResultsJson, ContainsAllKeyFields)
+{
+    Experiment exp;
+    exp.workload = "SPM_G";
+    exp.policy = core::Policy::Awg;
+    exp.params = ifp::test::smallParams();
+    core::RunResult r = runExperiment(exp);
+
+    std::ostringstream os;
+    writeResultJson(os, exp, r);
+    std::string json = os.str();
+
+    for (const char *key :
+         {"\"workload\":\"SPM_G\"", "\"policy\":\"AWG\"",
+          "\"completed\":true", "\"validated\":true", "\"gpuCycles\":",
+          "\"atomicInstructions\":", "\"contextSaves\":",
+          "\"maxConditions\":"}) {
+        EXPECT_NE(json.find(key), std::string::npos) << key;
+    }
+    EXPECT_EQ(json.front(), '{');
+    EXPECT_EQ(json.back(), '}');
+}
+
+TEST(ResultsJson, DeadlockSerializesAsFlags)
+{
+    Experiment exp;
+    exp.workload = "FAM_G";
+    exp.policy = core::Policy::Baseline;
+    exp.oversubscribed = true;
+    exp.params = ifp::test::smallParams();
+    exp.params.iters = 12;
+    exp.runCfg.cuLossMicroseconds = 5;
+    core::RunResult r = runExperiment(exp);
+    ASSERT_TRUE(r.deadlocked);
+
+    std::ostringstream os;
+    writeResultJson(os, exp, r);
+    EXPECT_NE(os.str().find("\"deadlocked\":true"),
+              std::string::npos);
+    EXPECT_NE(os.str().find("\"oversubscribed\":true"),
+              std::string::npos);
+}
+
+TEST(ResultsJson, ArrayFormat)
+{
+    Experiment exp;
+    exp.workload = "HT";
+    exp.policy = core::Policy::Awg;
+    exp.params = ifp::test::smallParams();
+    core::RunResult r = runExperiment(exp);
+
+    std::ostringstream os;
+    writeResultsJson(os, {{exp, r}, {exp, r}});
+    std::string json = os.str();
+    EXPECT_EQ(json.front(), '[');
+    EXPECT_EQ(std::count(json.begin(), json.end(), '{'), 2);
+    // Exactly one separating comma between the two objects at depth 1.
+    EXPECT_NE(json.find("},\n"), std::string::npos);
+}
+
+} // anonymous namespace
+} // namespace ifp::harness

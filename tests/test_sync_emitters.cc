@@ -1,0 +1,190 @@
+/**
+ * @file
+ * Codegen verification for the style-parameterized sync emitters:
+ * each policy's style must emit exactly the instruction classes the
+ * paper's corresponding machine supports (no waiting atomics on the
+ * Baseline, no s_sleep outside the Sleep policy, ...).
+ */
+
+#include <gtest/gtest.h>
+
+#include "test_helpers.hh"
+#include "workloads/sync_emitters.hh"
+
+namespace ifp::workloads {
+namespace {
+
+using core::SyncStyle;
+using isa::KernelBuilder;
+using isa::Opcode;
+
+struct OpcodeCensus
+{
+    unsigned atomics = 0;
+    unsigned waitingAtomics = 0;
+    unsigned armWaits = 0;
+    unsigned sleeps = 0;
+    unsigned branches = 0;
+};
+
+OpcodeCensus
+census(const std::vector<isa::Instr> &code)
+{
+    OpcodeCensus c;
+    for (const isa::Instr &in : code) {
+        switch (in.op) {
+          case Opcode::Atom: ++c.atomics; break;
+          case Opcode::AtomWait: ++c.waitingAtomics; break;
+          case Opcode::ArmWait: ++c.armWaits; break;
+          case Opcode::SleepR: ++c.sleeps; break;
+          case Opcode::Bz:
+          case Opcode::Bnz:
+          case Opcode::Br: ++c.branches; break;
+          default: break;
+        }
+    }
+    return c;
+}
+
+std::vector<isa::Instr>
+emitAcquireRelease(SyncStyle style, bool software_backoff = false)
+{
+    KernelBuilder b;
+    StyleParams sp;
+    sp.style = style;
+    sp.softwareBackoff = software_backoff;
+    emitSyncProlog(b, sp);
+    emitTasAcquire(b, sp, rSyncAddr);
+    emitTasRelease(b, rSyncAddr);
+    b.halt();
+    return b.build();
+}
+
+std::vector<isa::Instr>
+emitWait(SyncStyle style)
+{
+    KernelBuilder b;
+    StyleParams sp;
+    sp.style = style;
+    emitSyncProlog(b, sp);
+    emitWaitEq(b, sp, rSyncAddr, 0, rDataVal);
+    b.halt();
+    return b.build();
+}
+
+TEST(SyncEmitters, BusyStyleUsesOnlyRegularAtomics)
+{
+    for (auto code : {emitAcquireRelease(SyncStyle::Busy),
+                      emitWait(SyncStyle::Busy)}) {
+        OpcodeCensus c = census(code);
+        EXPECT_GT(c.atomics, 0u);
+        EXPECT_EQ(c.waitingAtomics, 0u);
+        EXPECT_EQ(c.armWaits, 0u);
+        EXPECT_EQ(c.sleeps, 0u);
+        EXPECT_GT(c.branches, 0u);  // the spin loop
+    }
+}
+
+TEST(SyncEmitters, SleepStyleAddsBackoff)
+{
+    OpcodeCensus c = census(emitAcquireRelease(SyncStyle::SleepBackoff));
+    EXPECT_GT(c.atomics, 0u);
+    EXPECT_EQ(c.waitingAtomics, 0u);
+    EXPECT_EQ(c.sleeps, 1u);
+    c = census(emitWait(SyncStyle::SleepBackoff));
+    EXPECT_EQ(c.sleeps, 1u);
+}
+
+TEST(SyncEmitters, SoftwareBackoffAvoidsSleepInstructions)
+{
+    // SPMBO on the Baseline machine: delay loops, no s_sleep.
+    OpcodeCensus c =
+        census(emitAcquireRelease(SyncStyle::Busy, true));
+    EXPECT_EQ(c.sleeps, 0u);
+    EXPECT_GT(c.branches, 1u);  // retry loop + delay loop
+}
+
+TEST(SyncEmitters, WaitAtomicStyleUsesWaitingAtomics)
+{
+    for (auto code : {emitAcquireRelease(SyncStyle::WaitAtomic),
+                      emitWait(SyncStyle::WaitAtomic)}) {
+        OpcodeCensus c = census(code);
+        EXPECT_GT(c.waitingAtomics, 0u);
+        EXPECT_EQ(c.armWaits, 0u);
+        EXPECT_EQ(c.sleeps, 0u);
+    }
+}
+
+TEST(SyncEmitters, WaitInstrStyleArmsAfterChecking)
+{
+    // Figure 10 (top): a regular check followed by a separate arm —
+    // the window-of-vulnerability pattern.
+    auto code = emitWait(SyncStyle::WaitInstr);
+    OpcodeCensus c = census(code);
+    EXPECT_GT(c.atomics, 0u);
+    EXPECT_EQ(c.armWaits, 1u);
+    EXPECT_EQ(c.waitingAtomics, 0u);
+    // The arm must come after the checking atomic in program order.
+    int check_pc = -1, arm_pc = -1;
+    for (std::size_t pc = 0; pc < code.size(); ++pc) {
+        if (code[pc].op == Opcode::Atom && check_pc < 0)
+            check_pc = static_cast<int>(pc);
+        if (code[pc].op == Opcode::ArmWait)
+            arm_pc = static_cast<int>(pc);
+    }
+    EXPECT_GE(check_pc, 0);
+    EXPECT_GT(arm_pc, check_pc);
+}
+
+TEST(SyncEmitters, ReleaseCarriesReleaseSemantics)
+{
+    KernelBuilder b;
+    StyleParams sp;
+    sp.style = SyncStyle::Busy;
+    emitTasRelease(b, rSyncAddr);
+    auto code = b.build();
+    ASSERT_EQ(code.size(), 1u);
+    EXPECT_TRUE(code[0].release);
+    EXPECT_FALSE(code[0].acquire);
+}
+
+TEST(SyncEmitters, AcquireCarriesAcquireSemantics)
+{
+    for (SyncStyle style :
+         {SyncStyle::Busy, SyncStyle::SleepBackoff,
+          SyncStyle::WaitAtomic, SyncStyle::WaitInstr}) {
+        auto code = emitAcquireRelease(style);
+        bool saw_acquire = false;
+        for (const isa::Instr &in : code) {
+            if ((in.op == Opcode::Atom ||
+                 in.op == Opcode::AtomWait) &&
+                in.acquire) {
+                saw_acquire = true;
+            }
+        }
+        EXPECT_TRUE(saw_acquire)
+            << "style " << static_cast<int>(style);
+    }
+}
+
+TEST(SyncEmitters, AllWorkloadsEmitPolicyConsistentCode)
+{
+    // Cross-check at the workload level: building any benchmark in a
+    // given style yields code whose opcode census matches the style.
+    core::GpuSystem system(ifp::test::testRunConfig());
+    workloads::WorkloadParams params = ifp::test::smallParams();
+    for (const auto &w : makeFullSuite()) {
+        params.style = core::SyncStyle::WaitAtomic;
+        OpcodeCensus c = census(w->build(system, params).code);
+        EXPECT_GT(c.waitingAtomics, 0u) << w->abbrev();
+        EXPECT_EQ(c.armWaits, 0u) << w->abbrev();
+
+        params.style = core::SyncStyle::Busy;
+        c = census(w->build(system, params).code);
+        EXPECT_EQ(c.waitingAtomics, 0u) << w->abbrev();
+        EXPECT_EQ(c.sleeps, 0u) << w->abbrev();
+    }
+}
+
+} // anonymous namespace
+} // namespace ifp::workloads

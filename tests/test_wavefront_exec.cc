@@ -1,0 +1,232 @@
+/**
+ * @file
+ * Execution tests: small hand-written kernels run on a full
+ * GpuSystem, checking ALU semantics, control flow, memory, LDS,
+ * barriers and the launch ABI.
+ */
+
+#include <gtest/gtest.h>
+
+#include "test_helpers.hh"
+
+namespace ifp {
+namespace {
+
+using isa::KernelBuilder;
+using isa::Label;
+
+core::RunResult
+runKernel(core::GpuSystem &system, isa::Kernel kernel)
+{
+    return system.run(kernel);
+}
+
+TEST(WavefrontExec, AluAndStore)
+{
+    core::GpuSystem system(test::testRunConfig());
+    mem::Addr out = system.allocate(64);
+
+    KernelBuilder b;
+    b.movi(16, 6);
+    b.muli(16, 16, 7);       // 42
+    b.addi(16, 16, -2);      // 40
+    b.xori(16, 16, 0xF);     // 0b101000 ^ 0b001111 = 39
+    b.movi(17, static_cast<std::int64_t>(out));
+    b.st(17, 16);
+    b.halt();
+
+    auto result = runKernel(system, test::makeTestKernel(b));
+    ASSERT_TRUE(result.completed);
+    EXPECT_EQ(system.memory().read(out, 8), 39);
+}
+
+TEST(WavefrontExec, DivRemShift)
+{
+    core::GpuSystem system(test::testRunConfig());
+    mem::Addr out = system.allocate(64);
+
+    KernelBuilder b;
+    b.movi(16, 100);
+    b.divi(17, 16, 7);       // 14
+    b.remi(18, 16, 7);       // 2
+    b.shli(19, 17, 2);       // 56
+    b.shri(20, 19, 1);       // 28
+    b.add(21, 18, 20);       // 30
+    b.movi(22, static_cast<std::int64_t>(out));
+    b.st(22, 21);
+    b.halt();
+
+    auto result = runKernel(system, test::makeTestKernel(b));
+    ASSERT_TRUE(result.completed);
+    EXPECT_EQ(system.memory().read(out, 8), 30);
+}
+
+TEST(WavefrontExec, LoopComputesTriangularNumber)
+{
+    core::GpuSystem system(test::testRunConfig());
+    mem::Addr out = system.allocate(64);
+
+    KernelBuilder b;
+    b.movi(16, 0);   // sum
+    b.movi(17, 1);   // i
+    Label loop = b.here();
+    b.add(16, 16, 17);
+    b.addi(17, 17, 1);
+    b.cmpLei(18, 17, 10);
+    b.bnz(18, loop);
+    b.movi(19, static_cast<std::int64_t>(out));
+    b.st(19, 16);
+    b.halt();
+
+    auto result = runKernel(system, test::makeTestKernel(b));
+    ASSERT_TRUE(result.completed);
+    EXPECT_EQ(system.memory().read(out, 8), 55);
+}
+
+TEST(WavefrontExec, LoadSeesStoredValue)
+{
+    core::GpuSystem system(test::testRunConfig());
+    mem::Addr buf = system.allocate(128);
+    system.memory().write(buf, 123, 8);
+
+    KernelBuilder b;
+    b.movi(16, static_cast<std::int64_t>(buf));
+    b.ld(17, 16);
+    b.addi(17, 17, 1);
+    b.st(16, 17, 64);
+    b.halt();
+
+    auto result = runKernel(system, test::makeTestKernel(b));
+    ASSERT_TRUE(result.completed);
+    EXPECT_EQ(system.memory().read(buf + 64, 8), 124);
+}
+
+TEST(WavefrontExec, LaunchAbiRegisters)
+{
+    core::GpuSystem system(test::testRunConfig());
+    mem::Addr out = system.allocate(64 * 64);
+
+    KernelBuilder b;
+    // out[wgId] = wgId * 1000 + numWgs * 10 + arg0
+    b.muli(16, isa::rWgId, 1000);
+    b.muli(17, isa::rNumWgs, 10);
+    b.add(16, 16, 17);
+    b.add(16, 16, isa::rArg0);
+    b.muli(18, isa::rWgId, 64);
+    b.movi(19, static_cast<std::int64_t>(out));
+    b.add(19, 19, 18);
+    b.st(19, 16);
+    b.halt();
+
+    isa::Kernel k = test::makeTestKernel(b, /*num_wgs=*/4);
+    k.args = {7};
+    auto result = runKernel(system, k);
+    ASSERT_TRUE(result.completed);
+    for (int wg = 0; wg < 4; ++wg) {
+        EXPECT_EQ(system.memory().read(out + wg * 64, 8),
+                  wg * 1000 + 4 * 10 + 7);
+    }
+}
+
+TEST(WavefrontExec, LdsRoundTripWithinWg)
+{
+    core::GpuSystem system(test::testRunConfig());
+    mem::Addr out = system.allocate(64);
+
+    KernelBuilder b;
+    b.movi(16, 77);
+    b.movi(17, 128);         // LDS offset
+    b.stLds(17, 16);
+    b.ldLds(18, 17);
+    b.movi(19, static_cast<std::int64_t>(out));
+    b.st(19, 18);
+    b.halt();
+
+    auto result = runKernel(system, test::makeTestKernel(b));
+    ASSERT_TRUE(result.completed);
+    EXPECT_EQ(system.memory().read(out, 8), 77);
+}
+
+TEST(WavefrontExec, MultiWavefrontBarrierExchange)
+{
+    // 128 WIs -> 2 wavefronts; each publishes to LDS, barriers, and
+    // reads the other's slot.
+    core::GpuSystem system(test::testRunConfig());
+    mem::Addr out = system.allocate(128);
+
+    KernelBuilder b;
+    b.addi(16, isa::rWfId, 100);      // value = 100 + wfId
+    b.muli(17, isa::rWfId, 8);        // my LDS slot
+    b.stLds(17, 16);
+    b.bar();
+    // neighbour = (wfId + 1) % 2
+    b.addi(18, isa::rWfId, 1);
+    b.remi(18, 18, 2);
+    b.muli(18, 18, 8);
+    b.ldLds(19, 18);
+    b.muli(20, isa::rWfId, 64);
+    b.movi(21, static_cast<std::int64_t>(out));
+    b.add(21, 21, 20);
+    b.st(21, 19);
+    b.halt();
+
+    auto result =
+        runKernel(system, test::makeTestKernel(b, 1, /*wi=*/128));
+    ASSERT_TRUE(result.completed);
+    EXPECT_EQ(system.memory().read(out, 8), 101);       // wf0 sees wf1
+    EXPECT_EQ(system.memory().read(out + 64, 8), 100);  // wf1 sees wf0
+}
+
+TEST(WavefrontExec, AtomicsSerializeCorrectlyAcrossWgs)
+{
+    core::GpuSystem system(test::testRunConfig());
+    mem::Addr counter = system.allocate(64);
+
+    KernelBuilder b;
+    b.movi(16, 1);
+    b.movi(17, static_cast<std::int64_t>(counter));
+    for (int i = 0; i < 10; ++i)
+        b.atom(18, mem::AtomicOpcode::Add, 17, 0, 16);
+    b.halt();
+
+    auto result = runKernel(system, test::makeTestKernel(b, 8));
+    ASSERT_TRUE(result.completed);
+    EXPECT_EQ(system.memory().read(counter, 8), 80);
+    EXPECT_EQ(result.atomicInstructions, 80u);
+}
+
+TEST(WavefrontExec, ValuAndSleepAdvanceTime)
+{
+    core::GpuSystem system(test::testRunConfig());
+
+    KernelBuilder b;
+    b.valu(500);
+    b.movi(16, 1000);
+    b.sleepR(16);
+    b.halt();
+
+    auto result = runKernel(system, test::makeTestKernel(b));
+    ASSERT_TRUE(result.completed);
+    EXPECT_GE(result.gpuCycles, 1500u);
+    EXPECT_EQ(result.sleeps, 1u);
+}
+
+TEST(WavefrontExec, InstructionCountsAreExact)
+{
+    core::GpuSystem system(test::testRunConfig());
+
+    KernelBuilder b;
+    b.movi(16, 5);
+    Label loop = b.here();
+    b.subi(16, 16, 1);
+    b.bnz(16, loop);
+    b.halt();
+
+    auto result = runKernel(system, test::makeTestKernel(b));
+    ASSERT_TRUE(result.completed);
+    // movi + 5x(sub+bnz) + halt = 12
+    EXPECT_EQ(result.instructions, 12u);
+}
+
+} // anonymous namespace
+} // namespace ifp

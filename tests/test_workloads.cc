@@ -1,0 +1,192 @@
+/**
+ * @file
+ * Integration matrix: every benchmark under every policy must
+ * complete and pass its own semantic validation (mutual exclusion,
+ * barrier completion, balance conservation, ...). This is the broad
+ * correctness net for the whole stack.
+ */
+
+#include <gtest/gtest.h>
+
+#include "test_helpers.hh"
+
+namespace ifp {
+namespace {
+
+using core::Policy;
+
+struct MatrixCase
+{
+    std::string workload;
+    Policy policy;
+};
+
+void
+PrintTo(const MatrixCase &c, std::ostream *os)
+{
+    *os << "workload=" << c.workload << " ";
+}
+
+
+std::string
+caseName(const ::testing::TestParamInfo<MatrixCase> &info)
+{
+    std::string name = info.param.workload + "_" +
+                       core::policyName(info.param.policy);
+    for (char &c : name) {
+        if (!std::isalnum(static_cast<unsigned char>(c)))
+            c = '_';
+    }
+    return name;
+}
+
+class WorkloadMatrix : public ::testing::TestWithParam<MatrixCase>
+{
+};
+
+TEST_P(WorkloadMatrix, CompletesAndValidates)
+{
+    const MatrixCase &c = GetParam();
+    core::RunResult result = test::runSmall(c.workload, c.policy);
+    EXPECT_TRUE(result.completed)
+        << c.workload << "/" << core::policyName(c.policy) << ": "
+        << result.statusString();
+    EXPECT_FALSE(result.deadlocked);
+    EXPECT_TRUE(result.validated) << result.validationError;
+    EXPECT_GT(result.atomicInstructions, 0u);
+}
+
+std::vector<MatrixCase>
+allCases()
+{
+    std::vector<MatrixCase> cases;
+    std::vector<std::string> workloads =
+        workloads::heteroSyncAbbrevs();
+    workloads.push_back("HT");
+    workloads.push_back("BA");
+    for (Policy policy :
+         {Policy::Baseline, Policy::Sleep, Policy::Timeout,
+          Policy::MonRSAll, Policy::MonRAll, Policy::MonNRAll,
+          Policy::MonNROne, Policy::Awg, Policy::MinResume}) {
+        for (const std::string &w : workloads)
+            cases.push_back({w, policy});
+    }
+    return cases;
+}
+
+INSTANTIATE_TEST_SUITE_P(AllBenchmarksAllPolicies, WorkloadMatrix,
+                         ::testing::ValuesIn(allCases()), caseName);
+
+TEST(WorkloadRegistry, SuiteMatchesFigureAxis)
+{
+    auto names = workloads::heteroSyncAbbrevs();
+    std::vector<std::string> expected = {
+        "SPM_G", "SPMBO_G", "FAM_G", "SLM_G", "SPM_L", "SPMBO_L",
+        "FAM_L", "SLM_L", "TB_LG", "LFTB_LG", "TBEX_LG", "LFTBEX_LG"};
+    EXPECT_EQ(names, expected);
+}
+
+TEST(WorkloadRegistry, FullSuiteIncludesApps)
+{
+    auto suite = workloads::makeFullSuite();
+    EXPECT_EQ(suite.size(), 14u);
+    EXPECT_EQ(suite[12]->abbrev(), "HT");
+    EXPECT_EQ(suite[13]->abbrev(), "BA");
+}
+
+TEST(WorkloadRegistry, Table2CharacteristicsArePopulated)
+{
+    for (const auto &w : workloads::makeFullSuite()) {
+        workloads::Table2Row row = w->characteristics();
+        EXPECT_EQ(row.abbrev, w->abbrev());
+        EXPECT_FALSE(row.description.empty());
+        EXPECT_FALSE(row.numSyncVars.empty());
+        EXPECT_FALSE(row.waitersPerCond.empty());
+        EXPECT_EQ(row.granularity, "n");
+    }
+}
+
+TEST(WorkloadRegistry, ContextSizesSpanThePaperRange)
+{
+    // Figure 5: contexts roughly between 2 and 10 KB, and they vary
+    // across benchmarks.
+    core::GpuSystem system(test::testRunConfig());
+    workloads::WorkloadParams params = test::smallParams();
+    std::uint64_t min_ctx = ~0ULL, max_ctx = 0;
+    for (const auto &w : workloads::makeFullSuite()) {
+        isa::Kernel k = w->build(system, params);
+        std::uint64_t ctx = k.contextBytes();
+        min_ctx = std::min(min_ctx, ctx);
+        max_ctx = std::max(max_ctx, ctx);
+    }
+    EXPECT_LE(min_ctx, 4 * 1024u);
+    EXPECT_GE(max_ctx, 8 * 1024u);
+    EXPECT_GE(min_ctx, 1024u);
+    EXPECT_LE(max_ctx, 16 * 1024u);
+}
+
+TEST(Workloads, MutualExclusionHoldsUnderHeavyContention)
+{
+    // Stress variant: many iterations on one global lock.
+    harness::Experiment exp;
+    exp.workload = "SPM_G";
+    exp.policy = core::Policy::Awg;
+    exp.params = test::smallParams();
+    exp.params.iters = 16;
+    auto result = harness::runExperiment(exp);
+    ASSERT_TRUE(result.completed);
+    EXPECT_TRUE(result.validated) << result.validationError;
+}
+
+TEST(Workloads, BarrierRoundsScaleLinearly)
+{
+    auto run_iters = [](unsigned iters) {
+        harness::Experiment exp;
+        exp.workload = "TB_LG";
+        exp.policy = core::Policy::MonNRAll;
+        exp.params = test::smallParams();
+        exp.params.iters = iters;
+        return harness::runExperiment(exp).gpuCycles;
+    };
+    sim::Cycles two = run_iters(2);
+    sim::Cycles eight = run_iters(8);
+    EXPECT_GT(eight, 2 * two);
+    EXPECT_LT(eight, 8 * two);
+}
+
+TEST(Workloads, StyleFollowsPolicy)
+{
+    EXPECT_EQ(core::styleFor(Policy::Baseline),
+              core::SyncStyle::Busy);
+    EXPECT_EQ(core::styleFor(Policy::Sleep),
+              core::SyncStyle::SleepBackoff);
+    EXPECT_EQ(core::styleFor(Policy::MonRSAll),
+              core::SyncStyle::WaitInstr);
+    EXPECT_EQ(core::styleFor(Policy::MonRAll),
+              core::SyncStyle::WaitInstr);
+    EXPECT_EQ(core::styleFor(Policy::Timeout),
+              core::SyncStyle::WaitAtomic);
+    EXPECT_EQ(core::styleFor(Policy::Awg),
+              core::SyncStyle::WaitAtomic);
+}
+
+TEST(Workloads, WaitingAtomicsOnlyInWaitAtomicStyles)
+{
+    auto baseline = test::runSmall("SPM_G", Policy::Baseline);
+    EXPECT_EQ(baseline.waitingAtomics, 0u);
+    EXPECT_EQ(baseline.armWaits, 0u);
+
+    auto awg = test::runSmall("SPM_G", Policy::Awg);
+    EXPECT_GT(awg.waitingAtomics, 0u);
+    EXPECT_EQ(awg.armWaits, 0u);
+
+    auto monr = test::runSmall("SPM_G", Policy::MonRAll);
+    EXPECT_GT(monr.armWaits, 0u);
+    EXPECT_EQ(monr.waitingAtomics, 0u);
+
+    auto sleep = test::runSmall("SPM_G", Policy::Sleep);
+    EXPECT_GT(sleep.sleeps, 0u);
+}
+
+} // anonymous namespace
+} // namespace ifp

@@ -1,0 +1,38 @@
+/**
+ * @file
+ * dbg — minimal debugging front end: run one benchmark under AWG with
+ * an optional trace flag enabled, and dump the SyncMon / dispatcher /
+ * CP statistics. For anything more, use ifpsim.
+ *
+ * Usage: dbg [workload] [trace-flag]
+ *   e.g. dbg TB_LG AWGPred
+ */
+
+#include <iostream>
+
+#include "harness/runner.hh"
+#include "sim/logging.hh"
+
+int
+main(int argc, char **argv)
+{
+    using namespace ifp;
+    if (argc > 2)
+        sim::setDebugFlag(argv[2]);
+
+    harness::Experiment exp;
+    exp.workload = argc > 1 ? argv[1] : "SPM_G";
+    exp.policy = core::Policy::Awg;
+    exp.params = harness::defaultEvalParams();
+
+    core::RunResult r = harness::runExperimentWithSystem(
+        exp, [](core::GpuSystem &system) {
+            if (system.syncMon())
+                system.syncMon()->stats().dump(std::cout);
+            system.dispatcher().stats().dump(std::cout);
+            system.commandProcessor().stats().dump(std::cout);
+        });
+    std::printf("cycles=%llu\n",
+                static_cast<unsigned long long>(r.gpuCycles));
+    return 0;
+}

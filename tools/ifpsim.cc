@@ -1,0 +1,228 @@
+/**
+ * @file
+ * ifpsim — command-line front end to the simulator.
+ *
+ * Examples:
+ *   ifpsim --list
+ *   ifpsim --workload FAM_G --policy AWG
+ *   ifpsim --workload TB_LG --policy MonNR-One --oversubscribed
+ *   ifpsim --workload SPM_G --policy AWG --wgs 128 --group 16 \
+ *          --stats --json result.json
+ *   ifpsim --workload SLM_G --policy MonR-All --debug AWGPred
+ */
+
+#include <cstring>
+#include <fstream>
+#include <iostream>
+
+#include "harness/results_io.hh"
+#include "harness/runner.hh"
+#include "isa/instruction.hh"
+#include "sim/logging.hh"
+#include "workloads/registry.hh"
+
+namespace {
+
+struct Options
+{
+    std::string workload = "SPM_G";
+    std::string policy = "AWG";
+    bool oversubscribed = false;
+    bool list = false;
+    bool stats = false;
+    bool disasm = false;
+    std::string jsonPath;
+    ifp::workloads::WorkloadParams params =
+        ifp::harness::defaultEvalParams();
+    ifp::core::RunConfig runCfg;
+    ifp::sim::Cycles timeoutInterval = 20'000;
+    ifp::sim::Cycles sleepMax = 16'384;
+};
+
+ifp::core::Policy
+parsePolicy(const std::string &name)
+{
+    using ifp::core::Policy;
+    for (Policy p :
+         {Policy::Baseline, Policy::Sleep, Policy::Timeout,
+          Policy::MonRSAll, Policy::MonRAll, Policy::MonNRAll,
+          Policy::MonNROne, Policy::Awg, Policy::MinResume}) {
+        if (name == ifp::core::policyName(p))
+            return p;
+    }
+    ifp_fatal("unknown policy '%s' (try Baseline, Sleep, Timeout, "
+              "MonRS-All, MonR-All, MonNR-All, MonNR-One, MinResume, "
+              "AWG)", name.c_str());
+}
+
+void
+usage()
+{
+    std::cout <<
+        "ifpsim — AWG / Independent Forward Progress simulator\n"
+        "\n"
+        "  --list                 list benchmarks and exit\n"
+        "  --workload NAME        benchmark abbreviation (SPM_G, ...)\n"
+        "  --policy NAME          waiting policy (AWG, Baseline, ...)\n"
+        "  --oversubscribed       lose one CU mid-run (Sec. VI)\n"
+        "  --wgs N / --group L    grid size / WGs per locality group\n"
+        "  --wi N / --iters I     WIs per WG / iterations per WG\n"
+        "  --timeout-interval C   Timeout policy interval (cycles)\n"
+        "  --sleep-max C          Sleep policy max backoff (cycles)\n"
+        "  --cu-loss-us U         when the CU is lost (microseconds)\n"
+        "  --cu-restore-us U      when the CU comes back (0=never)\n"
+        "  --syncmon-sets N       SyncMon condition cache sets\n"
+        "  --syncmon-ways N       SyncMon condition cache ways\n"
+        "  --waitlist N           SyncMon waiting-WG list capacity\n"
+        "  --log-capacity N       Monitor Log entries\n"
+        "  --spill-policy P       new | evict-youngest\n"
+        "  --no-stall-prediction  disable AWG's stall predictor\n"
+        "  --stats                dump per-component statistics\n"
+        "  --disasm               print the generated kernel\n"
+        "  --json FILE            write the result as JSON\n"
+        "  --debug FLAG           enable a trace flag (repeatable)\n";
+}
+
+} // anonymous namespace
+
+int
+main(int argc, char **argv)
+{
+    using namespace ifp;
+    Options opt;
+
+    auto need = [&](int &i) -> const char * {
+        if (i + 1 >= argc)
+            ifp_fatal("missing value after %s", argv[i]);
+        return argv[++i];
+    };
+
+    for (int i = 1; i < argc; ++i) {
+        const char *a = argv[i];
+        if (!std::strcmp(a, "--help") || !std::strcmp(a, "-h")) {
+            usage();
+            return 0;
+        } else if (!std::strcmp(a, "--list")) {
+            opt.list = true;
+        } else if (!std::strcmp(a, "--workload")) {
+            opt.workload = need(i);
+        } else if (!std::strcmp(a, "--policy")) {
+            opt.policy = need(i);
+        } else if (!std::strcmp(a, "--oversubscribed")) {
+            opt.oversubscribed = true;
+        } else if (!std::strcmp(a, "--wgs")) {
+            opt.params.numWgs = std::atoi(need(i));
+        } else if (!std::strcmp(a, "--group")) {
+            opt.params.wgsPerGroup = std::atoi(need(i));
+        } else if (!std::strcmp(a, "--wi")) {
+            opt.params.wiPerWg = std::atoi(need(i));
+        } else if (!std::strcmp(a, "--iters")) {
+            opt.params.iters = std::atoi(need(i));
+        } else if (!std::strcmp(a, "--timeout-interval")) {
+            opt.timeoutInterval = std::atoll(need(i));
+        } else if (!std::strcmp(a, "--sleep-max")) {
+            opt.sleepMax = std::atoll(need(i));
+        } else if (!std::strcmp(a, "--cu-loss-us")) {
+            opt.runCfg.cuLossMicroseconds = std::atoll(need(i));
+        } else if (!std::strcmp(a, "--cu-restore-us")) {
+            opt.runCfg.cuRestoreMicroseconds = std::atoll(need(i));
+        } else if (!std::strcmp(a, "--syncmon-sets")) {
+            opt.runCfg.policy.syncmon.sets = std::atoi(need(i));
+        } else if (!std::strcmp(a, "--syncmon-ways")) {
+            opt.runCfg.policy.syncmon.ways = std::atoi(need(i));
+        } else if (!std::strcmp(a, "--waitlist")) {
+            opt.runCfg.policy.syncmon.waitingListCapacity =
+                std::atoi(need(i));
+        } else if (!std::strcmp(a, "--log-capacity")) {
+            opt.runCfg.cp.monitorLogCapacity = std::atoi(need(i));
+        } else if (!std::strcmp(a, "--spill-policy")) {
+            std::string p = need(i);
+            opt.runCfg.policy.syncmon.spillPolicy =
+                p == "evict-youngest"
+                    ? syncmon::SpillPolicy::EvictYoungest
+                    : syncmon::SpillPolicy::SpillNew;
+        } else if (!std::strcmp(a, "--no-stall-prediction")) {
+            opt.runCfg.policy.syncmon.stallPredictionEnabled = false;
+        } else if (!std::strcmp(a, "--stats")) {
+            opt.stats = true;
+        } else if (!std::strcmp(a, "--disasm")) {
+            opt.disasm = true;
+        } else if (!std::strcmp(a, "--json")) {
+            opt.jsonPath = need(i);
+        } else if (!std::strcmp(a, "--debug")) {
+            sim::setDebugFlag(need(i));
+        } else {
+            usage();
+            ifp_fatal("unknown option '%s'", a);
+        }
+    }
+
+    if (opt.list) {
+        std::cout << "Benchmarks (Table 2):\n";
+        for (const auto &w : workloads::makeFullSuite()) {
+            std::printf("  %-10s %-24s %s\n", w->abbrev().c_str(),
+                        w->name().c_str(),
+                        w->characteristics().description.c_str());
+        }
+        return 0;
+    }
+
+    harness::Experiment exp;
+    exp.workload = opt.workload;
+    exp.policy = parsePolicy(opt.policy);
+    exp.oversubscribed = opt.oversubscribed;
+    exp.params = opt.params;
+    exp.runCfg = opt.runCfg;
+    exp.timeoutIntervalCycles = opt.timeoutInterval;
+    exp.sleepMaxBackoffCycles = opt.sleepMax;
+
+    if (opt.disasm) {
+        core::GpuSystem scratch(exp.runCfg);
+        workloads::WorkloadPtr w = workloads::makeWorkload(
+            exp.workload);
+        workloads::WorkloadParams params = exp.params;
+        params.style = core::styleFor(exp.policy);
+        isa::Kernel kernel = w->build(scratch, params);
+        std::cout << "; kernel " << kernel.name << " ("
+                  << kernel.code.size() << " instructions, "
+                  << kernel.numWgs << " WGs x " << kernel.wiPerWg
+                  << " WIs)\n";
+        for (std::size_t pc = 0; pc < kernel.code.size(); ++pc) {
+            std::printf("%4zu:  %s\n", pc,
+                        isa::disassemble(kernel.code[pc]).c_str());
+        }
+    }
+
+    core::RunResult result;
+    if (opt.stats) {
+        result = harness::runExperimentWithSystem(
+            exp, [](core::GpuSystem &system) {
+                system.dumpStats(std::cout);
+            });
+    } else {
+        result = harness::runExperiment(exp);
+    }
+
+    std::printf(
+        "%s/%s%s: %s cycles, %llu atomics, %llu instructions, "
+        "%llu saves / %llu restores, validated=%s\n",
+        exp.workload.c_str(), core::policyName(exp.policy),
+        exp.oversubscribed ? " (oversubscribed)" : "",
+        result.statusString().c_str(),
+        static_cast<unsigned long long>(result.atomicInstructions),
+        static_cast<unsigned long long>(result.instructions),
+        static_cast<unsigned long long>(result.contextSaves),
+        static_cast<unsigned long long>(result.contextRestores),
+        result.validated ? "yes"
+                         : (result.completed ? "NO" : "n/a"));
+
+    if (!opt.jsonPath.empty()) {
+        std::ofstream out(opt.jsonPath);
+        if (!out)
+            ifp_fatal("cannot open '%s'", opt.jsonPath.c_str());
+        harness::writeResultJson(out, exp, result);
+        out << "\n";
+        std::cout << "wrote " << opt.jsonPath << "\n";
+    }
+    return 0;
+}
