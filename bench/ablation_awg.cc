@@ -14,22 +14,15 @@
 
 namespace {
 
-ifp::core::RunResult
-runAwg(const std::string &workload, bool oversubscribed,
-       bool stall_prediction)
+ifp::harness::Experiment
+awgExperiment(const std::string &workload, bool oversubscribed,
+              bool stall_prediction)
 {
-    ifp::harness::Experiment exp;
-    exp.workload = workload;
-    exp.policy = ifp::core::Policy::Awg;
-    exp.oversubscribed = oversubscribed;
-    exp.params = ifp::harness::defaultEvalParams();
-    if (oversubscribed) {
-        exp.params.iters = 16;
-        exp.runCfg.cuLossMicroseconds = 10;
-    }
+    ifp::harness::Experiment exp = ifp::bench::evalExperiment(
+        workload, ifp::core::Policy::Awg, oversubscribed);
     exp.runCfg.policy.syncmon.stallPredictionEnabled =
         stall_prediction;
-    return ifp::harness::runExperiment(exp);
+    return exp;
 }
 
 } // anonymous namespace
@@ -46,12 +39,23 @@ main()
     std::cout << "\nResume predictor (non-oversubscribed cycles; AWG "
                  "should track the better fixed policy):\n";
     {
+        harness::SweepRunner sweep;
+        for (const std::string &w : workloads) {
+            sweep.enqueue(
+                bench::evalExperiment(w, core::Policy::MonNRAll));
+            sweep.enqueue(
+                bench::evalExperiment(w, core::Policy::MonNROne));
+            sweep.enqueue(bench::evalExperiment(w, core::Policy::Awg));
+        }
+        bench::runSweep(sweep, "ablation_awg/resume");
+
         harness::TextTable t({"Benchmark", "MonNR-All", "MonNR-One",
                               "AWG", "AWG picks"});
+        std::size_t idx = 0;
         for (const std::string &w : workloads) {
-            auto all = bench::evalRun(w, core::Policy::MonNRAll);
-            auto one = bench::evalRun(w, core::Policy::MonNROne);
-            auto awg = bench::evalRun(w, core::Policy::Awg);
+            const auto &all = sweep.result(idx++);
+            const auto &one = sweep.result(idx++);
+            const auto &awg = sweep.result(idx++);
             const char *pick =
                 awg.gpuCycles <=
                         std::min(all.gpuCycles, one.gpuCycles) +
@@ -67,12 +71,20 @@ main()
     std::cout << "\nStall-period predictor (oversubscribed cycles and "
                  "context switches):\n";
     {
+        harness::SweepRunner sweep;
+        for (const std::string &w : workloads) {
+            sweep.enqueue(awgExperiment(w, true, true));
+            sweep.enqueue(awgExperiment(w, true, false));
+        }
+        bench::runSweep(sweep, "ablation_awg/stall");
+
         harness::TextTable t({"Benchmark", "AWG cycles",
                               "AWG saves", "NoStallPred cycles",
                               "NoStallPred saves"});
+        std::size_t idx = 0;
         for (const std::string &w : workloads) {
-            auto with = runAwg(w, true, true);
-            auto without = runAwg(w, true, false);
+            const auto &with = sweep.result(idx++);
+            const auto &without = sweep.result(idx++);
             t.addRow({w, with.statusString(),
                       std::to_string(with.contextSaves),
                       without.statusString(),

@@ -17,9 +17,9 @@
 
 namespace {
 
-ifp::core::RunResult
-run(const std::string &workload, ifp::core::Policy policy,
-    ifp::sim::Cycles gap, unsigned num_wgs, unsigned group)
+ifp::harness::Experiment
+makeExperiment(const std::string &workload, ifp::core::Policy policy,
+               ifp::sim::Cycles gap, unsigned num_wgs, unsigned group)
 {
     ifp::harness::Experiment exp;
     exp.workload = workload;
@@ -28,7 +28,7 @@ run(const std::string &workload, ifp::core::Policy policy,
     exp.params.numWgs = num_wgs;
     exp.params.wgsPerGroup = group;
     exp.runCfg.gpu.l2.sameLineAtomicGapCycles = gap;
-    return ifp::harness::runExperiment(exp);
+    return exp;
 }
 
 } // anonymous namespace
@@ -47,15 +47,27 @@ main()
     std::cout << "\nAWG speedup over Baseline vs same-line atomic "
                  "turnaround (G=64, L=8):\n";
     {
+        harness::SweepRunner sweep;
+        for (const std::string &w : workloads) {
+            for (sim::Cycles g : gaps) {
+                sweep.enqueue(makeExperiment(
+                    w, core::Policy::Baseline, g, 64, 8));
+                sweep.enqueue(
+                    makeExperiment(w, core::Policy::Awg, g, 64, 8));
+            }
+        }
+        bench::runSweep(sweep, "ablation_contention/gap");
+
         std::vector<std::string> headers = {"Benchmark"};
         for (sim::Cycles g : gaps)
             headers.push_back(std::to_string(g) + "cy");
         harness::TextTable t(std::move(headers));
+        std::size_t idx = 0;
         for (const std::string &w : workloads) {
             std::vector<std::string> row = {w};
-            for (sim::Cycles g : gaps) {
-                auto base = run(w, core::Policy::Baseline, g, 64, 8);
-                auto awg = run(w, core::Policy::Awg, g, 64, 8);
+            for (std::size_t i = 0; i < gaps.size(); ++i) {
+                const auto &base = sweep.result(idx++);
+                const auto &awg = sweep.result(idx++);
                 row.push_back(bench::ratioCell(
                     awg, static_cast<double>(base.gpuCycles)));
             }
@@ -69,16 +81,27 @@ main()
     {
         const std::vector<std::pair<unsigned, unsigned>> geometries =
             {{16, 2}, {32, 4}, {64, 8}, {128, 16}};
+        harness::SweepRunner sweep;
+        for (const std::string &w : workloads) {
+            for (auto [g, l] : geometries) {
+                sweep.enqueue(makeExperiment(
+                    w, core::Policy::Baseline, 150, g, l));
+                sweep.enqueue(
+                    makeExperiment(w, core::Policy::Awg, 150, g, l));
+            }
+        }
+        bench::runSweep(sweep, "ablation_contention/wgs");
+
         std::vector<std::string> headers = {"Benchmark"};
         for (auto [g, l] : geometries)
             headers.push_back("G=" + std::to_string(g));
         harness::TextTable t(std::move(headers));
+        std::size_t idx = 0;
         for (const std::string &w : workloads) {
             std::vector<std::string> row = {w};
-            for (auto [g, l] : geometries) {
-                auto base =
-                    run(w, core::Policy::Baseline, 150, g, l);
-                auto awg = run(w, core::Policy::Awg, 150, g, l);
+            for (std::size_t i = 0; i < geometries.size(); ++i) {
+                const auto &base = sweep.result(idx++);
+                const auto &awg = sweep.result(idx++);
                 row.push_back(bench::ratioCell(
                     awg, static_cast<double>(base.gpuCycles)));
             }

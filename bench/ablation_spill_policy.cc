@@ -17,9 +17,10 @@
 
 namespace {
 
-ifp::core::RunResult
-run(const std::string &workload, ifp::syncmon::SpillPolicy policy,
-    unsigned sets, unsigned ways)
+ifp::harness::Experiment
+makeExperiment(const std::string &workload,
+               ifp::syncmon::SpillPolicy policy, unsigned sets,
+               unsigned ways)
 {
     ifp::harness::Experiment exp;
     exp.workload = workload;
@@ -28,7 +29,7 @@ run(const std::string &workload, ifp::syncmon::SpillPolicy policy,
     exp.runCfg.policy.syncmon.sets = sets;
     exp.runCfg.policy.syncmon.ways = ways;
     exp.runCfg.policy.syncmon.spillPolicy = policy;
-    return ifp::harness::runExperiment(exp);
+    return exp;
 }
 
 } // anonymous namespace
@@ -40,18 +41,27 @@ main()
     bench::banner("Ablation - Monitor Log replacement policies "
                   "(SyncMon forced down to 8 hardware conditions)");
 
+    const std::vector<std::string> workloads = {"FAM_G", "SLM_G",
+                                                "LFTB_LG", "SLM_L"};
+    const std::vector<std::pair<const char *, syncmon::SpillPolicy>>
+        spillPolicies = {
+            {"spill-new", syncmon::SpillPolicy::SpillNew},
+            {"evict-youngest", syncmon::SpillPolicy::EvictYoungest}};
+
+    harness::SweepRunner sweep;
+    for (const std::string &w : workloads) {
+        for (const auto &[name, policy] : spillPolicies)
+            sweep.enqueue(makeExperiment(w, policy, 2, 4));
+    }
+    bench::runSweep(sweep, "ablation_spill_policy");
+
     harness::TextTable t({"Benchmark", "Policy", "Cycles", "Spills",
                           "MaxLog", "CompletionSpread",
                           "MaxWgWait"});
-    for (const std::string &w :
-         {std::string("FAM_G"), std::string("SLM_G"),
-          std::string("LFTB_LG"), std::string("SLM_L")}) {
-        for (auto [name, policy] :
-             {std::pair<const char *, syncmon::SpillPolicy>{
-                  "spill-new", syncmon::SpillPolicy::SpillNew},
-              {"evict-youngest",
-               syncmon::SpillPolicy::EvictYoungest}}) {
-            core::RunResult r = run(w, policy, 2, 4);
+    std::size_t idx = 0;
+    for (const std::string &w : workloads) {
+        for (const auto &[name, policy] : spillPolicies) {
+            const core::RunResult &r = sweep.result(idx++);
             t.addRow({w, name, r.statusString(),
                       std::to_string(r.spills),
                       std::to_string(r.maxLogEntries),

@@ -44,11 +44,10 @@ main()
         headers.emplace_back(hw.label);
     harness::TextTable t(std::move(headers));
 
-    for (const std::string &w :
-         {std::string("SPM_G"), std::string("FAM_G"),
-          std::string("SLM_G"), std::string("TB_LG")}) {
-        double full_cycles = 0;
-        std::vector<std::string> row = {w};
+    const std::vector<std::string> workloads = {"SPM_G", "FAM_G",
+                                                "SLM_G", "TB_LG"};
+    harness::SweepRunner sweep;
+    for (const std::string &w : workloads) {
         for (const Hw &hw : configs) {
             harness::Experiment exp;
             exp.workload = w;
@@ -58,7 +57,17 @@ main()
             exp.runCfg.policy.syncmon.ways = hw.ways;
             exp.runCfg.policy.syncmon.waitingListCapacity =
                 hw.waitlist;
-            core::RunResult r = harness::runExperiment(exp);
+            sweep.enqueue(std::move(exp));
+        }
+    }
+    bench::runSweep(sweep, "ablation_syncmon_size");
+
+    std::size_t idx = 0;
+    for (const std::string &w : workloads) {
+        double full_cycles = 0;
+        std::vector<std::string> row = {w};
+        for (std::size_t i = 0; i < std::size(configs); ++i) {
+            const core::RunResult &r = sweep.result(idx++);
             if (!r.completed) {
                 row.push_back(r.statusString());
                 continue;

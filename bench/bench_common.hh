@@ -15,6 +15,7 @@
 #include <vector>
 
 #include "harness/runner.hh"
+#include "harness/sweep.hh"
 #include "harness/table.hh"
 #include "workloads/registry.hh"
 
@@ -62,23 +63,20 @@ ratioCell(const core::RunResult &result, double reference_cycles)
 }
 
 /**
- * Print @p table, honouring the IFP_BENCH_CSV environment variable
- * (set it to also emit machine-readable CSV after the aligned table).
+ * Print @p table (CSV handling — the IFP_BENCH_CSV environment
+ * variable — lives in harness::TextTable::emit, shared by every
+ * output path).
  */
 inline void
 printTable(const harness::TextTable &table)
 {
-    table.print(std::cout);
-    if (std::getenv("IFP_BENCH_CSV")) {
-        std::cout << "\n[csv]\n";
-        table.printCsv(std::cout);
-    }
+    table.emit(std::cout);
 }
 
-/** Run one experiment in the standard evaluation geometry. */
-inline core::RunResult
-evalRun(const std::string &workload, core::Policy policy,
-        bool oversubscribed = false)
+/** The standard-evaluation-geometry experiment for one (w, policy). */
+inline harness::Experiment
+evalExperiment(const std::string &workload, core::Policy policy,
+               bool oversubscribed = false)
 {
     harness::Experiment exp;
     exp.workload = workload;
@@ -91,7 +89,30 @@ evalRun(const std::string &workload, core::Policy policy,
         exp.params.iters = 16;
         exp.runCfg.cuLossMicroseconds = 10;
     }
-    return harness::runExperiment(exp);
+    return exp;
+}
+
+/** Run one experiment in the standard evaluation geometry. */
+inline core::RunResult
+evalRun(const std::string &workload, core::Policy policy,
+        bool oversubscribed = false)
+{
+    return harness::runExperiment(
+        evalExperiment(workload, policy, oversubscribed));
+}
+
+/**
+ * Execute every experiment queued on @p sweep (worker count from
+ * IFP_BENCH_JOBS) and print the per-bench wall-clock/speedup line to
+ * stderr. Results come back in submission order, so tables built
+ * from them are byte-identical to a serial run.
+ */
+inline const std::vector<core::RunResult> &
+runSweep(harness::SweepRunner &sweep, const std::string &label)
+{
+    const std::vector<core::RunResult> &results = sweep.run();
+    sweep.reportPerf(label);
+    return results;
 }
 
 } // namespace ifp::bench

@@ -21,17 +21,30 @@ main()
 
     harness::TextTable t({"Benchmark", "Policy", "Running(norm)",
                           "Waiting(norm)", "Waiting share"});
+
+    const std::vector<core::Policy> policies = {
+        core::Policy::Timeout, core::Policy::MonNRAll,
+        core::Policy::MonNROne};
+    harness::SweepRunner sweep;
     for (const std::string &w : benchmarks) {
-        core::RunResult timeout =
-            bench::evalRun(w, core::Policy::Timeout);
+        for (core::Policy policy : policies)
+            sweep.enqueue(bench::evalExperiment(w, policy));
+    }
+    bench::runSweep(sweep, "fig11");
+
+    std::size_t idx = 0;
+    for (const std::string &w : benchmarks) {
+        // The Timeout run is both the normalization reference and the
+        // first table row.
+        const core::RunResult &timeout = sweep.result(idx);
         double ref_run = timeout.totalWgRunCycles();
         double ref_wait = timeout.totalWgWaitCycles;
-        auto add = [&](core::Policy policy) {
-            core::RunResult r = bench::evalRun(w, policy);
+        for (core::Policy policy : policies) {
+            const core::RunResult &r = sweep.result(idx++);
             if (!r.completed) {
                 t.addRow({w, core::policyName(policy),
                           r.statusString(), r.statusString(), "-"});
-                return;
+                continue;
             }
             double run_n = ref_run > 0
                                ? r.totalWgRunCycles() / ref_run
@@ -47,10 +60,7 @@ main()
                       harness::formatDouble(run_n, 2),
                       harness::formatDouble(wait_n, 3),
                       harness::formatDouble(100.0 * share, 1) + "%"});
-        };
-        add(core::Policy::Timeout);
-        add(core::Policy::MonNRAll);
-        add(core::Policy::MonNROne);
+        }
     }
     bench::printTable(t);
     std::cout << "\nShape check: MonNR-One waiting stays low for "

@@ -26,24 +26,32 @@ main()
     core::RunConfig layout_cfg;
     core::GpuSystem layout(layout_cfg);
     workloads::WorkloadParams params = harness::defaultEvalParams();
-    for (const std::string &w : bench::figureBenchmarks()) {
+
+    const std::vector<std::string> benchmarks =
+        bench::figureBenchmarks();
+    harness::SweepRunner sweep;
+    for (const std::string &w : benchmarks) {
+        // Full hardware: per-structure peak occupancy.
+        sweep.enqueue(bench::evalExperiment(w, core::Policy::Awg));
+        // No SyncMon cache: everything virtualizes through the log.
+        harness::Experiment exp =
+            bench::evalExperiment(w, core::Policy::Awg);
+        exp.runCfg.policy.syncmon.sets = 1;
+        exp.runCfg.policy.syncmon.ways = 1;
+        exp.runCfg.policy.syncmon.waitingListCapacity = 1;
+        sweep.enqueue(std::move(exp));
+    }
+    bench::runSweep(sweep, "fig13");
+
+    std::size_t idx = 0;
+    for (const std::string &w : benchmarks) {
         isa::Kernel kernel =
             workloads::makeWorkload(w)->build(layout, params);
         double provisioned_mb =
             static_cast<double>(kernel.contextBytes()) *
             kernel.numWgs / (1024.0 * 1024.0);
-        // Full hardware: per-structure peak occupancy.
-        core::RunResult full = bench::evalRun(w, core::Policy::Awg);
-
-        // No SyncMon cache: everything virtualizes through the log.
-        harness::Experiment exp;
-        exp.workload = w;
-        exp.policy = core::Policy::Awg;
-        exp.params = harness::defaultEvalParams();
-        exp.runCfg.policy.syncmon.sets = 1;
-        exp.runCfg.policy.syncmon.ways = 1;
-        exp.runCfg.policy.syncmon.waitingListCapacity = 1;
-        core::RunResult spilled = harness::runExperiment(exp);
+        const core::RunResult &full = sweep.result(idx++);
+        const core::RunResult &spilled = sweep.result(idx++);
 
         auto kb = [](double bytes) {
             return harness::formatDouble(bytes / 1024.0, 2);

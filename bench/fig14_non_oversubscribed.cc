@@ -26,13 +26,23 @@ main()
     harness::TextTable t({"Benchmark", "Baseline", "Sleep", "Timeout",
                           "MonNR-All", "MonNR-One", "AWG"});
 
+    const std::vector<std::string> benchmarks =
+        bench::figureBenchmarks();
+    harness::SweepRunner sweep;
+    for (const std::string &w : benchmarks) {
+        sweep.enqueue(bench::evalExperiment(w, core::Policy::Baseline));
+        for (core::Policy policy : policies)
+            sweep.enqueue(bench::evalExperiment(w, policy));
+    }
+    bench::runSweep(sweep, "fig14");
+
     std::vector<std::vector<double>> speedups(policies.size());
-    for (const std::string &w : bench::figureBenchmarks()) {
-        core::RunResult base =
-            bench::evalRun(w, core::Policy::Baseline);
+    std::size_t idx = 0;
+    for (const std::string &w : benchmarks) {
+        const core::RunResult &base = sweep.result(idx++);
         std::vector<std::string> row = {w, "1.00"};
         for (std::size_t p = 0; p < policies.size(); ++p) {
-            core::RunResult r = bench::evalRun(w, policies[p]);
+            const core::RunResult &r = sweep.result(idx++);
             row.push_back(bench::ratioCell(
                 r, static_cast<double>(base.gpuCycles)));
             if (r.completed && r.gpuCycles > 0) {

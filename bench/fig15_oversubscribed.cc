@@ -26,15 +26,25 @@ main()
     harness::TextTable t({"Benchmark", "Baseline", "Sleep", "Timeout",
                           "MonNR-All", "MonNR-One", "AWG"});
 
+    const std::vector<std::string> benchmarks =
+        bench::figureBenchmarks();
+    harness::SweepRunner sweep;
+    for (const std::string &w : benchmarks) {
+        sweep.enqueue(
+            bench::evalExperiment(w, core::Policy::Timeout, true));
+        for (core::Policy policy : policies)
+            sweep.enqueue(bench::evalExperiment(w, policy, true));
+    }
+    bench::runSweep(sweep, "fig15");
+
     std::vector<std::vector<double>> speedups(policies.size());
     unsigned deadlocks = 0;
-    for (const std::string &w : bench::figureBenchmarks()) {
-        core::RunResult timeout =
-            bench::evalRun(w, core::Policy::Timeout, true);
+    std::size_t idx = 0;
+    for (const std::string &w : benchmarks) {
+        const core::RunResult &timeout = sweep.result(idx++);
         std::vector<std::string> cells(policies.size());
         for (std::size_t p = 0; p < policies.size(); ++p) {
-            core::RunResult r =
-                bench::evalRun(w, policies[p], true);
+            const core::RunResult &r = sweep.result(idx++);
             cells[p] = bench::ratioCell(
                 r, static_cast<double>(timeout.gpuCycles));
             if (r.deadlocked)

@@ -26,17 +26,26 @@ main()
                           + "k");
     harness::TextTable t(std::move(headers));
 
-    for (const std::string &w : bench::sleepBenchmarks()) {
-        core::RunResult base =
-            bench::evalRun(w, core::Policy::Baseline);
-        std::vector<std::string> row = {w, "1.00"};
+    const std::vector<std::string> benchmarks =
+        bench::sleepBenchmarks();
+    harness::SweepRunner sweep;
+    for (const std::string &w : benchmarks) {
+        sweep.enqueue(bench::evalExperiment(w, core::Policy::Baseline));
         for (sim::Cycles max_backoff : intervals) {
-            harness::Experiment exp;
-            exp.workload = w;
-            exp.policy = core::Policy::Sleep;
-            exp.params = harness::defaultEvalParams();
+            harness::Experiment exp =
+                bench::evalExperiment(w, core::Policy::Sleep);
             exp.sleepMaxBackoffCycles = max_backoff;
-            core::RunResult r = harness::runExperiment(exp);
+            sweep.enqueue(std::move(exp));
+        }
+    }
+    bench::runSweep(sweep, "fig7");
+
+    std::size_t idx = 0;
+    for (const std::string &w : benchmarks) {
+        const core::RunResult &base = sweep.result(idx++);
+        std::vector<std::string> row = {w, "1.00"};
+        for (std::size_t i = 0; i < intervals.size(); ++i) {
+            const core::RunResult &r = sweep.result(idx++);
             if (!r.completed) {
                 row.push_back(r.statusString());
             } else {

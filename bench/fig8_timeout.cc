@@ -25,18 +25,27 @@ main()
                           std::to_string(interval / 1000) + "k");
     harness::TextTable t(std::move(headers));
 
-    double worst = 0.0;
-    for (const std::string &w : bench::figureBenchmarks()) {
-        core::RunResult base =
-            bench::evalRun(w, core::Policy::Baseline);
-        std::vector<std::string> row = {w, "1.00"};
+    const std::vector<std::string> benchmarks =
+        bench::figureBenchmarks();
+    harness::SweepRunner sweep;
+    for (const std::string &w : benchmarks) {
+        sweep.enqueue(bench::evalExperiment(w, core::Policy::Baseline));
         for (sim::Cycles interval : intervals) {
-            harness::Experiment exp;
-            exp.workload = w;
-            exp.policy = core::Policy::Timeout;
-            exp.params = harness::defaultEvalParams();
+            harness::Experiment exp =
+                bench::evalExperiment(w, core::Policy::Timeout);
             exp.timeoutIntervalCycles = interval;
-            core::RunResult r = harness::runExperiment(exp);
+            sweep.enqueue(std::move(exp));
+        }
+    }
+    bench::runSweep(sweep, "fig8");
+
+    double worst = 0.0;
+    std::size_t idx = 0;
+    for (const std::string &w : benchmarks) {
+        const core::RunResult &base = sweep.result(idx++);
+        std::vector<std::string> row = {w, "1.00"};
+        for (std::size_t i = 0; i < intervals.size(); ++i) {
+            const core::RunResult &r = sweep.result(idx++);
             if (!r.completed) {
                 row.push_back(r.statusString());
             } else {

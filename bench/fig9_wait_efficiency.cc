@@ -20,24 +20,40 @@ main()
 
     harness::TextTable t({"Benchmark", "MinResume", "MonRS-All",
                           "MonR-All", "MonNR-All"});
+
+    const std::vector<core::Policy> policies = {
+        core::Policy::MonRSAll, core::Policy::MonRAll,
+        core::Policy::MonNRAll};
+    const std::vector<std::string> benchmarks =
+        bench::figureBenchmarks();
+    harness::SweepRunner sweep;
+    for (const std::string &w : benchmarks) {
+        sweep.enqueue(
+            bench::evalExperiment(w, core::Policy::MinResume));
+        for (core::Policy policy : policies)
+            sweep.enqueue(bench::evalExperiment(w, policy));
+    }
+    bench::runSweep(sweep, "fig9");
+
     double worst_sporadic = 0.0;
-    for (const std::string &w : bench::figureBenchmarks()) {
-        core::RunResult oracle =
-            bench::evalRun(w, core::Policy::MinResume);
-        auto cell = [&](core::Policy policy) {
-            core::RunResult r = bench::evalRun(w, policy);
-            if (!r.completed || oracle.atomicInstructions == 0)
-                return std::string("-");
+    std::size_t idx = 0;
+    for (const std::string &w : benchmarks) {
+        const core::RunResult &oracle = sweep.result(idx++);
+        std::vector<std::string> row = {w, "1.00"};
+        for (core::Policy policy : policies) {
+            const core::RunResult &r = sweep.result(idx++);
+            if (!r.completed || oracle.atomicInstructions == 0) {
+                row.push_back("-");
+                continue;
+            }
             double norm =
                 static_cast<double>(r.atomicInstructions) /
                 static_cast<double>(oracle.atomicInstructions);
             if (policy == core::Policy::MonRSAll)
                 worst_sporadic = std::max(worst_sporadic, norm);
-            return harness::formatDouble(norm, 2);
-        };
-        t.addRow({w, "1.00", cell(core::Policy::MonRSAll),
-                  cell(core::Policy::MonRAll),
-                  cell(core::Policy::MonNRAll)});
+            row.push_back(harness::formatDouble(norm, 2));
+        }
+        t.addRow(std::move(row));
     }
     bench::printTable(t);
     std::cout << "\nWorst MonRS-All blow-up: "

@@ -1,0 +1,129 @@
+/**
+ * @file
+ * Microbenchmarks of the EventQueue hot path: one-shot lambda
+ * scheduling (the queue's free-list recycling vs the legacy
+ * allocate-per-schedule pattern), raw schedule/step on external
+ * events, and deschedule/reschedule churn. These quantify the
+ * events/sec the simulator core sustains — the figure every sweep's
+ * runtime is built on.
+ */
+
+#include <benchmark/benchmark.h>
+
+#include <memory>
+#include <vector>
+
+#include "sim/event_queue.hh"
+
+namespace {
+
+using namespace ifp;
+
+/**
+ * One-shot lambdas through the queue-owned free-list path: after the
+ * first wave, every schedule(Tick, fn) re-arms a recycled event
+ * instead of allocating.
+ */
+void
+BM_OneShotFreeList(benchmark::State &state)
+{
+    sim::EventQueue eq;
+    std::uint64_t sink = 0;
+    for (auto _ : state) {
+        const sim::Tick start = eq.curTick();
+        for (int i = 0; i < state.range(0); ++i)
+            eq.schedule(start + i + 1, [&sink] { ++sink; });
+        eq.simulate();
+    }
+    benchmark::DoNotOptimize(sink);
+    state.SetItemsProcessed(state.iterations() * state.range(0));
+    state.counters["pool_events"] =
+        static_cast<double>(eq.ownedPoolSize());
+}
+BENCHMARK(BM_OneShotFreeList)->Arg(1024)->Arg(16384);
+
+/**
+ * The legacy pattern this PR removed: a fresh heap-allocated
+ * LambdaEvent (and its std::function) per one-shot, swept after the
+ * wave. Kept here as the before/after baseline for EXPERIMENTS.md.
+ */
+void
+BM_OneShotHeapAlloc(benchmark::State &state)
+{
+    sim::EventQueue eq;
+    std::uint64_t sink = 0;
+    std::vector<std::unique_ptr<sim::LambdaEvent>> owned;
+    for (auto _ : state) {
+        const sim::Tick start = eq.curTick();
+        for (int i = 0; i < state.range(0); ++i) {
+            owned.push_back(std::make_unique<sim::LambdaEvent>(
+                [&sink] { ++sink; }));
+            eq.schedule(owned.back().get(), start + i + 1);
+        }
+        eq.simulate();
+        owned.clear();
+    }
+    benchmark::DoNotOptimize(sink);
+    state.SetItemsProcessed(state.iterations() * state.range(0));
+}
+BENCHMARK(BM_OneShotHeapAlloc)->Arg(1024)->Arg(16384);
+
+class NullEvent : public sim::Event
+{
+  public:
+    void process() override {}
+};
+
+/** Raw schedule + step of externally-owned events (no allocation). */
+void
+BM_ScheduleStep(benchmark::State &state)
+{
+    sim::EventQueue eq;
+    NullEvent ev;
+    for (auto _ : state) {
+        eq.schedule(&ev, eq.curTick() + 1);
+        eq.step();
+    }
+    state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_ScheduleStep);
+
+/** Schedule/deschedule churn: stale heap entries must stay cheap. */
+void
+BM_ScheduleDeschedule(benchmark::State &state)
+{
+    sim::EventQueue eq;
+    NullEvent ev;
+    std::uint64_t n = 0;
+    for (auto _ : state) {
+        eq.schedule(&ev, eq.curTick() + 1);
+        eq.deschedule(&ev);
+        // Drain accumulated stale entries so the heap stays bounded.
+        if ((++n & 1023u) == 0)
+            eq.simulate();
+    }
+    state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_ScheduleDeschedule);
+
+/** Reschedule: the wait/resume pattern the policies lean on. */
+void
+BM_Reschedule(benchmark::State &state)
+{
+    sim::EventQueue eq;
+    NullEvent ev;
+    std::uint64_t n = 0;
+    for (auto _ : state) {
+        eq.reschedule(&ev, eq.curTick() + 1 + (n & 7u));
+        if ((++n & 1023u) == 0)
+            eq.simulate();
+    }
+    // Fire the final occurrence so 'ev' is unscheduled at destruction.
+    eq.simulate();
+    state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_Reschedule);
+
+} // anonymous namespace
+
+BENCHMARK_MAIN();

@@ -40,9 +40,15 @@ main()
     std::cout << "\nMeasured peak SyncMon occupancy (MonNR-All):\n";
     harness::TextTable m({"Benchmark", "max conditions",
                           "max waiting WGs", "monitored lines"});
-    for (const std::string &w : bench::figureBenchmarks()) {
-        core::RunResult r = bench::evalRun(w, core::Policy::MonNRAll);
-        m.addRow({w, std::to_string(r.maxConditions),
+    const std::vector<std::string> benchmarks =
+        bench::figureBenchmarks();
+    harness::SweepRunner sweep;
+    for (const std::string &w : benchmarks)
+        sweep.enqueue(bench::evalExperiment(w, core::Policy::MonNRAll));
+    bench::runSweep(sweep, "table2");
+    for (std::size_t i = 0; i < benchmarks.size(); ++i) {
+        const core::RunResult &r = sweep.result(i);
+        m.addRow({benchmarks[i], std::to_string(r.maxConditions),
                   std::to_string(r.maxWaiters),
                   std::to_string(r.maxMonitoredLines)});
     }

@@ -9,6 +9,7 @@
 #ifndef IFP_HARNESS_RUNNER_HH
 #define IFP_HARNESS_RUNNER_HH
 
+#include <functional>
 #include <string>
 
 #include "core/gpu_system.hh"

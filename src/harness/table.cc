@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <cmath>
 #include <cstdio>
+#include <cstdlib>
 
 #include "sim/logging.hh"
 
@@ -67,6 +68,16 @@ TextTable::printCsv(std::ostream &os) const
     emit(headers);
     for (const auto &row : rows)
         emit(row);
+}
+
+void
+TextTable::emit(std::ostream &os) const
+{
+    print(os);
+    if (std::getenv("IFP_BENCH_CSV")) {
+        os << "\n[csv]\n";
+        printCsv(os);
+    }
 }
 
 std::string

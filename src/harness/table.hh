@@ -28,6 +28,14 @@ class TextTable
     /** Print as CSV (for plotting scripts). */
     void printCsv(std::ostream &os) const;
 
+    /**
+     * Print the aligned table and, when the IFP_BENCH_CSV environment
+     * variable is set, a machine-readable CSV block after it. Every
+     * bench binary funnels its output through here, so serial and
+     * parallel sweeps share one (diffable) output path.
+     */
+    void emit(std::ostream &os) const;
+
   private:
     std::vector<std::string> headers;
     std::vector<std::vector<std::string>> rows;

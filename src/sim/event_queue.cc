@@ -1,7 +1,5 @@
 #include "sim/event_queue.hh"
 
-#include <algorithm>
-
 #include "sim/logging.hh"
 
 namespace ifp::sim {
@@ -13,14 +11,26 @@ Event::~Event()
                description().c_str());
 }
 
+namespace {
+
+// Pre-sized heap storage: the evaluation geometry keeps hundreds of
+// events in flight, and growing through the first few powers of two
+// on every run is pure waste once sweeps construct one queue per run.
+constexpr std::size_t initialHeapCapacity = 1024;
+
+} // anonymous namespace
+
 EventQueue::EventQueue()
 {
+    std::vector<HeapEntry> storage;
+    storage.reserve(initialHeapCapacity);
+    heap = Heap(std::greater<HeapEntry>(), std::move(storage));
     setTraceTickSource(&_curTick);
 }
 
 EventQueue::~EventQueue()
 {
-    setTraceTickSource(nullptr);
+    clearTraceTickSource(&_curTick);
     // Squash whatever is left so owned events can be destroyed and
     // externally-owned events do not trip the Event destructor assert.
     while (!heap.empty()) {
@@ -31,6 +41,7 @@ EventQueue::~EventQueue()
             entry.event->_scheduled = false;
         }
     }
+    freeList.clear();
     owned.clear();
 }
 
@@ -77,29 +88,30 @@ EventQueue::reschedule(Event *event, Tick when)
 void
 EventQueue::schedule(Tick when, std::function<void()> fn, std::string desc)
 {
-    auto ev = std::make_unique<LambdaEvent>(std::move(fn),
-                                            std::move(desc));
-    schedule(ev.get(), when);
-    owned.push_back(std::move(ev));
-}
-
-void
-EventQueue::collectOwned()
-{
-    // Drop owned one-shot events that have already fired. Sweeping is
-    // amortized: only run when the vector doubled since the last
-    // sweep, keeping the total cost linear in events executed.
-    if (owned.size() < 64 || owned.size() < 2 * ownedAfterSweep)
-        return;
-    std::erase_if(owned, [](const std::unique_ptr<LambdaEvent> &ev) {
-        return !ev->scheduled();
-    });
-    ownedAfterSweep = owned.size();
+    // One-shots are recycled: a fired lambda is re-armed instead of
+    // paying a fresh make_unique + std::function allocation. Stale
+    // heap entries for a recycled event are harmless because reuse
+    // assigns a strictly newer sequence number.
+    LambdaEvent *ev;
+    if (!freeList.empty()) {
+        ev = freeList.back();
+        freeList.pop_back();
+        ev->reset(std::move(fn), std::move(desc));
+    } else {
+        owned.push_back(std::make_unique<LambdaEvent>(
+            std::move(fn), std::move(desc)));
+        ev = owned.back().get();
+    }
+    ev->_owned = true;
+    schedule(ev, when);
 }
 
 bool
 EventQueue::step()
 {
+    // Re-arm the trace hook on every step: queues may interleave on
+    // one thread, and sweep workers each carry their own queue.
+    setTraceTickSource(&_curTick);
     while (!heap.empty()) {
         HeapEntry entry = heap.top();
         heap.pop();
@@ -116,7 +128,13 @@ EventQueue::step()
         --liveEvents;
         ++executed;
         event->process();
-        collectOwned();
+        if (event->_owned && !event->_scheduled) {
+            // Queue-owned one-shot that did not re-arm itself: park it
+            // on the free-list and drop its captures now.
+            auto *lam = static_cast<LambdaEvent *>(event);
+            lam->release();
+            freeList.push_back(lam);
+        }
         return true;
     }
     return false;

@@ -12,7 +12,16 @@
  *
  * An event object is owned by its creator and must outlive its scheduled
  * occurrence; the queue never deletes events. LambdaEvents created via
- * the schedule(tick, fn) convenience are owned by the queue.
+ * the schedule(tick, fn) convenience are owned by the queue and are
+ * recycled through a free-list once they fire: a one-shot allocates at
+ * most once per *concurrently pending* lambda, not once per schedule.
+ *
+ * Reentrancy contract: an EventQueue is confined to one thread at a
+ * time, but any number of queues may be live concurrently on
+ * different threads (one per parallel-sweep worker). The only global
+ * the queue touches — the trace-tick hook — is thread-local and is
+ * re-installed on every step(), so interleaved queues on one thread
+ * and concurrent queues on many threads both trace their own ticks.
  */
 
 #ifndef IFP_SIM_EVENT_QUEUE_HH
@@ -56,6 +65,7 @@ class Event
 
     bool _scheduled = false;
     bool _squashed = false;
+    bool _owned = false;   //!< queue-owned one-shot, recyclable
     Tick _when = 0;
     std::uint64_t _sequence = 0;
 };
@@ -69,6 +79,22 @@ class LambdaEvent : public Event
     {}
 
     void process() override { callback(); }
+
+    /** Re-arm a recycled one-shot with a new callable. */
+    void
+    reset(std::function<void()> fn, std::string d)
+    {
+        callback = std::move(fn);
+        desc = std::move(d);
+    }
+
+    /** Drop the callable so captured resources release promptly. */
+    void
+    release()
+    {
+        callback = nullptr;
+        desc.clear();
+    }
 
     std::string
     description() const override
@@ -130,6 +156,12 @@ class EventQueue
     /** Total number of events executed so far. */
     std::uint64_t numExecuted() const { return executed; }
 
+    /** Distinct one-shot LambdaEvents ever allocated by this queue. */
+    std::size_t ownedPoolSize() const { return owned.size(); }
+
+    /** Fired one-shots currently parked for reuse. */
+    std::size_t freeListSize() const { return freeList.size(); }
+
   private:
     struct HeapEntry
     {
@@ -145,16 +177,18 @@ class EventQueue
         }
     };
 
-    std::priority_queue<HeapEntry, std::vector<HeapEntry>,
-                        std::greater<HeapEntry>> heap;
+    using Heap = std::priority_queue<HeapEntry, std::vector<HeapEntry>,
+                                     std::greater<HeapEntry>>;
+
+    Heap heap;
+    /** Owns every one-shot this queue ever allocated (pool + live). */
     std::vector<std::unique_ptr<LambdaEvent>> owned;
-    std::size_t ownedAfterSweep = 0;
+    /** Fired one-shots ready for the next schedule(Tick, fn). */
+    std::vector<LambdaEvent *> freeList;
     Tick _curTick = 0;
     std::uint64_t nextSequence = 0;
     std::uint64_t executed = 0;
     std::size_t liveEvents = 0;
-
-    void collectOwned();
 };
 
 } // namespace ifp::sim

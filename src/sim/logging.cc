@@ -1,5 +1,6 @@
 #include "sim/logging.hh"
 
+#include <atomic>
 #include <cinttypes>
 #include <cstdint>
 #include <mutex>
@@ -9,8 +10,16 @@ namespace ifp::sim {
 
 namespace {
 
+// Debug flags are process-wide state shared by every simulation
+// thread: guarded by a mutex, with a relaxed atomic count so the
+// common no-tracing case never takes the lock.
+std::mutex flagMutex;
 std::set<std::string> enabledFlags;
-const std::uint64_t *traceTickSource = nullptr;
+std::atomic<int> numEnabledFlags{0};
+
+// The tick source is thread-local so each parallel-sweep worker
+// traces against its own EventQueue (see logging.hh).
+thread_local const std::uint64_t *traceTickSource = nullptr;
 
 void
 vreport(const char *prefix, const char *fmt, va_list args)
@@ -67,18 +76,27 @@ informImpl(const char *fmt, ...)
 void
 setDebugFlag(const std::string &flag)
 {
+    std::lock_guard<std::mutex> lock(flagMutex);
     enabledFlags.insert(flag);
+    numEnabledFlags.store(static_cast<int>(enabledFlags.size()),
+                          std::memory_order_relaxed);
 }
 
 void
 clearDebugFlag(const std::string &flag)
 {
+    std::lock_guard<std::mutex> lock(flagMutex);
     enabledFlags.erase(flag);
+    numEnabledFlags.store(static_cast<int>(enabledFlags.size()),
+                          std::memory_order_relaxed);
 }
 
 bool
 debugFlagEnabled(const std::string &flag)
 {
+    if (numEnabledFlags.load(std::memory_order_relaxed) == 0)
+        return false;
+    std::lock_guard<std::mutex> lock(flagMutex);
     return enabledFlags.count(flag) != 0;
 }
 
@@ -100,6 +118,19 @@ void
 setTraceTickSource(const std::uint64_t *tick_counter)
 {
     traceTickSource = tick_counter;
+}
+
+void
+clearTraceTickSource(const std::uint64_t *tick_counter)
+{
+    if (traceTickSource == tick_counter)
+        traceTickSource = nullptr;
+}
+
+std::uint64_t
+traceCurrentTick()
+{
+    return traceTickSource ? *traceTickSource : 0;
 }
 
 } // namespace ifp::sim

@@ -17,6 +17,7 @@
 #define IFP_SIM_LOGGING_HH
 
 #include <cstdarg>
+#include <cstdint>
 #include <cstdio>
 #include <cstdlib>
 #include <string>
@@ -46,7 +47,11 @@ void setDebugFlag(const std::string &flag);
 /** Disable a previously enabled debug flag. */
 void clearDebugFlag(const std::string &flag);
 
-/** True when the given trace flag has been enabled. */
+/**
+ * True when the given trace flag has been enabled. Flags are shared
+ * across threads (guarded internally); the no-flags-enabled fast path
+ * is a single relaxed atomic load so tracing costs nothing when off.
+ */
 bool debugFlagEnabled(const std::string &flag);
 
 /**
@@ -58,9 +63,22 @@ void tracePrintf(const std::string &flag, const char *fmt, ...)
 
 /**
  * Hook used by tracePrintf to learn the current simulated time.
- * EventQueue installs itself here; 0 is printed when unset.
+ * The tick source is *thread-local*: each worker thread of a parallel
+ * sweep traces against the EventQueue it is currently stepping, and
+ * concurrently-live queues never cross-wire. EventQueue installs
+ * itself here; 0 is printed when unset.
  */
 void setTraceTickSource(const std::uint64_t *tick_counter);
+
+/**
+ * Clear the calling thread's tick source, but only if it still points
+ * at @p tick_counter (a dying EventQueue must not unhook a sibling
+ * queue that installed itself later).
+ */
+void clearTraceTickSource(const std::uint64_t *tick_counter);
+
+/** Tick the calling thread's trace facility would print right now. */
+std::uint64_t traceCurrentTick();
 
 } // namespace ifp::sim
 

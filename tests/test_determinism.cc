@@ -7,6 +7,7 @@
 
 #include <gtest/gtest.h>
 
+#include "harness/sweep.hh"
 #include "test_helpers.hh"
 
 namespace ifp {
@@ -74,6 +75,82 @@ INSTANTIATE_TEST_SUITE_P(
                       DetCase{"FAM_G", Policy::Awg, true},
                       DetCase{"TB_LG", Policy::Timeout, true}),
     detName);
+
+void
+expectIdentical(const core::RunResult &a, const core::RunResult &b,
+                const std::string &what)
+{
+    SCOPED_TRACE(what);
+    EXPECT_EQ(a.completed, b.completed);
+    EXPECT_EQ(a.deadlocked, b.deadlocked);
+    EXPECT_EQ(a.runTicks, b.runTicks);
+    EXPECT_EQ(a.gpuCycles, b.gpuCycles);
+    EXPECT_EQ(a.instructions, b.instructions);
+    EXPECT_EQ(a.atomicInstructions, b.atomicInstructions);
+    EXPECT_EQ(a.waitingAtomics, b.waitingAtomics);
+    EXPECT_EQ(a.armWaits, b.armWaits);
+    EXPECT_EQ(a.sleeps, b.sleeps);
+    EXPECT_EQ(a.totalWgExecCycles, b.totalWgExecCycles);
+    EXPECT_EQ(a.totalWgWaitCycles, b.totalWgWaitCycles);
+    EXPECT_EQ(a.contextSaves, b.contextSaves);
+    EXPECT_EQ(a.contextRestores, b.contextRestores);
+    EXPECT_EQ(a.condResumesAll, b.condResumesAll);
+    EXPECT_EQ(a.condResumesOne, b.condResumesOne);
+    EXPECT_EQ(a.cpRescues, b.cpRescues);
+    EXPECT_EQ(a.forcedPreemptions, b.forcedPreemptions);
+    EXPECT_EQ(a.maxConditions, b.maxConditions);
+    EXPECT_EQ(a.maxWaiters, b.maxWaiters);
+    EXPECT_EQ(a.maxMonitoredLines, b.maxMonitoredLines);
+    EXPECT_EQ(a.maxLogEntries, b.maxLogEntries);
+    EXPECT_EQ(a.maxSpilledConds, b.maxSpilledConds);
+    EXPECT_EQ(a.spills, b.spills);
+    EXPECT_EQ(a.logFullRetries, b.logFullRetries);
+    EXPECT_EQ(a.wgCompletionSpreadCycles, b.wgCompletionSpreadCycles);
+    EXPECT_EQ(a.maxWgWaitCycles, b.maxWgWaitCycles);
+    EXPECT_EQ(a.validated, b.validated);
+    EXPECT_EQ(a.validationError, b.validationError);
+}
+
+// The whole parallel-sweep design rests on this: a sweep run on four
+// workers must be bit-identical — every counter, every stat — to the
+// same sweep run serially, in the same submission order.
+TEST(SweepDeterminism, ParallelSweepMatchesSerialBitForBit)
+{
+    std::vector<harness::Experiment> exps;
+    auto add = [&](const std::string &w, Policy policy,
+                   bool oversubscribed) {
+        harness::Experiment exp;
+        exp.workload = w;
+        exp.policy = policy;
+        exp.oversubscribed = oversubscribed;
+        exp.params = test::smallParams();
+        if (oversubscribed) {
+            exp.params.iters = 12;
+            exp.runCfg.cuLossMicroseconds = 5;
+        }
+        exps.push_back(std::move(exp));
+    };
+    add("SPM_G", Policy::Baseline, false);
+    add("SPM_G", Policy::Awg, false);
+    add("FAM_G", Policy::MonNROne, false);
+    add("TB_LG", Policy::MonNRAll, false);
+    add("SLM_L", Policy::Sleep, false);
+    add("LFTB_LG", Policy::Timeout, false);
+    add("FAM_G", Policy::Awg, true);
+    add("TB_LG", Policy::Timeout, true);
+
+    std::vector<core::RunResult> serial = harness::runSweep(exps, 1);
+    std::vector<core::RunResult> parallel = harness::runSweep(exps, 4);
+
+    ASSERT_EQ(serial.size(), exps.size());
+    ASSERT_EQ(parallel.size(), exps.size());
+    for (std::size_t i = 0; i < exps.size(); ++i) {
+        expectIdentical(serial[i], parallel[i],
+                        exps[i].workload + "/" +
+                            core::policyName(exps[i].policy) +
+                            (exps[i].oversubscribed ? "/over" : ""));
+    }
+}
 
 } // anonymous namespace
 } // namespace ifp

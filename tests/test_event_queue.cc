@@ -5,9 +5,11 @@
 
 #include <gtest/gtest.h>
 
+#include <memory>
 #include <vector>
 
 #include "sim/event_queue.hh"
+#include "sim/logging.hh"
 
 namespace ifp::sim {
 namespace {
@@ -170,6 +172,144 @@ TEST(EventQueue, RescheduleLeavesOnlyOneLiveOccurrence)
     eq.simulate();
     EXPECT_EQ(log.size(), 1u);
     EXPECT_EQ(eq.curTick(), 15u);
+}
+
+TEST(EventQueueFreeList, FiredOneShotsAreRecycledNotReallocated)
+{
+    EventQueue eq;
+    int hits = 0;
+    for (int i = 0; i < 100; ++i)
+        eq.schedule(i + 1, [&hits] { ++hits; });
+    EXPECT_EQ(eq.ownedPoolSize(), 100u);
+    EXPECT_EQ(eq.freeListSize(), 0u);
+    eq.simulate();
+    EXPECT_EQ(hits, 100);
+    EXPECT_EQ(eq.freeListSize(), 100u);
+
+    // A second wave must be served entirely from the free-list.
+    for (int i = 0; i < 100; ++i)
+        eq.schedule(eq.curTick() + i + 1, [&hits] { ++hits; });
+    EXPECT_EQ(eq.ownedPoolSize(), 100u);
+    EXPECT_EQ(eq.freeListSize(), 0u);
+    eq.simulate();
+    EXPECT_EQ(hits, 200);
+    EXPECT_EQ(eq.freeListSize(), 100u);
+}
+
+TEST(EventQueueFreeList, PoolGrowsOnlyWithConcurrentlyPendingOneShots)
+{
+    EventQueue eq;
+    int hits = 0;
+    // Interleave schedule-one/fire-one 500 times: one lambda event
+    // should be allocated once and recycled 499 times.
+    for (int i = 0; i < 500; ++i) {
+        eq.schedule(eq.curTick() + 1, [&hits] { ++hits; });
+        eq.step();
+    }
+    EXPECT_EQ(hits, 500);
+    EXPECT_EQ(eq.ownedPoolSize(), 1u);
+}
+
+TEST(EventQueueFreeList, RecycledOneShotsNeverDoubleFire)
+{
+    EventQueue eq;
+    std::vector<int> log;
+    // Wave 1 leaves stale heap entries for nothing: all fire.
+    for (int i = 0; i < 8; ++i)
+        eq.schedule(i + 1, [&log, i] { log.push_back(i); });
+    eq.simulate();
+    // Wave 2 reuses the same event objects with fresh sequence
+    // numbers; each callback must run exactly once.
+    for (int i = 0; i < 8; ++i)
+        eq.schedule(eq.curTick() + i + 1,
+                    [&log, i] { log.push_back(100 + i); });
+    eq.simulate();
+    ASSERT_EQ(log.size(), 16u);
+    for (int i = 0; i < 8; ++i) {
+        EXPECT_EQ(log[i], i);
+        EXPECT_EQ(log[8 + i], 100 + i);
+    }
+}
+
+TEST(EventQueueFreeList, OneShotSchedulingFromRecycledEventWorks)
+{
+    EventQueue eq;
+    int depth = 0;
+    std::function<void()> chain = [&] {
+        if (++depth < 50)
+            eq.schedule(eq.curTick() + 1, chain);
+    };
+    eq.schedule(1, chain);
+    eq.simulate();
+    EXPECT_EQ(depth, 50);
+    // The chain schedules the next link from inside the previous
+    // one, so at least two lambda events overlap; the pool must stay
+    // far below one-allocation-per-link.
+    EXPECT_LE(eq.ownedPoolSize(), 4u);
+}
+
+TEST(EventQueueFreeList, DestructionWithPendingOneShotsIsClean)
+{
+    int hits = 0;
+    {
+        EventQueue eq;
+        for (int i = 0; i < 32; ++i)
+            eq.schedule(i + 1, [&hits] { ++hits; });
+        eq.simulate(10);   // fire 10, leave 22 pending
+    }
+    // Destroying the queue with live one-shots must neither fire
+    // them nor trip the Event destructor assert (no leak under ASan).
+    EXPECT_EQ(hits, 10);
+}
+
+TEST(EventQueueFreeList, CapturedResourcesReleaseAfterFiring)
+{
+    EventQueue eq;
+    auto token = std::make_shared<int>(42);
+    std::weak_ptr<int> observer = token;
+    eq.schedule(1, [t = std::move(token)] { (void)*t; });
+    eq.simulate();
+    // The recycled event must have dropped its callback (and the
+    // captured shared_ptr) when it was parked on the free-list.
+    EXPECT_TRUE(observer.expired());
+}
+
+// Regression: constructing a second EventQueue used to overwrite the
+// trace tick hook for the whole process, so an older queue's traces
+// reported the younger queue's ticks. The hook is now re-installed
+// per step, so interleaved queues report their own time.
+TEST(EventQueueTraceTick, ConcurrentlyLiveQueuesTraceTheirOwnTicks)
+{
+    EventQueue a;
+    EventQueue b;   // would cross-wire 'a' before the fix
+    std::uint64_t seen_a = ~0ull, seen_b = ~0ull;
+    a.schedule(100, [&] { seen_a = traceCurrentTick(); });
+    b.schedule(7, [&] { seen_b = traceCurrentTick(); });
+    a.step();
+    b.step();
+    EXPECT_EQ(seen_a, 100u);
+    EXPECT_EQ(seen_b, 7u);
+    // And again in the other order, after both queues advanced.
+    a.schedule(200, [&] { seen_a = traceCurrentTick(); });
+    b.schedule(30, [&] { seen_b = traceCurrentTick(); });
+    b.step();
+    a.step();
+    EXPECT_EQ(seen_a, 200u);
+    EXPECT_EQ(seen_b, 30u);
+}
+
+TEST(EventQueueTraceTick, DyingQueueDoesNotUnhookSibling)
+{
+    auto a = std::make_unique<EventQueue>();
+    std::uint64_t seen = ~0ull;
+    a->schedule(100, [&] { seen = traceCurrentTick(); });
+    {
+        EventQueue b;   // installs itself on construction...
+        b.schedule(1, [] {});
+        b.simulate();
+    }                   // ...and must only unhook itself on death
+    a->step();
+    EXPECT_EQ(seen, 100u);
 }
 
 } // anonymous namespace

@@ -1,0 +1,155 @@
+/**
+ * @file
+ * Unit tests for harness::SweepRunner — the thread-pool executor the
+ * bench binaries submit their evaluation sweeps through.
+ */
+
+#include <gtest/gtest.h>
+
+#include <cstdlib>
+
+#include "harness/sweep.hh"
+#include "test_helpers.hh"
+
+namespace ifp {
+namespace {
+
+using core::Policy;
+
+harness::Experiment
+smallExperiment(const std::string &w, Policy policy)
+{
+    harness::Experiment exp;
+    exp.workload = w;
+    exp.policy = policy;
+    exp.params = test::smallParams();
+    return exp;
+}
+
+TEST(SweepRunner, EnqueueReturnsSubmissionIndices)
+{
+    harness::SweepRunner sweep(2);
+    EXPECT_EQ(sweep.enqueue(smallExperiment("SPM_G", Policy::Awg)), 0u);
+    EXPECT_EQ(sweep.enqueue(smallExperiment("FAM_G", Policy::Awg)), 1u);
+    EXPECT_EQ(sweep.size(), 2u);
+}
+
+TEST(SweepRunner, ResultsComeBackInSubmissionOrder)
+{
+    // Mix long (contended mutex) and short runs so parallel workers
+    // finish out of submission order; results must not.
+    const std::vector<std::pair<std::string, Policy>> runs = {
+        {"SPM_G", Policy::Baseline}, {"TB_LG", Policy::Awg},
+        {"FAM_G", Policy::MonNROne}, {"SPM_G", Policy::Awg},
+        {"SLM_L", Policy::Sleep},    {"FAM_G", Policy::Awg}};
+
+    harness::SweepRunner sweep(3);
+    for (const auto &[w, p] : runs)
+        sweep.enqueue(smallExperiment(w, p));
+    const auto &results = sweep.run();
+
+    ASSERT_EQ(results.size(), runs.size());
+    for (std::size_t i = 0; i < runs.size(); ++i) {
+        const core::RunResult expected = harness::runExperiment(
+            smallExperiment(runs[i].first, runs[i].second));
+        EXPECT_EQ(results[i].gpuCycles, expected.gpuCycles)
+            << "run " << i << " (" << runs[i].first << ")";
+        EXPECT_EQ(results[i].instructions, expected.instructions);
+        EXPECT_TRUE(results[i].completed);
+    }
+}
+
+TEST(SweepRunner, RunIsIdempotent)
+{
+    harness::SweepRunner sweep(2);
+    sweep.enqueue(smallExperiment("SPM_G", Policy::Awg));
+    const auto &first = sweep.run();
+    const std::uint64_t cycles = first[0].gpuCycles;
+    const auto &second = sweep.run();
+    EXPECT_EQ(&first, &second);
+    EXPECT_EQ(second[0].gpuCycles, cycles);
+}
+
+TEST(SweepRunner, EmptySweepRunsCleanly)
+{
+    harness::SweepRunner sweep(4);
+    EXPECT_TRUE(sweep.run().empty());
+}
+
+TEST(SweepRunner, SerialPathUsesNoWorkersAndMatchesParallel)
+{
+    harness::SweepRunner serial(1);
+    harness::SweepRunner parallel(4);
+    for (const char *w : {"SPM_G", "FAM_G"}) {
+        serial.enqueue(smallExperiment(w, Policy::Awg));
+        parallel.enqueue(smallExperiment(w, Policy::Awg));
+    }
+    const auto &a = serial.run();
+    const auto &b = parallel.run();
+    ASSERT_EQ(a.size(), b.size());
+    for (std::size_t i = 0; i < a.size(); ++i)
+        EXPECT_EQ(a[i].gpuCycles, b[i].gpuCycles);
+}
+
+TEST(SweepRunner, RecordsWallAndSerialSeconds)
+{
+    harness::SweepRunner sweep(2);
+    sweep.enqueue(smallExperiment("SPM_G", Policy::Awg));
+    sweep.enqueue(smallExperiment("FAM_G", Policy::Awg));
+    sweep.run();
+    EXPECT_GT(sweep.wallSeconds(), 0.0);
+    EXPECT_GT(sweep.serialSeconds(), 0.0);
+}
+
+class JobsFromEnv : public ::testing::Test
+{
+  protected:
+    void
+    SetUp() override
+    {
+        if (const char *old = std::getenv("IFP_BENCH_JOBS"))
+            saved = old;
+        unsetenv("IFP_BENCH_JOBS");
+    }
+
+    void
+    TearDown() override
+    {
+        if (saved.empty())
+            unsetenv("IFP_BENCH_JOBS");
+        else
+            setenv("IFP_BENCH_JOBS", saved.c_str(), 1);
+    }
+
+    std::string saved;
+};
+
+TEST_F(JobsFromEnv, UnsetFallsBackToHardwareConcurrency)
+{
+    EXPECT_GE(harness::SweepRunner::jobsFromEnv(), 1u);
+}
+
+TEST_F(JobsFromEnv, ParsesExplicitJobCount)
+{
+    setenv("IFP_BENCH_JOBS", "3", 1);
+    EXPECT_EQ(harness::SweepRunner::jobsFromEnv(), 3u);
+    EXPECT_EQ(harness::SweepRunner(0).jobs(), 3u);
+}
+
+TEST_F(JobsFromEnv, RejectsInvalidValues)
+{
+    for (const char *bad : {"0", "-2", "abc", "4x", ""}) {
+        setenv("IFP_BENCH_JOBS", bad, 1);
+        EXPECT_GE(harness::SweepRunner::jobsFromEnv(), 1u)
+            << "IFP_BENCH_JOBS='" << bad << "'";
+    }
+}
+
+TEST_F(JobsFromEnv, ExplicitConstructorArgWinsOverEnv)
+{
+    setenv("IFP_BENCH_JOBS", "7", 1);
+    EXPECT_EQ(harness::SweepRunner(2).jobs(), 2u);
+}
+
+} // anonymous namespace
+} // namespace ifp

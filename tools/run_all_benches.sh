@@ -1,0 +1,78 @@
+#!/usr/bin/env bash
+# Sweep-parity harness: run every bench binary serially
+# (IFP_BENCH_JOBS=1) and in parallel (IFP_BENCH_JOBS=N) with CSV
+# output enabled, and diff the stdout of the two runs. Any difference
+# means the parallel sweep changed the evaluation's results and fails
+# the run. Wired into ctest as the `sweep-parity` label.
+#
+# Usage: run_all_benches.sh [BENCH_DIR] [JOBS]
+#   BENCH_DIR  directory with the bench binaries (default: build/bench)
+#   JOBS       parallel worker count (default: IFP_BENCH_PARITY_JOBS
+#              or the machine's core count)
+
+set -u
+
+BENCH_DIR="${1:-build/bench}"
+JOBS="${2:-${IFP_BENCH_PARITY_JOBS:-$(nproc 2>/dev/null || echo 4)}}"
+# Always exercise the thread pool, even on single-core hosts:
+# parity is about determinism under concurrency, not speed.
+[ "$JOBS" -ge 2 ] 2>/dev/null || JOBS=4
+
+if [ ! -d "$BENCH_DIR" ]; then
+    echo "error: bench dir '$BENCH_DIR' not found (build first)" >&2
+    exit 2
+fi
+
+tmpdir="$(mktemp -d)"
+trap 'rm -rf "$tmpdir"' EXIT
+
+fail=0
+total_serial=0
+total_parallel=0
+
+for bin in "$BENCH_DIR"/*; do
+    [ -x "$bin" ] && [ -f "$bin" ] || continue
+    name="$(basename "$bin")"
+    case "$name" in
+        # Google-benchmark binaries measure host time, not sweeps.
+        microbench_*) continue ;;
+        *.cmake|CTestTestfile*|CMakeFiles) continue ;;
+    esac
+
+    t0=$(date +%s.%N)
+    if ! IFP_BENCH_CSV=1 IFP_BENCH_JOBS=1 "$bin" \
+            > "$tmpdir/$name.serial" 2>/dev/null; then
+        echo "FAIL  $name: serial run exited non-zero" >&2
+        fail=1
+        continue
+    fi
+    t1=$(date +%s.%N)
+    if ! IFP_BENCH_CSV=1 IFP_BENCH_JOBS="$JOBS" "$bin" \
+            > "$tmpdir/$name.parallel" 2>/dev/null; then
+        echo "FAIL  $name: parallel run (jobs=$JOBS) exited non-zero" >&2
+        fail=1
+        continue
+    fi
+    t2=$(date +%s.%N)
+
+    serial_s=$(echo "$t1 $t0" | awk '{printf "%.2f", $1 - $2}')
+    parallel_s=$(echo "$t2 $t1" | awk '{printf "%.2f", $1 - $2}')
+    total_serial=$(echo "$total_serial $serial_s" | awk '{print $1 + $2}')
+    total_parallel=$(echo "$total_parallel $parallel_s" | awk '{print $1 + $2}')
+
+    if diff -u "$tmpdir/$name.serial" "$tmpdir/$name.parallel" \
+            > "$tmpdir/$name.diff"; then
+        echo "ok    $name (serial ${serial_s}s, jobs=$JOBS ${parallel_s}s)"
+    else
+        echo "FAIL  $name: jobs=1 and jobs=$JOBS output differ:" >&2
+        cat "$tmpdir/$name.diff" >&2
+        fail=1
+    fi
+done
+
+speedup=$(echo "$total_serial $total_parallel" | \
+          awk '{ if ($2 > 0) printf "%.2f", $1 / $2; else print "n/a" }')
+echo "total: serial ${total_serial}s, jobs=$JOBS ${total_parallel}s," \
+     "suite speedup ${speedup}x"
+
+exit $fail
