@@ -66,5 +66,37 @@ main()
     std::cout << "\nShape check: MonNR-One waiting stays low for "
                  "mutexes but dominates for centralized tree "
                  "barriers; MonNR-All is the other way around.\n";
+
+    // Observability cross-check: the stall-reason accounting
+    // partitions each WG's lifetime, so the per-reason shares sum to
+    // 100% per run and the waiting column above should agree with the
+    // "waiting" bucket.
+    bench::banner("Stall-reason break-down "
+                  "(share of total WG lifetime cycles)");
+    std::vector<std::string> headers2 = {"Benchmark", "Policy"};
+    for (std::size_t i = 0; i < sim::numStallReasons; ++i)
+        headers2.push_back(sim::stallReasonName(
+            static_cast<sim::StallReason>(i)));
+    harness::TextTable t2(std::move(headers2));
+
+    idx = 0;
+    for (const std::string &w : benchmarks) {
+        for (core::Policy policy : policies) {
+            const core::RunResult &r = sweep.result(idx++);
+            std::vector<std::string> row = {w,
+                                            core::policyName(policy)};
+            if (!r.completed || r.wgLifetimeCycles <= 0) {
+                for (std::size_t i = 0; i < sim::numStallReasons; ++i)
+                    row.push_back("-");
+            } else {
+                for (std::size_t i = 0; i < sim::numStallReasons; ++i)
+                    row.push_back(harness::formatDouble(
+                        100.0 * r.wgCycleBreakdown[i] /
+                            r.wgLifetimeCycles, 1) + "%");
+            }
+            t2.addRow(std::move(row));
+        }
+    }
+    bench::printTable(t2);
     return 0;
 }

@@ -34,7 +34,7 @@ main()
         for (sim::Cycles max_backoff : intervals) {
             harness::Experiment exp =
                 bench::evalExperiment(w, core::Policy::Sleep);
-            exp.sleepMaxBackoffCycles = max_backoff;
+            exp.runCfg.policy.sleepMaxBackoffCycles = max_backoff;
             sweep.enqueue(std::move(exp));
         }
     }

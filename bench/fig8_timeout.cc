@@ -33,7 +33,7 @@ main()
         for (sim::Cycles interval : intervals) {
             harness::Experiment exp =
                 bench::evalExperiment(w, core::Policy::Timeout);
-            exp.timeoutIntervalCycles = interval;
+            exp.runCfg.policy.timeoutIntervalCycles = interval;
             sweep.enqueue(std::move(exp));
         }
     }

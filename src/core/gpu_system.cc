@@ -90,6 +90,16 @@ GpuSystem::GpuSystem(const RunConfig &run_cfg)
 
     for (auto &cu : cus)
         cu->setSyncObserver(observer);
+
+    if (cfg.traceEnabled) {
+        sink = std::make_unique<sim::TraceSink>();
+        dispatch->setTraceSink(sink.get());
+        cp->setTraceSink(sink.get());
+        for (auto &cu : cus)
+            cu->setTraceSink(sink.get());
+        if (monitor)
+            monitor->setTraceSink(sink.get());
+    }
 }
 
 GpuSystem::~GpuSystem() = default;
@@ -179,6 +189,11 @@ GpuSystem::run(const isa::Kernel &kernel, const Validator &validator)
     }
     result.gpuCycles = result.runTicks / cfg.gpu.clockPeriod;
 
+    // Close the stall-reason books (completed WGs already closed at
+    // their completeTick; survivors are charged up to the run's end)
+    // and publish the per-reason totals as dispatcher stats.
+    dispatch->accumulateWgCycleStats(result.runTicks);
+
     harvest(result);
 
     if (result.completed && validator) {
@@ -235,6 +250,23 @@ GpuSystem::harvest(RunResult &result) const
             (last_done - first_done) / period;
     }
 
+    // Stall-reason breakdown published by accumulateWgCycleStats().
+    // Per-WG lifetimes run from creation (launch, tick 0) to
+    // completion or end of run, so the breakdown partitions them.
+    if (const sim::Vector *v =
+            dispatch->stats().tryVector("wgCycles")) {
+        for (std::size_t r = 0;
+             r < std::min<std::size_t>(v->size(),
+                                       sim::numStallReasons); ++r) {
+            result.wgCycleBreakdown[r] = v->at(r);
+        }
+    }
+    for (const auto &wg : dispatch->workgroups()) {
+        sim::Tick end = wg->completeTick > 0 ? wg->completeTick
+                                             : result.runTicks;
+        result.wgLifetimeCycles += static_cast<double>(end) / period;
+    }
+
     result.forcedPreemptions = static_cast<std::uint64_t>(
         dispatch->stats().scalar("forcedPreemptions").value());
     result.cpRescues = cp->rescueResumes();
@@ -272,6 +304,23 @@ GpuSystem::dumpStats(std::ostream &os) const
         cu->stats().dump(os);
     if (monitor)
         monitor->stats().dump(os);
+}
+
+void
+GpuSystem::forEachStatGroup(
+    const std::function<void(const sim::StatGroup &)> &fn) const
+{
+    fn(dram->stats());
+    fn(l2cache->stats());
+    fn(dma->stats());
+    fn(cp->stats());
+    fn(dispatch->stats());
+    for (const auto &l1 : l1s)
+        fn(l1->stats());
+    for (const auto &cu : cus)
+        fn(cu->stats());
+    if (monitor)
+        fn(monitor->stats());
 }
 
 } // namespace ifp::core

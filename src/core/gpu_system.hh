@@ -35,6 +35,7 @@
 #include "mem/l1_cache.hh"
 #include "mem/l2_cache.hh"
 #include "sim/event_queue.hh"
+#include "sim/trace_sink.hh"
 #include "syncmon/sync_monitor.hh"
 #include "syncmon/timeout_controller.hh"
 
@@ -66,6 +67,13 @@ struct RunConfig
     sim::Cycles deadlockWindowCycles = 1'000'000;
     /** Absolute simulation budget, in GPU cycles. */
     sim::Cycles maxCycles = 400'000'000;
+
+    /**
+     * Collect structured TraceEvents during the run (see
+     * sim/trace_sink.hh). Off by default: every emission site then
+     * reduces to a null-pointer test, so untraced runs pay nothing.
+     */
+    bool traceEnabled = false;
 };
 
 /** Checks the final memory image of a run. */
@@ -100,10 +108,17 @@ class GpuSystem
     sim::EventQueue &eventq() { return eq; }
     syncmon::SyncMonController *syncMon() { return monitor.get(); }
     const RunConfig &config() const { return cfg; }
+
+    /** The run's trace sink, or nullptr when tracing is disabled. */
+    const sim::TraceSink *traceSink() const { return sink.get(); }
     /// @}
 
     /** Dump every component's statistics. */
     void dumpStats(std::ostream &os) const;
+
+    /** Visit every component's StatGroup (exporters, stats-JSON). */
+    void forEachStatGroup(
+        const std::function<void(const sim::StatGroup &)> &fn) const;
 
   private:
     RunConfig cfg;
@@ -119,6 +134,7 @@ class GpuSystem
     std::unique_ptr<gpu::Dispatcher> dispatch;
     std::unique_ptr<syncmon::SyncMonController> monitor;
     std::unique_ptr<syncmon::TimeoutController> timeout;
+    std::unique_ptr<sim::TraceSink> sink;
 
     mem::Addr heapNext = 0x1000'0000ULL;
     bool kernelDone = false;

@@ -57,7 +57,7 @@ struct PolicyConfig
     /** Timeout policy: the fixed stall/switch interval. */
     sim::Cycles timeoutIntervalCycles = 20'000;
     /** Sleep policy: maximum backoff interval. */
-    sim::Cycles sleepMaxBackoffCycles = 16'000;
+    sim::Cycles sleepMaxBackoffCycles = 16'384;
     /** Sleep policy: initial backoff interval. */
     sim::Cycles sleepMinBackoffCycles = 64;
     syncmon::SyncMonConfig syncmon;

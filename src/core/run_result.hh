@@ -6,9 +6,11 @@
 #ifndef IFP_CORE_RUN_RESULT_HH
 #define IFP_CORE_RUN_RESULT_HH
 
+#include <array>
 #include <cstdint>
 #include <string>
 
+#include "sim/trace_sink.hh"
 #include "sim/types.hh"
 
 namespace ifp::core {
@@ -42,6 +44,22 @@ struct RunResult
     totalWgRunCycles() const
     {
         return totalWgExecCycles - totalWgWaitCycles;
+    }
+    /// @}
+
+    /// @name Stall-reason breakdown (observability layer)
+    ///
+    /// Per-reason WG-lifetime cycles summed over all WGs, indexed by
+    /// sim::StallReason. The buckets partition each WG's lifetime
+    /// from creation to completion (or end of run), so
+    /// sum(wgCycleBreakdown) == wgLifetimeCycles.
+    /// @{
+    std::array<double, sim::numStallReasons> wgCycleBreakdown{};
+    double wgLifetimeCycles = 0.0;
+    double
+    stallCycles(sim::StallReason reason) const
+    {
+        return wgCycleBreakdown[sim::stallIndex(reason)];
     }
     /// @}
 

@@ -79,8 +79,12 @@ CommandProcessor::spillCondition(mem::Addr addr, mem::MemValue expected,
                                  int wg_id)
 {
     bool ok = log.append(MonitorLogEntry{addr, expected, wg_id});
-    if (ok)
+    if (ok) {
+        sim::emitTrace(trace, curTick(), sim::TraceEventKind::LogAbsorb,
+                       wg_id, -1, sim::StallReason::Running, addr,
+                       static_cast<std::int64_t>(log.size()));
         ensureHousekeeping();
+    }
     return ok;
 }
 
@@ -116,13 +120,20 @@ CommandProcessor::housekeeping()
     sim::Tick now = curTick();
 
     // 1. Drain the Monitor Log into the lookup-efficient table.
+    unsigned drained = 0;
     for (unsigned i = 0; i < config.logDrainPerCheck; ++i) {
         auto entry = log.pop();
         if (!entry)
             break;
         ++logDrained;
+        ++drained;
         spilled.push_back(
             SpilledCond{entry->addr, entry->expected, entry->wgId});
+    }
+    if (drained > 0) {
+        sim::emitTrace(trace, now, sim::TraceEventKind::LogDrain, -1,
+                       -1, sim::StallReason::Running, 0,
+                       static_cast<std::int64_t>(drained));
     }
     maxSpilled =
         std::max(maxSpilled, static_cast<unsigned>(spilled.size()));

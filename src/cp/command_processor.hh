@@ -33,6 +33,7 @@
 #include "mem/dma.hh"
 #include "sim/clocked.hh"
 #include "sim/stats.hh"
+#include "sim/trace_sink.hh"
 
 namespace ifp::cp {
 
@@ -63,6 +64,7 @@ class CommandProcessor : public sim::Clocked,
                      mem::MemDevice *l2 = nullptr);
 
     void setScheduler(gpu::WgScheduler *s) { scheduler = s; }
+    void setTraceSink(sim::TraceSink *sink) { trace = sink; }
 
     /// @name ContextSwitcher
     /// @{
@@ -120,6 +122,7 @@ class CommandProcessor : public sim::Clocked,
     mem::DmaEngine &dma;
     mem::BackingStore &store;
     gpu::WgScheduler *scheduler = nullptr;
+    sim::TraceSink *trace = nullptr;
 
     MonitorLog log;
     /** The "monitor table": drained, lookup-efficient conditions. */

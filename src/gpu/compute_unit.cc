@@ -109,7 +109,9 @@ ComputeUnit::activateWg(WorkGroup *wg)
 {
     ifp_assert(wg->cuId == static_cast<int>(id),
                "activating wg%d on wrong CU", wg->id);
-    wg->state = WgState::Running;
+    wg->setState(WgState::Running, curTick());
+    sim::emitTrace(trace, curTick(), sim::TraceEventKind::WgActivated,
+                   wg->id, static_cast<int>(id));
     for (auto &wf : wg->wavefronts) {
         if (wf->state == WfState::WaitSync)
             wakeWf(*wf);
@@ -166,7 +168,7 @@ ComputeUnit::wakeWf(Wavefront &wf)
     ifp_assert(wf.state != WfState::Done, "waking a done wavefront");
     sim::Tick now = curTick();
     if (wf.state == WfState::WaitSync || wf.state == WfState::Sleeping)
-        wf.wg->endWait(now);
+        wf.wg->endWait(now, wf.state == WfState::Sleeping);
     wf.state = WfState::Ready;
     ++wf.waitEpoch;
     notifyReady();
@@ -250,6 +252,7 @@ ComputeUnit::doBarrier(Wavefront &wf)
         }
         notifyReady();
     }
+    wg->refreshRunBucket(curTick());
 }
 
 void
@@ -382,7 +385,7 @@ ComputeUnit::executeInstr(Wavefront &wf)
         ifp_assert(cycles > 0, "s_sleep with non-positive duration");
         ++wf.pc;
         wf.state = WfState::Sleeping;
-        wf.wg->beginWait(curTick());
+        wf.wg->beginWait(curTick(), /*spin=*/true);
         scheduleWake(wf, static_cast<sim::Cycles>(cycles));
         return;
       }
@@ -416,6 +419,8 @@ ComputeUnit::executeInstr(Wavefront &wf)
                 if (listener)
                     listener->wgCompleted(wg);
             }, name() + ".wgDone");
+        } else {
+            wg->refreshRunBucket(curTick());
         }
         return;
       }
@@ -471,6 +476,8 @@ ComputeUnit::issueMemRequest(Wavefront &wf, const isa::Instr &in)
     }
 
     wf.state = WfState::WaitMem;
+    ++wf.wg->memWaitWfs;
+    wf.wg->refreshRunBucket(curTick());
     Wavefront *wfp = &wf;
     req->onResponse = [this, wfp, req] { memResponse(*wfp, req); };
     l1.access(req);
@@ -482,6 +489,9 @@ ComputeUnit::memResponse(Wavefront &wf, const mem::MemRequestPtr &req)
     ifp_assert(wf.state == WfState::WaitMem,
                "memory response for wg%d wf%u in state %d", wf.wg->id,
                wf.idInWg, static_cast<int>(wf.state));
+    ifp_assert(wf.wg->memWaitWfs > 0, "wg%d memWait underflow",
+               wf.wg->id);
+    --wf.wg->memWaitWfs;
 
     switch (req->op) {
       case mem::MemOp::Read: {
@@ -517,6 +527,7 @@ ComputeUnit::memResponse(Wavefront &wf, const mem::MemRequestPtr &req)
         break;
     }
 
+    wf.wg->refreshRunBucket(curTick());
     if (wf.state == WfState::Ready)
         notifyReady();
     checkDrained(wf.wg);
@@ -541,6 +552,10 @@ ComputeUnit::applyWaitDecision(Wavefront &wf, mem::Addr addr,
         wg->hasWaitCond = true;
         wg->waitAddr = addr;
         wg->waitExpected = expected;
+        sim::emitTrace(trace, curTick(),
+                       sim::TraceEventKind::WgStalled, wg->id,
+                       static_cast<int>(id), sim::StallReason::Waiting,
+                       addr, static_cast<std::int64_t>(expected));
         if (decision.timeoutCycles > 0)
             scheduleRescue(wf, addr, expected, decision.timeoutCycles);
         return;
@@ -552,6 +567,10 @@ ComputeUnit::applyWaitDecision(Wavefront &wf, mem::Addr addr,
         wg->hasWaitCond = true;
         wg->waitAddr = addr;
         wg->waitExpected = expected;
+        sim::emitTrace(trace, curTick(),
+                       sim::TraceEventKind::WgStalled, wg->id,
+                       static_cast<int>(id), sim::StallReason::Waiting,
+                       addr, static_cast<std::int64_t>(expected));
         sim::Cycles rescue = decision.timeoutCycles;
         // Defer: the listener re-enters CU residency management.
         eventq().schedule(curTick(), [this, wg, rescue] {

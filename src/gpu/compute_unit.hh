@@ -61,6 +61,7 @@ class ComputeUnit : public sim::Clocked
     /// @{
     void setListener(CuListener *l) { listener = l; }
     void setSyncObserver(mem::SyncObserver *obs) { observer = obs; }
+    void setTraceSink(sim::TraceSink *sink) { trace = sink; }
     /// @}
 
     /// @name Residency
@@ -130,6 +131,7 @@ class ComputeUnit : public sim::Clocked
     mem::BackingStore &store;
     CuListener *listener = nullptr;
     mem::SyncObserver *observer = nullptr;
+    sim::TraceSink *trace = nullptr;
 
     std::vector<std::vector<Wavefront *>> simdWfs;
     std::vector<unsigned> rrIndex;

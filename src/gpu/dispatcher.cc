@@ -21,7 +21,10 @@ Dispatcher::Dispatcher(std::string name, sim::EventQueue &eq,
           "resumesSwapped",
           "condition-met resumes of switched-out WGs")),
       forcedPreemptions(statGroup.addScalar(
-          "forcedPreemptions", "WGs pre-empted by kernel scheduling"))
+          "forcedPreemptions", "WGs pre-empted by kernel scheduling")),
+      wgCycles(statGroup.addVector(
+          "wgCycles", sim::numStallReasons,
+          "WG lifetime cycles by stall reason"))
 {
 }
 
@@ -122,8 +125,11 @@ Dispatcher::startFresh(WorkGroup *w, ComputeUnit *cu)
                wgStateName(w->state));
     ++dispatches;
     cu->placeWg(w);
-    w->state = WgState::Dispatching;
+    w->setState(WgState::Dispatching, curTick());
     w->dispatchTick = curTick();
+    sim::emitTrace(trace, curTick(),
+                   sim::TraceEventKind::WgDispatched, w->id,
+                   static_cast<int>(cu->cuId()));
     eventq().schedule(clockEdge(config.dispatchLatency),
                       [cu, w] { cu->activateWg(w); },
                       name() + ".activate");
@@ -138,7 +144,9 @@ Dispatcher::startSwapIn(WorkGroup *w, ComputeUnit *cu)
     ifp_assert(switcher, "no context switcher installed");
     ++swapIns;
     cu->placeWg(w);
-    w->state = WgState::SwitchingIn;
+    w->setState(WgState::SwitchingIn, curTick());
+    sim::emitTrace(trace, curTick(), sim::TraceEventKind::WgSwapIn,
+                   w->id, static_cast<int>(cu->cuId()));
     switcher->restoreContext(w, [this, w, cu] {
         ++w->contextRestores;
         cu->activateWg(w);
@@ -162,7 +170,9 @@ Dispatcher::beginSwapOut(WorkGroup *w)
 {
     ifp_assert(w->cuId >= 0, "swap-out of non-resident wg%d", w->id);
     ++swapOuts;
-    w->state = WgState::SwitchingOut;
+    sim::emitTrace(trace, curTick(), sim::TraceEventKind::WgSwitchOut,
+                   w->id, w->cuId);
+    w->setState(WgState::SwitchingOut, curTick());
     ComputeUnit *cu = cus[w->cuId];
     cu->beginDrain(w, [this, w] {
         switcher->saveContext(w, [this, w] { finishSwapOut(w); });
@@ -180,11 +190,18 @@ Dispatcher::finishSwapOut(WorkGroup *w)
     ++w->contextSaves;
 
     if (w->resumePending || !w->hasWaitCond) {
-        w->state = WgState::ReadySwapIn;
+        w->setState(WgState::ReadySwapIn, curTick());
+        sim::emitTrace(trace, curTick(),
+                       sim::TraceEventKind::WgSwitchedOut, w->id, -1,
+                       sim::StallReason::DispatchQueue);
         w->resumePending = false;
         readySwapIn.push_back(w->id);
     } else {
-        w->state = WgState::SwappedOut;
+        w->setState(WgState::SwappedOut, curTick());
+        sim::emitTrace(trace, curTick(),
+                       sim::TraceEventKind::WgSwitchedOut, w->id, -1,
+                       sim::StallReason::Waiting, w->waitAddr,
+                       static_cast<std::int64_t>(w->waitExpected));
         // Make sure a CP rescue exists: a forcibly pre-empted waiting
         // WG never passed through a waiting-policy Switch decision,
         // and a missed monitor notification must not strand it.
@@ -203,6 +220,8 @@ Dispatcher::resumeWg(int wg_id)
         ++resumesStalled;
         if (switcher)
             switcher->cancelRescue(wg_id);
+        sim::emitTrace(trace, curTick(),
+                       sim::TraceEventKind::WgResumed, wg_id, w->cuId);
         cus[w->cuId]->resumeWaitingWfs(w);
         return;
       }
@@ -213,7 +232,9 @@ Dispatcher::resumeWg(int wg_id)
         ++resumesSwapped;
         if (switcher)
             switcher->cancelRescue(wg_id);
-        w->state = WgState::ReadySwapIn;
+        w->setState(WgState::ReadySwapIn, curTick());
+        sim::emitTrace(trace, curTick(),
+                       sim::TraceEventKind::WgResumed, wg_id, -1);
         w->hasWaitCond = false;
         readySwapIn.push_back(wg_id);
         tryDispatch();
@@ -236,8 +257,10 @@ Dispatcher::wgCompleted(WorkGroup *w)
                "completion of wg%d in state %s", w->id,
                wgStateName(w->state));
     ComputeUnit *cu = cus[w->cuId];
+    sim::emitTrace(trace, curTick(), sim::TraceEventKind::WgCompleted,
+                   w->id, w->cuId);
     cu->removeWg(w);
-    w->state = WgState::Done;
+    w->setState(WgState::Done, curTick());
     if (switcher)
         switcher->cancelRescue(w->id);
     ++completed;
@@ -254,6 +277,8 @@ Dispatcher::onlineCu(unsigned cu_id)
 {
     ifp_assert(cu_id < cus.size(), "bad CU id %u", cu_id);
     cus[cu_id]->setOffline(false);
+    sim::emitTrace(trace, curTick(), sim::TraceEventKind::CuOnline, -1,
+                   static_cast<int>(cu_id));
     tryDispatch();
 }
 
@@ -263,6 +288,8 @@ Dispatcher::offlineCu(unsigned cu_id)
     ifp_assert(cu_id < cus.size(), "bad CU id %u", cu_id);
     ComputeUnit *cu = cus[cu_id];
     cu->setOffline(true);
+    sim::emitTrace(trace, curTick(), sim::TraceEventKind::CuOffline,
+                   -1, static_cast<int>(cu_id));
 
     // Snapshot: beginSwapOut mutates the resident list asynchronously.
     std::vector<WorkGroup *> victims = cu->residentWgs();
@@ -274,7 +301,10 @@ Dispatcher::offlineCu(unsigned cu_id)
         ifp_assert(w->state == WgState::Running,
                    "pre-empting wg%d during dispatch", w->id);
         ++forcedPreemptions;
-        w->state = WgState::SwitchingOut;
+        sim::emitTrace(trace, curTick(),
+                       sim::TraceEventKind::WgPreempted, w->id,
+                       static_cast<int>(cu_id));
+        w->setState(WgState::SwitchingOut, curTick());
         ComputeUnit *host = cus[w->cuId];
         host->beginDrain(w, [this, w] {
             if (switcher) {
@@ -284,6 +314,20 @@ Dispatcher::offlineCu(unsigned cu_id)
                 finishSwapOut(w);
             }
         });
+    }
+}
+
+void
+Dispatcher::accumulateWgCycleStats(sim::Tick end_tick)
+{
+    double period = static_cast<double>(clockPeriod());
+    for (auto &w : wgs) {
+        // Completed WGs closed their books at completeTick; anything
+        // still alive (deadlocked / stranded) is charged to end_tick.
+        w->closeAccounting(end_tick);
+        for (std::size_t r = 0; r < sim::numStallReasons; ++r)
+            wgCycles[r] += static_cast<double>(w->reasonTicks[r]) /
+                           period;
     }
 }
 

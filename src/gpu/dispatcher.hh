@@ -46,6 +46,7 @@ class Dispatcher : public sim::Clocked,
     void setCus(std::vector<ComputeUnit *> cu_list);
     void setContextSwitcher(ContextSwitcher *cs) { switcher = cs; }
     void setSwapInCapable(bool capable) { swapInCapable = capable; }
+    void setTraceSink(sim::TraceSink *sink) { trace = sink; }
 
     /**
      * Backstop rescue interval armed at the CP for any WG that ends
@@ -112,6 +113,14 @@ class Dispatcher : public sim::Clocked,
     sim::StatGroup &stats() { return statGroup; }
     const sim::StatGroup &stats() const { return statGroup; }
 
+    /**
+     * Close every WG's stall-reason books at @p end_tick and fold the
+     * per-WG tick totals into the wgCycles stat vector (indexed by
+     * StallReason, in cycles). Called once by GpuSystem at the end of
+     * a run; the buckets then partition each WG's lifetime exactly.
+     */
+    void accumulateWgCycleStats(sim::Tick end_tick);
+
   private:
     void tryDispatch();
     ComputeUnit *findHost(const isa::Kernel &kernel);
@@ -123,6 +132,7 @@ class Dispatcher : public sim::Clocked,
     const GpuConfig &config;
     std::vector<ComputeUnit *> cus;
     ContextSwitcher *switcher = nullptr;
+    sim::TraceSink *trace = nullptr;
     bool swapInCapable = true;
     sim::Cycles defaultRescueCycles = 0;
     std::function<void()> onComplete;
@@ -140,6 +150,7 @@ class Dispatcher : public sim::Clocked,
     sim::Scalar &resumesStalled;
     sim::Scalar &resumesSwapped;
     sim::Scalar &forcedPreemptions;
+    sim::Vector &wgCycles;
 };
 
 } // namespace ifp::gpu

@@ -55,20 +55,119 @@ WorkGroup::ldsWrite(std::uint64_t offset, std::int64_t value)
 }
 
 void
-WorkGroup::beginWait(sim::Tick now)
+WorkGroup::beginWait(sim::Tick now, bool spin)
 {
     if (waitingWfs == 0)
         waitStartTick = now;
     ++waitingWfs;
+    if (spin)
+        ++sleepingWfs;
+    refreshRunBucket(now);
 }
 
 void
-WorkGroup::endWait(sim::Tick now)
+WorkGroup::endWait(sim::Tick now, bool spin)
 {
     ifp_assert(waitingWfs > 0, "wg%d endWait underflow", id);
     --waitingWfs;
+    if (spin) {
+        ifp_assert(sleepingWfs > 0, "wg%d sleeping underflow", id);
+        --sleepingWfs;
+    }
     if (waitingWfs == 0)
         waitingTicks += now - waitStartTick;
+    refreshRunBucket(now);
+}
+
+namespace {
+
+// Bucket a non-Running lifecycle state falls into. Running is refined
+// separately from wavefront counters; Done closes the books.
+sim::StallReason
+bucketForState(WgState s)
+{
+    switch (s) {
+      case WgState::Pending:
+      case WgState::Dispatching:
+      case WgState::ReadySwapIn:
+        return sim::StallReason::DispatchQueue;
+      case WgState::SwitchingOut:
+      case WgState::SwitchingIn:
+        return sim::StallReason::SaveRestore;
+      case WgState::SwappedOut:
+        return sim::StallReason::Waiting;
+      case WgState::Running:
+      case WgState::Done:
+        break;
+    }
+    return sim::StallReason::Running;
+}
+
+} // anonymous namespace
+
+void
+WorkGroup::setState(WgState next, sim::Tick now)
+{
+    state = next;
+    if (next == WgState::Done) {
+        closeAccounting(now);
+    } else if (next == WgState::Running) {
+        switchBucket(runBucketNow(), now);
+    } else {
+        switchBucket(bucketForState(next), now);
+    }
+}
+
+sim::StallReason
+WorkGroup::runBucketNow() const
+{
+    // Sync waiters dominate sleepers dominate memory: a WG with one WF
+    // held on a condition is waiting no matter what the others do.
+    if (waitingWfs > sleepingWfs)
+        return sim::StallReason::Waiting;
+    if (sleepingWfs > 0)
+        return sim::StallReason::Spin;
+    unsigned live = static_cast<unsigned>(wavefronts.size()) - doneWfs;
+    if (memWaitWfs > 0 && memWaitWfs + barrierArrived >= live)
+        return sim::StallReason::Memory;
+    return sim::StallReason::Running;
+}
+
+void
+WorkGroup::refreshRunBucket(sim::Tick now)
+{
+    if (booksClosed || state != WgState::Running)
+        return;
+    switchBucket(runBucketNow(), now);
+}
+
+void
+WorkGroup::switchBucket(sim::StallReason next, sim::Tick now)
+{
+    if (booksClosed || next == bucket)
+        return;
+    reasonTicks[sim::stallIndex(bucket)] += now - bucketSince;
+    bucket = next;
+    bucketSince = now;
+}
+
+void
+WorkGroup::closeAccounting(sim::Tick now)
+{
+    if (booksClosed)
+        return;
+    reasonTicks[sim::stallIndex(bucket)] += now - bucketSince;
+    bucketSince = now;
+    booksClosed = true;
+}
+
+sim::Tick
+WorkGroup::accountedTicks() const
+{
+    sim::Tick sum = 0;
+    for (sim::Tick t : reasonTicks)
+        sum += t;
+    return sum;
 }
 
 } // namespace ifp::gpu

@@ -12,12 +12,14 @@
 #ifndef IFP_GPU_WORKGROUP_HH
 #define IFP_GPU_WORKGROUP_HH
 
+#include <array>
 #include <memory>
 #include <vector>
 
 #include "gpu/wavefront.hh"
 #include "isa/kernel.hh"
 #include "mem/atomic_op.hh"
+#include "sim/trace_sink.hh"
 #include "sim/types.hh"
 
 namespace ifp::gpu {
@@ -49,8 +51,16 @@ class WorkGroup
     int id;
     const isa::Kernel *kernel;
     int cuId = -1;               //!< resident CU, -1 otherwise
-    WgState state = WgState::Pending;
     /// @}
+
+    /**
+     * Enter lifecycle state @p next at time @p now. The single entry
+     * point for state changes, so the stall-reason clock below always
+     * re-buckets on a transition. Entering Done closes the books.
+     */
+    void setState(WgState next, sim::Tick now);
+
+    WgState state = WgState::Pending;
 
     std::vector<std::unique_ptr<Wavefront>> wavefronts;
 
@@ -82,6 +92,31 @@ class WorkGroup
     unsigned contextRestores = 0;
     /// @}
 
+    /// @name Stall-reason accounting (observability layer)
+    ///
+    /// Every tick from WG creation to completion (or end of run) is
+    /// attributed to exactly one StallReason bucket, so the buckets
+    /// partition the WG's lifetime: sum(reasonTicks) == lifetime.
+    /// While Running, the bucket is refined from wavefront-level
+    /// counters (sync waiters > sleepers > all-blocked-on-memory).
+    /// @{
+    std::array<sim::Tick, sim::numStallReasons> reasonTicks{};
+    unsigned sleepingWfs = 0;     //!< subset of waitingWfs in s_sleep
+    unsigned memWaitWfs = 0;      //!< WFs blocked on a memory response
+
+    /** Re-derive the Running sub-bucket after a WF counter changed. */
+    void refreshRunBucket(sim::Tick now);
+
+    /** Stop the stall clock (at completion or end of simulation). */
+    void closeAccounting(sim::Tick now);
+
+    /** True once closeAccounting() ran. */
+    bool accountingClosed() const { return booksClosed; }
+
+    /** Lifetime covered by the buckets so far (creation to close). */
+    sim::Tick accountedTicks() const;
+    /// @}
+
     unsigned doneWfs = 0;
 
     /** All wavefronts have halted. */
@@ -94,11 +129,13 @@ class WorkGroup
     /**
      * A wavefront entered a sync-waiting state (WaitSync / Sleeping /
      * swapped out). Starts the waiting clock on the 0 -> 1 transition.
+     * @p spin marks an s_sleep backoff spin (Spin bucket) as opposed
+     * to a hardware-held sync wait (Waiting bucket).
      */
-    void beginWait(sim::Tick now);
+    void beginWait(sim::Tick now, bool spin = false);
 
     /** A waiting wavefront resumed; stops the clock on 1 -> 0. */
-    void endWait(sim::Tick now);
+    void endWait(sim::Tick now, bool spin = false);
 
     /** Total resident+swapped lifetime, dispatch to completion. */
     sim::Tick
@@ -107,6 +144,17 @@ class WorkGroup
         return completeTick > dispatchTick ? completeTick - dispatchTick
                                            : 0;
     }
+
+  private:
+    /** Accumulate into the open bucket and switch to @p next. */
+    void switchBucket(sim::StallReason next, sim::Tick now);
+
+    /** The Running-state sub-bucket implied by current WF counters. */
+    sim::StallReason runBucketNow() const;
+
+    sim::StallReason bucket = sim::StallReason::DispatchQueue;
+    sim::Tick bucketSince = 0;    //!< WGs are created at tick 0
+    bool booksClosed = false;
 };
 
 } // namespace ifp::gpu

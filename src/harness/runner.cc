@@ -26,14 +26,14 @@ runExperimentWithSystem(const Experiment &exp,
 
     workloads::WorkloadParams params = exp.params;
     params.style = core::styleFor(exp.policy);
-    params.backoffMaxCycles =
-        static_cast<std::int64_t>(exp.sleepMaxBackoffCycles);
+    params.backoffMaxCycles = static_cast<std::int64_t>(
+        exp.runCfg.policy.sleepMaxBackoffCycles);
 
     core::RunConfig run_cfg = exp.runCfg;
     run_cfg.policy.policy = exp.policy;
-    run_cfg.policy.timeoutIntervalCycles = exp.timeoutIntervalCycles;
-    run_cfg.policy.sleepMaxBackoffCycles = exp.sleepMaxBackoffCycles;
     run_cfg.oversubscribed = exp.oversubscribed;
+    if (exp.observe.wantsCapture() || traceSmokeEnabled())
+        run_cfg.traceEnabled = true;
 
     core::GpuSystem system(run_cfg);
     isa::Kernel kernel = workload->build(system, params);
@@ -49,6 +49,7 @@ runExperimentWithSystem(const Experiment &exp,
                   core::policyName(exp.policy),
                   result.validationError.c_str());
     }
+    exportRunArtifacts(exp, system, result);
     if (inspect)
         inspect(system);
     return result;

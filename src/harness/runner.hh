@@ -14,6 +14,7 @@
 
 #include "core/gpu_system.hh"
 #include "core/run_result.hh"
+#include "harness/observe.hh"
 #include "workloads/registry.hh"
 
 namespace ifp::harness {
@@ -28,13 +29,17 @@ struct Experiment
     /** Workload geometry (style is overwritten from the policy). */
     workloads::WorkloadParams params;
 
-    /** Machine/scenario configuration (policy overwritten). */
+    /**
+     * Machine/scenario configuration (policy enum overwritten from
+     * `policy` above). Policy parameters live here, in
+     * runCfg.policy: e.g. Figure 8 sweeps
+     * runCfg.policy.timeoutIntervalCycles and Figure 7 sweeps
+     * runCfg.policy.sleepMaxBackoffCycles.
+     */
     core::RunConfig runCfg;
 
-    /** Timeout policy interval (Figure 8 sweeps this). */
-    sim::Cycles timeoutIntervalCycles = 20'000;
-    /** Sleep policy maximum backoff (Figure 7 sweeps this). */
-    sim::Cycles sleepMaxBackoffCycles = 16'384;
+    /** Observability outputs (trace / stats-JSON files). */
+    ObserveOptions observe;
 };
 
 /** Run one experiment and return its result. */

@@ -25,12 +25,10 @@ EventQueue::EventQueue()
     std::vector<HeapEntry> storage;
     storage.reserve(initialHeapCapacity);
     heap = Heap(std::greater<HeapEntry>(), std::move(storage));
-    setTraceTickSource(&_curTick);
 }
 
 EventQueue::~EventQueue()
 {
-    clearTraceTickSource(&_curTick);
     // Squash whatever is left so owned events can be destroyed and
     // externally-owned events do not trip the Event destructor assert.
     while (!heap.empty()) {
@@ -109,9 +107,15 @@ EventQueue::schedule(Tick when, std::function<void()> fn, std::string desc)
 bool
 EventQueue::step()
 {
-    // Re-arm the trace hook on every step: queues may interleave on
+    // Scope the trace hook to this step: queues may interleave on
     // one thread, and sweep workers each carry their own queue.
-    setTraceTickSource(&_curTick);
+    TraceTickScope trace_scope(&_curTick);
+    return stepOne();
+}
+
+bool
+EventQueue::stepOne()
+{
     while (!heap.empty()) {
         HeapEntry entry = heap.top();
         heap.pop();
@@ -143,6 +147,8 @@ EventQueue::step()
 Tick
 EventQueue::simulate(Tick limit)
 {
+    // One scope for the whole run keeps the per-event cost at zero.
+    TraceTickScope trace_scope(&_curTick);
     while (!heap.empty()) {
         const HeapEntry &top = heap.top();
         Event *event = top.event;
@@ -152,7 +158,7 @@ EventQueue::simulate(Tick limit)
         }
         if (top.when > limit)
             break;
-        step();
+        stepOne();
     }
     return _curTick;
 }

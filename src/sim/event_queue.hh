@@ -20,8 +20,10 @@
  * time, but any number of queues may be live concurrently on
  * different threads (one per parallel-sweep worker). The only global
  * the queue touches — the trace-tick hook — is thread-local and is
- * re-installed on every step(), so interleaved queues on one thread
- * and concurrent queues on many threads both trace their own ticks.
+ * held via an RAII TraceTickScope opened around step()/simulate(), so
+ * interleaved queues on one thread and concurrent queues on many
+ * threads both trace their own ticks, and a dying queue never leaves
+ * a hook behind.
  */
 
 #ifndef IFP_SIM_EVENT_QUEUE_HH
@@ -163,6 +165,9 @@ class EventQueue
     std::size_t freeListSize() const { return freeList.size(); }
 
   private:
+    /** step() minus the trace-tick scope; simulate() loops on this. */
+    bool stepOne();
+
     struct HeapEntry
     {
         Tick when;

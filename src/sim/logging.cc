@@ -114,17 +114,18 @@ tracePrintf(const std::string &flag, const char *fmt, ...)
     std::fprintf(stderr, "\n");
 }
 
-void
-setTraceTickSource(const std::uint64_t *tick_counter)
+TraceTickScope::TraceTickScope(const std::uint64_t *tick_counter)
+    : prev(traceTickSource), mine(tick_counter)
 {
-    traceTickSource = tick_counter;
+    traceTickSource = mine;
 }
 
-void
-clearTraceTickSource(const std::uint64_t *tick_counter)
+TraceTickScope::~TraceTickScope()
 {
-    if (traceTickSource == tick_counter)
-        traceTickSource = nullptr;
+    // Restore only if still installed: a scope that was (incorrectly)
+    // destroyed out of order must not clobber a newer installation.
+    if (traceTickSource == mine)
+        traceTickSource = prev;
 }
 
 std::uint64_t

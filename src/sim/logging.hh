@@ -62,20 +62,31 @@ void tracePrintf(const std::string &flag, const char *fmt, ...)
     __attribute__((format(printf, 2, 3)));
 
 /**
- * Hook used by tracePrintf to learn the current simulated time.
+ * RAII hook used by tracePrintf to learn the current simulated time.
  * The tick source is *thread-local*: each worker thread of a parallel
  * sweep traces against the EventQueue it is currently stepping, and
- * concurrently-live queues never cross-wire. EventQueue installs
- * itself here; 0 is printed when unset.
+ * concurrently-live queues never cross-wire.
+ *
+ * A scope installs @p tick_counter for the calling thread on
+ * construction and restores the previously installed source on
+ * destruction. Scopes must nest like stack frames within a thread
+ * (which they do naturally as locals); EventQueue opens one around
+ * each step so traces always report the stepping queue's time. With
+ * no scope open, traceCurrentTick() reports 0.
  */
-void setTraceTickSource(const std::uint64_t *tick_counter);
+class TraceTickScope
+{
+  public:
+    explicit TraceTickScope(const std::uint64_t *tick_counter);
+    ~TraceTickScope();
 
-/**
- * Clear the calling thread's tick source, but only if it still points
- * at @p tick_counter (a dying EventQueue must not unhook a sibling
- * queue that installed itself later).
- */
-void clearTraceTickSource(const std::uint64_t *tick_counter);
+    TraceTickScope(const TraceTickScope &) = delete;
+    TraceTickScope &operator=(const TraceTickScope &) = delete;
+
+  private:
+    const std::uint64_t *prev;
+    const std::uint64_t *mine;
+};
 
 /** Tick the calling thread's trace facility would print right now. */
 std::uint64_t traceCurrentTick();

@@ -100,13 +100,31 @@ StatGroup::addFormula(const std::string &name, Formula::Fn fn,
     return *formulas.back().stat;
 }
 
-const Scalar &
-StatGroup::scalar(const std::string &name) const
+const Scalar *
+StatGroup::tryScalar(const std::string &name) const
 {
     for (const auto &entry : scalars) {
         if (entry.name == name)
-            return *entry.stat;
+            return entry.stat.get();
     }
+    return nullptr;
+}
+
+const Vector *
+StatGroup::tryVector(const std::string &name) const
+{
+    for (const auto &entry : vectors) {
+        if (entry.name == name)
+            return entry.stat.get();
+    }
+    return nullptr;
+}
+
+const Scalar &
+StatGroup::scalar(const std::string &name) const
+{
+    if (const Scalar *s = tryScalar(name))
+        return *s;
     ifp_panic("no scalar stat '%s' in group '%s'", name.c_str(),
               groupName.c_str());
 }
@@ -114,20 +132,14 @@ StatGroup::scalar(const std::string &name) const
 bool
 StatGroup::hasScalar(const std::string &name) const
 {
-    for (const auto &entry : scalars) {
-        if (entry.name == name)
-            return true;
-    }
-    return false;
+    return tryScalar(name) != nullptr;
 }
 
 const Vector &
 StatGroup::vector(const std::string &name) const
 {
-    for (const auto &entry : vectors) {
-        if (entry.name == name)
-            return *entry.stat;
-    }
+    if (const Vector *v = tryVector(name))
+        return *v;
     ifp_panic("no vector stat '%s' in group '%s'", name.c_str(),
               groupName.c_str());
 }
@@ -184,6 +196,77 @@ StatGroup::dump(std::ostream &os) const
     }
     for (const auto &entry : formulas)
         emit(entry.name, entry.stat->value(), entry.desc);
+}
+
+namespace {
+
+// JSON number formatting: integral values as integers (the common
+// case for counters) and %.17g otherwise, so dumps are deterministic
+// and doubles round-trip exactly.
+void
+emitJsonNumber(std::ostream &os, double value)
+{
+    char buf[40];
+    if (value == static_cast<double>(static_cast<long long>(value))) {
+        std::snprintf(buf, sizeof(buf), "%lld",
+                      static_cast<long long>(value));
+    } else {
+        std::snprintf(buf, sizeof(buf), "%.17g", value);
+    }
+    os << buf;
+}
+
+} // anonymous namespace
+
+void
+StatGroup::dumpJson(std::ostream &os) const
+{
+    os << "{\"name\":\"" << groupName << "\",\"scalars\":{";
+    bool first = true;
+    for (const auto &entry : scalars) {
+        os << (first ? "" : ",") << "\"" << entry.name << "\":";
+        emitJsonNumber(os, entry.stat->value());
+        first = false;
+    }
+    os << "},\"vectors\":{";
+    first = true;
+    for (const auto &entry : vectors) {
+        os << (first ? "" : ",") << "\"" << entry.name << "\":[";
+        for (std::size_t i = 0; i < entry.stat->size(); ++i) {
+            if (i)
+                os << ",";
+            emitJsonNumber(os, entry.stat->at(i));
+        }
+        os << "]";
+        first = false;
+    }
+    os << "},\"histograms\":{";
+    first = true;
+    for (const auto &entry : histograms) {
+        os << (first ? "" : ",") << "\"" << entry.name
+           << "\":{\"samples\":"
+           << entry.stat->samples() << ",\"mean\":";
+        emitJsonNumber(os, entry.stat->mean());
+        os << ",\"min\":";
+        emitJsonNumber(os, entry.stat->minSeen());
+        os << ",\"max\":";
+        emitJsonNumber(os, entry.stat->maxSeen());
+        os << ",\"underflows\":" << entry.stat->underflows()
+           << ",\"overflows\":" << entry.stat->overflows()
+           << ",\"buckets\":[";
+        for (std::size_t i = 0; i < entry.stat->numBuckets(); ++i)
+            os << (i ? "," : "") << entry.stat->bucket(i);
+        os << "]}";
+        first = false;
+    }
+    os << "},\"formulas\":{";
+    first = true;
+    for (const auto &entry : formulas) {
+        os << (first ? "" : ",") << "\"" << entry.name << "\":";
+        emitJsonNumber(os, entry.stat->value());
+        first = false;
+    }
+    os << "}}";
 }
 
 void

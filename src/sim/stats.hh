@@ -149,10 +149,26 @@ class StatGroup
     const Histogram &histogram(const std::string &name) const;
     double formulaValue(const std::string &name) const;
 
+    /**
+     * Non-panicking lookups: nullptr when the stat was never
+     * registered. Prefer these over hasScalar-then-scalar double
+     * lookups when a stat is legitimately optional.
+     */
+    const Scalar *tryScalar(const std::string &name) const;
+    const Vector *tryVector(const std::string &name) const;
+
     bool hasScalar(const std::string &name) const;
 
     /** Write "group.stat value # desc" lines. */
     void dump(std::ostream &os) const;
+
+    /**
+     * Write the group as one JSON object:
+     * {"name":..., "scalars":{...}, "vectors":{...},
+     *  "histograms":{...}, "formulas":{...}}.
+     * Integral values print without a fraction so output is stable.
+     */
+    void dumpJson(std::ostream &os) const;
 
     /** Reset every contained statistic (formulas are stateless). */
     void reset();

@@ -1,0 +1,248 @@
+/**
+ * @file
+ * Chrome-trace export for TraceSink.
+ */
+
+#include "sim/trace_sink.hh"
+
+#include <cinttypes>
+#include <cstdio>
+#include <map>
+#include <string>
+
+namespace ifp::sim {
+
+const char *
+stallReasonName(StallReason reason)
+{
+    switch (reason) {
+      case StallReason::Running: return "running";
+      case StallReason::Spin: return "spin";
+      case StallReason::Waiting: return "waiting";
+      case StallReason::SaveRestore: return "saveRestore";
+      case StallReason::DispatchQueue: return "dispatchQueue";
+      case StallReason::Memory: return "memory";
+    }
+    return "?";
+}
+
+const char *
+traceEventKindName(TraceEventKind kind)
+{
+    switch (kind) {
+      case TraceEventKind::WgDispatched: return "wg-dispatched";
+      case TraceEventKind::WgActivated: return "wg-activated";
+      case TraceEventKind::WgStalled: return "wg-stalled";
+      case TraceEventKind::WgSwitchOut: return "wg-switch-out";
+      case TraceEventKind::WgSwitchedOut: return "wg-switched-out";
+      case TraceEventKind::WgResumed: return "wg-resumed";
+      case TraceEventKind::WgSwapIn: return "wg-swap-in";
+      case TraceEventKind::WgCompleted: return "wg-completed";
+      case TraceEventKind::WgPreempted: return "wg-preempted";
+      case TraceEventKind::CondArmed: return "cond-armed";
+      case TraceEventKind::CondFired: return "cond-fired";
+      case TraceEventKind::CondSpilled: return "cond-spilled";
+      case TraceEventKind::LogAbsorb: return "log-absorb";
+      case TraceEventKind::LogDrain: return "log-drain";
+      case TraceEventKind::CuOffline: return "cu-offline";
+      case TraceEventKind::CuOnline: return "cu-online";
+    }
+    return "?";
+}
+
+namespace {
+
+// Chrome-trace process ids: CU tracks live in the GPU process, the
+// sync monitor and command processor each get their own process row.
+constexpr int pidGpu = 0;
+constexpr int pidSyncMon = 1;
+constexpr int pidCp = 2;
+
+// Ticks are picoseconds; Chrome-trace "ts" is microseconds. Format
+// with fixed precision so exports are byte-stable across platforms.
+std::string
+ticksToUs(Tick tick)
+{
+    char buf[48];
+    std::snprintf(buf, sizeof(buf), "%" PRIu64 ".%06" PRIu64,
+                  tick / 1000000, tick % 1000000);
+    return buf;
+}
+
+bool
+isSyncMonKind(TraceEventKind kind)
+{
+    return kind == TraceEventKind::CondArmed ||
+           kind == TraceEventKind::CondFired ||
+           kind == TraceEventKind::CondSpilled;
+}
+
+bool
+isCpKind(TraceEventKind kind)
+{
+    return kind == TraceEventKind::LogAbsorb ||
+           kind == TraceEventKind::LogDrain;
+}
+
+void
+writeMeta(std::ostream &os, int pid, int tid, const char *what,
+          const std::string &name, bool &first)
+{
+    if (!first)
+        os << ",\n";
+    first = false;
+    os << "{\"ph\":\"M\",\"pid\":" << pid << ",\"tid\":" << tid
+       << ",\"ts\":0,\"name\":\"" << what
+       << "\",\"args\":{\"name\":\"" << name << "\"}}";
+}
+
+// One async-span stream per WG and category ("wg" lifetime spans,
+// "wg-phase" lifecycle segments). Segments within a stream are strictly
+// sequential, so begin/end pairing is unambiguous for the viewer.
+struct PhaseTracker
+{
+    std::string open;   // currently open phase name, empty if none
+    bool alive = false; // lifetime span open
+};
+
+void
+writeAsync(std::ostream &os, const char *ph, const char *cat, int id,
+           const std::string &name, Tick tick, bool &first)
+{
+    if (!first)
+        os << ",\n";
+    first = false;
+    os << "{\"ph\":\"" << ph << "\",\"cat\":\"" << cat
+       << "\",\"id\":" << id << ",\"pid\":" << pidGpu
+       << ",\"tid\":0,\"ts\":" << ticksToUs(tick) << ",\"name\":\""
+       << name << "\"}";
+}
+
+} // anonymous namespace
+
+void
+TraceSink::writeChromeTrace(std::ostream &os, unsigned num_cus) const
+{
+    os << "{\"displayTimeUnit\":\"ns\",\"traceEvents\":[\n";
+    bool first = true;
+
+    // Track naming: GPU process with one thread per CU plus a
+    // dispatcher row, and dedicated SyncMon / CP processes.
+    writeMeta(os, pidGpu, 0, "process_name", "GPU", first);
+    for (unsigned c = 0; c < num_cus; ++c)
+        writeMeta(os, pidGpu, static_cast<int>(c), "thread_name",
+                  "cu" + std::to_string(c), first);
+    writeMeta(os, pidGpu, static_cast<int>(num_cus), "thread_name",
+              "dispatcher", first);
+    writeMeta(os, pidSyncMon, 0, "process_name", "SyncMon", first);
+    writeMeta(os, pidSyncMon, 0, "thread_name", "conditions", first);
+    writeMeta(os, pidCp, 0, "process_name", "CommandProcessor", first);
+    writeMeta(os, pidCp, 0, "thread_name", "monitor-log", first);
+
+    std::map<int, PhaseTracker> wgPhase;
+    Tick last_tick = 0;
+
+    auto openPhase = [&](int wg, const std::string &phase, Tick tick) {
+        auto &t = wgPhase[wg];
+        if (t.open == phase)
+            return;
+        if (!t.open.empty())
+            writeAsync(os, "e", "wg-phase", wg, t.open, tick, first);
+        t.open = phase;
+        if (!phase.empty())
+            writeAsync(os, "b", "wg-phase", wg, phase, tick, first);
+    };
+
+    for (const TraceEvent &ev : eventsVec) {
+        last_tick = std::max(last_tick, ev.tick);
+
+        // Instant marker on the emitting component's track.
+        int pid = pidGpu;
+        int tid = ev.cu >= 0 ? ev.cu : static_cast<int>(num_cus);
+        if (isSyncMonKind(ev.kind)) {
+            pid = pidSyncMon;
+            tid = 0;
+        } else if (isCpKind(ev.kind)) {
+            pid = pidCp;
+            tid = 0;
+        }
+        if (!first)
+            os << ",\n";
+        first = false;
+        os << "{\"ph\":\"i\",\"s\":\"t\",\"pid\":" << pid
+           << ",\"tid\":" << tid << ",\"ts\":" << ticksToUs(ev.tick)
+           << ",\"name\":\"" << traceEventKindName(ev.kind);
+        if (ev.wg >= 0)
+            os << " wg" << ev.wg;
+        os << "\",\"args\":{";
+        os << "\"wg\":" << ev.wg << ",\"cu\":" << ev.cu;
+        if (ev.reason != StallReason::Running)
+            os << ",\"reason\":\"" << stallReasonName(ev.reason) << "\"";
+        if (ev.addr != 0)
+            os << ",\"addr\":" << ev.addr;
+        if (ev.value != 0)
+            os << ",\"value\":" << ev.value;
+        os << "}}";
+
+        // WG async spans: lifetime plus lifecycle phase segments.
+        if (ev.wg < 0)
+            continue;
+        auto &t = wgPhase[ev.wg];
+        switch (ev.kind) {
+          case TraceEventKind::WgDispatched:
+            if (!t.alive) {
+                t.alive = true;
+                writeAsync(os, "b", "wg", ev.wg,
+                           "wg" + std::to_string(ev.wg), ev.tick, first);
+            }
+            openPhase(ev.wg, "dispatch", ev.tick);
+            break;
+          case TraceEventKind::WgActivated:
+            openPhase(ev.wg, "running", ev.tick);
+            break;
+          case TraceEventKind::WgStalled:
+            openPhase(ev.wg, "stalled", ev.tick);
+            break;
+          case TraceEventKind::WgResumed:
+            openPhase(ev.wg, ev.cu >= 0 ? "running" : "ready", ev.tick);
+            break;
+          case TraceEventKind::WgSwitchOut:
+          case TraceEventKind::WgPreempted:
+            openPhase(ev.wg, "save", ev.tick);
+            break;
+          case TraceEventKind::WgSwitchedOut:
+            openPhase(ev.wg,
+                      ev.reason == StallReason::Waiting ? "swapped-out"
+                                                        : "ready",
+                      ev.tick);
+            break;
+          case TraceEventKind::WgSwapIn:
+            openPhase(ev.wg, "restore", ev.tick);
+            break;
+          case TraceEventKind::WgCompleted:
+            openPhase(ev.wg, "", ev.tick);
+            if (t.alive) {
+                t.alive = false;
+                writeAsync(os, "e", "wg", ev.wg,
+                           "wg" + std::to_string(ev.wg), ev.tick, first);
+            }
+            break;
+          default:
+            break;
+        }
+    }
+
+    // Close spans still open at the end of the run (deadlocked or
+    // pre-empted WGs) so the viewer renders them to the last tick.
+    for (auto &[wg, t] : wgPhase) {
+        if (!t.open.empty())
+            writeAsync(os, "e", "wg-phase", wg, t.open, last_tick, first);
+        if (t.alive)
+            writeAsync(os, "e", "wg", wg, "wg" + std::to_string(wg),
+                       last_tick, first);
+    }
+
+    os << "\n]}\n";
+}
+
+} // namespace ifp::sim

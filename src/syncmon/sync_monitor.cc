@@ -150,6 +150,10 @@ SyncMonController::registerWaiter(mem::Addr addr, mem::MemValue expected,
         // Condition cache set conflict: virtualize via the Monitor
         // Log. The CP will check the spilled condition periodically.
         ++spills;
+        sim::emitTrace(trace, curTick(),
+                       sim::TraceEventKind::CondSpilled, wg_id, -1,
+                       sim::StallReason::Running, addr,
+                       static_cast<std::int64_t>(expected));
         if (!cp.spillCondition(addr, expected, wg_id)) {
             ++logFullRetries;
             return {mem::WaitKind::Retry, 0};
@@ -173,6 +177,10 @@ SyncMonController::registerWaiter(mem::Addr addr, mem::MemValue expected,
         if (node < 0) {
             // Waiting-WG list full: spill this waiter.
             ++spills;
+            sim::emitTrace(trace, curTick(),
+                           sim::TraceEventKind::CondSpilled, wg_id, -1,
+                           sim::StallReason::Running, addr,
+                           static_cast<std::int64_t>(expected));
             if (inserted_now && entry->numWaiters == 0) {
                 conds.remove(entry);
                 noteConditionRemoved(addr);
@@ -192,6 +200,9 @@ SyncMonController::registerWaiter(mem::Addr addr, mem::MemValue expected,
     }
 
     l2.setMonitored(addr, true);
+    sim::emitTrace(trace, curTick(), sim::TraceEventKind::CondArmed,
+                   wg_id, -1, sim::StallReason::Running, addr,
+                   static_cast<std::int64_t>(expected));
     return waitDecisionFor(addr);
 }
 
@@ -223,6 +234,9 @@ SyncMonController::resumeOne(ConditionCache::Entry &entry)
     waiters.release(node);
     --entry.numWaiters;
     ++resumesOneStat;
+    sim::emitTrace(trace, curTick(), sim::TraceEventKind::CondFired,
+                   w.wgId, -1, sim::StallReason::Running, entry.addr,
+                   1);
 
     observeWaitLatency(entry.addr, curTick() - w.registeredTick);
     mem::Addr addr = entry.addr;
@@ -236,6 +250,9 @@ void
 SyncMonController::resumeAll(ConditionCache::Entry &entry)
 {
     ++resumesAllStat;
+    sim::emitTrace(trace, curTick(), sim::TraceEventKind::CondFired,
+                   -1, -1, sim::StallReason::Running, entry.addr,
+                   static_cast<std::int64_t>(entry.numWaiters));
     std::vector<int> wg_ids;
     for (int n = entry.head; n >= 0;) {
         Waiter w = waiters.node(n);

@@ -38,6 +38,7 @@
 #include "mem/sync_hooks.hh"
 #include "sim/clocked.hh"
 #include "sim/stats.hh"
+#include "sim/trace_sink.hh"
 #include "syncmon/bloom_filter.hh"
 #include "syncmon/condition_cache.hh"
 
@@ -118,6 +119,7 @@ class SyncMonController : public sim::Clocked, public mem::SyncObserver
                       cp::CommandProcessor &cp);
 
     void setScheduler(gpu::WgScheduler *s) { scheduler = s; }
+    void setTraceSink(sim::TraceSink *sink) { trace = sink; }
 
     /// @name mem::SyncObserver
     /// @{
@@ -201,6 +203,7 @@ class SyncMonController : public sim::Clocked, public mem::SyncObserver
     mem::BackingStore &store;
     cp::CommandProcessor &cp;
     gpu::WgScheduler *scheduler = nullptr;
+    sim::TraceSink *trace = nullptr;
 
     ConditionCache conds;
     WaitingWgList waiters;

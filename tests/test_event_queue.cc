@@ -276,8 +276,9 @@ TEST(EventQueueFreeList, CapturedResourcesReleaseAfterFiring)
 
 // Regression: constructing a second EventQueue used to overwrite the
 // trace tick hook for the whole process, so an older queue's traces
-// reported the younger queue's ticks. The hook is now re-installed
-// per step, so interleaved queues report their own time.
+// reported the younger queue's ticks. The hook is now a TraceTickScope
+// held only across step()/simulate(), so interleaved queues report
+// their own time.
 TEST(EventQueueTraceTick, ConcurrentlyLiveQueuesTraceTheirOwnTicks)
 {
     EventQueue a;
@@ -304,10 +305,10 @@ TEST(EventQueueTraceTick, DyingQueueDoesNotUnhookSibling)
     std::uint64_t seen = ~0ull;
     a->schedule(100, [&] { seen = traceCurrentTick(); });
     {
-        EventQueue b;   // installs itself on construction...
+        EventQueue b;   // scopes the hook to its own simulate()...
         b.schedule(1, [] {});
         b.simulate();
-    }                   // ...and must only unhook itself on death
+    }                   // ...and must leave no trace of itself on death
     a->step();
     EXPECT_EQ(seen, 100u);
 }

@@ -40,6 +40,30 @@ TEST(DebugFlags, TracePrintfIsNoOpWhenDisabled)
     sim::clearDebugFlag("EnabledFlag");
 }
 
+TEST(TraceTickScope, InstallsAndRestoresOnDestruction)
+{
+    EXPECT_EQ(sim::traceCurrentTick(), 0u);
+    std::uint64_t ticks = 42;
+    {
+        sim::TraceTickScope scope(&ticks);
+        EXPECT_EQ(sim::traceCurrentTick(), 42u);
+        ticks = 43;
+        EXPECT_EQ(sim::traceCurrentTick(), 43u);
+    }
+    EXPECT_EQ(sim::traceCurrentTick(), 0u);
+}
+
+TEST(TraceTickScope, NestedScopesRestoreTheOuterSource)
+{
+    std::uint64_t outer = 1, inner = 2;
+    sim::TraceTickScope outer_scope(&outer);
+    {
+        sim::TraceTickScope inner_scope(&inner);
+        EXPECT_EQ(sim::traceCurrentTick(), 2u);
+    }
+    EXPECT_EQ(sim::traceCurrentTick(), 1u);
+}
+
 TEST(WaitingCas, ProducerConsumerViaWaitingCompareAndSwap)
 {
     // Consumer claims a token with a *waiting CAS* (expected value is

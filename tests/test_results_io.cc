@@ -66,11 +66,20 @@ TEST(ResultsJson, ArrayFormat)
 
     std::ostringstream os;
     writeResultsJson(os, {{exp, r}, {exp, r}});
-    std::string json = os.str();
-    EXPECT_EQ(json.front(), '[');
-    EXPECT_EQ(std::count(json.begin(), json.end(), '{'), 2);
-    // Exactly one separating comma between the two objects at depth 1.
-    EXPECT_NE(json.find("},\n"), std::string::npos);
+    std::string text = os.str();
+    EXPECT_EQ(text.front(), '[');
+
+    std::optional<json::Value> doc = json::tryParse(text);
+    ASSERT_TRUE(doc.has_value());
+    ASSERT_TRUE(doc->isArray());
+    ASSERT_EQ(doc->array.size(), 2u);
+    for (const json::Value &entry : doc->array) {
+        ASSERT_TRUE(entry.isObject());
+        EXPECT_NE(entry.find("gpuCycles"), nullptr);
+        const json::Value *stalls = entry.find("stallCycles");
+        ASSERT_NE(stalls, nullptr);
+        EXPECT_TRUE(stalls->isObject());
+    }
 }
 
 } // anonymous namespace

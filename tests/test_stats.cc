@@ -120,6 +120,49 @@ TEST(Stats, StableReferencesAcrossRegistration)
     EXPECT_DOUBLE_EQ(g.scalar("first").value(), 5.0);
 }
 
+TEST(Stats, TryLookupReturnsNullOnMiss)
+{
+    StatGroup g("g");
+    Scalar &s = g.addScalar("present");
+    s = 7;
+    Vector &v = g.addVector("vec", 3);
+    v[1] = 2;
+
+    const Scalar *found = g.tryScalar("present");
+    ASSERT_NE(found, nullptr);
+    EXPECT_DOUBLE_EQ(found->value(), 7.0);
+    EXPECT_EQ(g.tryScalar("absent"), nullptr);
+    // Kind mismatches miss too: a vector is not a scalar.
+    EXPECT_EQ(g.tryScalar("vec"), nullptr);
+
+    const Vector *vec = g.tryVector("vec");
+    ASSERT_NE(vec, nullptr);
+    EXPECT_DOUBLE_EQ(vec->at(1), 2.0);
+    EXPECT_EQ(g.tryVector("present"), nullptr);
+    EXPECT_EQ(g.tryVector("absent"), nullptr);
+}
+
+TEST(Stats, DumpJsonIsParseableShape)
+{
+    StatGroup g("grp");
+    Scalar &s = g.addScalar("count", "a counter");
+    s = 3;
+    Vector &v = g.addVector("vec", 2);
+    v[0] = 1;
+    v[1] = 2.5;
+    Histogram &h = g.addHistogram("hist", 0, 10, 2);
+    h.sample(1);
+    h.sample(9);
+
+    std::ostringstream os;
+    g.dumpJson(os);
+    std::string out = os.str();
+    EXPECT_NE(out.find("\"name\":\"grp\""), std::string::npos);
+    EXPECT_NE(out.find("\"count\":3"), std::string::npos);
+    EXPECT_NE(out.find("\"vec\":[1,2.5]"), std::string::npos);
+    EXPECT_NE(out.find("\"hist\""), std::string::npos);
+}
+
 TEST(Stats, GroupReset)
 {
     StatGroup g("g");

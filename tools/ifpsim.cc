@@ -32,11 +32,11 @@ struct Options
     bool stats = false;
     bool disasm = false;
     std::string jsonPath;
+    std::string traceOutPath;
+    std::string statsJsonPath;
     ifp::workloads::WorkloadParams params =
         ifp::harness::defaultEvalParams();
     ifp::core::RunConfig runCfg;
-    ifp::sim::Cycles timeoutInterval = 20'000;
-    ifp::sim::Cycles sleepMax = 16'384;
 };
 
 ifp::core::Policy
@@ -80,6 +80,9 @@ usage()
         "  --stats                dump per-component statistics\n"
         "  --disasm               print the generated kernel\n"
         "  --json FILE            write the result as JSON\n"
+        "  --trace-out FILE       write a Chrome-trace JSON timeline\n"
+        "                         (open in Perfetto / chrome://tracing)\n"
+        "  --stats-json FILE      write all statistics as JSON\n"
         "  --debug FLAG           enable a trace flag (repeatable)\n";
 }
 
@@ -119,9 +122,11 @@ main(int argc, char **argv)
         } else if (!std::strcmp(a, "--iters")) {
             opt.params.iters = std::atoi(need(i));
         } else if (!std::strcmp(a, "--timeout-interval")) {
-            opt.timeoutInterval = std::atoll(need(i));
+            opt.runCfg.policy.timeoutIntervalCycles =
+                std::atoll(need(i));
         } else if (!std::strcmp(a, "--sleep-max")) {
-            opt.sleepMax = std::atoll(need(i));
+            opt.runCfg.policy.sleepMaxBackoffCycles =
+                std::atoll(need(i));
         } else if (!std::strcmp(a, "--cu-loss-us")) {
             opt.runCfg.cuLossMicroseconds = std::atoll(need(i));
         } else if (!std::strcmp(a, "--cu-restore-us")) {
@@ -149,6 +154,10 @@ main(int argc, char **argv)
             opt.disasm = true;
         } else if (!std::strcmp(a, "--json")) {
             opt.jsonPath = need(i);
+        } else if (!std::strcmp(a, "--trace-out")) {
+            opt.traceOutPath = need(i);
+        } else if (!std::strcmp(a, "--stats-json")) {
+            opt.statsJsonPath = need(i);
         } else if (!std::strcmp(a, "--debug")) {
             sim::setDebugFlag(need(i));
         } else {
@@ -173,8 +182,8 @@ main(int argc, char **argv)
     exp.oversubscribed = opt.oversubscribed;
     exp.params = opt.params;
     exp.runCfg = opt.runCfg;
-    exp.timeoutIntervalCycles = opt.timeoutInterval;
-    exp.sleepMaxBackoffCycles = opt.sleepMax;
+    exp.observe.traceOutPath = opt.traceOutPath;
+    exp.observe.statsJsonPath = opt.statsJsonPath;
 
     if (opt.disasm) {
         core::GpuSystem scratch(exp.runCfg);

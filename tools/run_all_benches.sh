@@ -5,12 +5,23 @@
 # means the parallel sweep changed the evaluation's results and fails
 # the run. Wired into ctest as the `sweep-parity` label.
 #
-# Usage: run_all_benches.sh [BENCH_DIR] [JOBS]
+# With --trace the second run instead enables structured tracing
+# (IFP_BENCH_TRACE=1, serial): tracing must observe, never perturb, so
+# the bench tables must stay byte-identical. Wired into ctest as the
+# `observability` label.
+#
+# Usage: run_all_benches.sh [--trace] [BENCH_DIR] [JOBS]
 #   BENCH_DIR  directory with the bench binaries (default: build/bench)
 #   JOBS       parallel worker count (default: IFP_BENCH_PARITY_JOBS
-#              or the machine's core count)
+#              or the machine's core count; unused with --trace)
 
 set -u
+
+MODE=parity
+if [ "${1:-}" = "--trace" ]; then
+    MODE=trace
+    shift
+fi
 
 BENCH_DIR="${1:-build/bench}"
 JOBS="${2:-${IFP_BENCH_PARITY_JOBS:-$(nproc 2>/dev/null || echo 4)}}"
@@ -26,9 +37,26 @@ fi
 tmpdir="$(mktemp -d)"
 trap 'rm -rf "$tmpdir"' EXIT
 
+if [ "$MODE" = trace ]; then
+    alt_label="traced"
+    alt_desc="IFP_BENCH_TRACE=1"
+else
+    alt_label="parallel"
+    alt_desc="jobs=$JOBS"
+fi
+
+run_alt() {
+    # $1 = binary, $2 = output file
+    if [ "$MODE" = trace ]; then
+        IFP_BENCH_CSV=1 IFP_BENCH_JOBS=1 IFP_BENCH_TRACE=1 "$1" > "$2" 2>/dev/null
+    else
+        IFP_BENCH_CSV=1 IFP_BENCH_JOBS="$JOBS" "$1" > "$2" 2>/dev/null
+    fi
+}
+
 fail=0
 total_serial=0
-total_parallel=0
+total_alt=0
 
 for bin in "$BENCH_DIR"/*; do
     [ -x "$bin" ] && [ -f "$bin" ] || continue
@@ -47,32 +75,35 @@ for bin in "$BENCH_DIR"/*; do
         continue
     fi
     t1=$(date +%s.%N)
-    if ! IFP_BENCH_CSV=1 IFP_BENCH_JOBS="$JOBS" "$bin" \
-            > "$tmpdir/$name.parallel" 2>/dev/null; then
-        echo "FAIL  $name: parallel run (jobs=$JOBS) exited non-zero" >&2
+    if ! run_alt "$bin" "$tmpdir/$name.$alt_label"; then
+        echo "FAIL  $name: $alt_desc run exited non-zero" >&2
         fail=1
         continue
     fi
     t2=$(date +%s.%N)
 
     serial_s=$(echo "$t1 $t0" | awk '{printf "%.2f", $1 - $2}')
-    parallel_s=$(echo "$t2 $t1" | awk '{printf "%.2f", $1 - $2}')
+    alt_s=$(echo "$t2 $t1" | awk '{printf "%.2f", $1 - $2}')
     total_serial=$(echo "$total_serial $serial_s" | awk '{print $1 + $2}')
-    total_parallel=$(echo "$total_parallel $parallel_s" | awk '{print $1 + $2}')
+    total_alt=$(echo "$total_alt $alt_s" | awk '{print $1 + $2}')
 
-    if diff -u "$tmpdir/$name.serial" "$tmpdir/$name.parallel" \
+    if diff -u "$tmpdir/$name.serial" "$tmpdir/$name.$alt_label" \
             > "$tmpdir/$name.diff"; then
-        echo "ok    $name (serial ${serial_s}s, jobs=$JOBS ${parallel_s}s)"
+        echo "ok    $name (serial ${serial_s}s, $alt_desc ${alt_s}s)"
     else
-        echo "FAIL  $name: jobs=1 and jobs=$JOBS output differ:" >&2
+        echo "FAIL  $name: baseline and $alt_desc output differ:" >&2
         cat "$tmpdir/$name.diff" >&2
         fail=1
     fi
 done
 
-speedup=$(echo "$total_serial $total_parallel" | \
-          awk '{ if ($2 > 0) printf "%.2f", $1 / $2; else print "n/a" }')
-echo "total: serial ${total_serial}s, jobs=$JOBS ${total_parallel}s," \
-     "suite speedup ${speedup}x"
+if [ "$MODE" = trace ]; then
+    echo "total: serial ${total_serial}s, traced ${total_alt}s"
+else
+    speedup=$(echo "$total_serial $total_alt" | \
+              awk '{ if ($2 > 0) printf "%.2f", $1 / $2; else print "n/a" }')
+    echo "total: serial ${total_serial}s, jobs=$JOBS ${total_alt}s," \
+         "suite speedup ${speedup}x"
+fi
 
 exit $fail
