@@ -1,0 +1,50 @@
+/**
+ * @file
+ * Chaos campaign: seeded random fault plans (CU churn, SyncMon
+ * pressure, log jams, dropped/delayed resumes, CP stalls) against the
+ * rescue-capable policies. Not a paper figure — the robustness
+ * companion to Figure 15: the paper argues the CP rescue timeout
+ * makes forward progress independent of *which* resources come and
+ * go, so every plan a Timeout machine survives, AWG must survive too.
+ * Verdicts come from the liveness oracle (core/liveness.hh).
+ */
+
+#include <cstdlib>
+
+#include "bench_common.hh"
+#include "harness/campaign.hh"
+
+int
+main()
+{
+    using namespace ifp;
+    bench::banner("Chaos campaign - seeded fault plans vs "
+                  "rescue-capable policies (liveness verdicts)");
+
+    harness::CampaignConfig cfg;
+    cfg.workload = "SPM_G";
+    cfg.policies = {core::Policy::Timeout, core::Policy::Awg,
+                    core::Policy::MonNRAll};
+    cfg.numPlans = 20;
+    cfg.baseSeed = 1;
+    cfg.params = harness::defaultEvalParams();
+    cfg.params.numWgs = 32;
+    cfg.params.iters = 8;
+    // Stalled runs should converge quickly: a small detection window
+    // is plenty at this geometry and keeps the campaign cheap.
+    cfg.runCfg.deadlockWindowCycles = 200'000;
+
+    harness::CampaignReport report = harness::runChaosCampaign(cfg);
+
+    report.writeTable(std::cout);
+    if (std::getenv("IFP_BENCH_CSV")) {
+        std::cout << "\n";
+        report.writeCsv(std::cout);
+    }
+
+    bool awg_ok = report.completesAllOf(core::Policy::Awg,
+                                        core::Policy::Timeout);
+    std::cout << "\nAWG completes every plan Timeout completes: "
+              << (awg_ok ? "yes" : "NO") << "\n";
+    return awg_ok ? 0 : 1;
+}

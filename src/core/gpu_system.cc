@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <ostream>
+#include <stdexcept>
 
 #include "sim/logging.hh"
 
@@ -34,9 +35,38 @@ RunResult::statusString() const
     return std::to_string(gpuCycles);
 }
 
+std::string
+RunResult::verdictString() const
+{
+    if (verdict == Verdict::Complete)
+        return std::string(verdictName(verdict)) + "(" +
+               std::to_string(gpuCycles) + ")";
+    return verdictName(verdict);
+}
+
 GpuSystem::GpuSystem(const RunConfig &run_cfg)
     : cfg(run_cfg)
 {
+    int num_cus = static_cast<int>(cfg.gpu.numCus);
+    if (cfg.offlineCuId < -1 || cfg.offlineCuId >= num_cus) {
+        throw std::invalid_argument(
+            "RunConfig::offlineCuId " +
+            std::to_string(cfg.offlineCuId) + " out of range for a " +
+            std::to_string(num_cus) + "-CU machine (-1 = last CU)");
+    }
+    for (const FaultEvent &ev : cfg.faultPlan.events) {
+        if (ev.kind != FaultKind::CuOffline &&
+            ev.kind != FaultKind::CuOnline)
+            continue;
+        if (ev.cuId < -1 || ev.cuId >= num_cus) {
+            throw std::invalid_argument(
+                "fault plan '" + cfg.faultPlan.name + "': " +
+                faultKindName(ev.kind) + " targets CU " +
+                std::to_string(ev.cuId) + " on a " +
+                std::to_string(num_cus) + "-CU machine");
+        }
+    }
+
     dram = std::make_unique<mem::Dram>("dram", eq, cfg.gpu.dram);
     l2cache = std::make_unique<mem::L2Cache>("l2", eq, cfg.gpu.l2,
                                              *dram, store);
@@ -126,24 +156,7 @@ GpuSystem::run(const isa::Kernel &kernel, const Validator &validator)
         completionTick = eq.curTick();
     });
     dispatch->launch(kernel);
-
-    if (cfg.oversubscribed) {
-        unsigned victim = cfg.offlineCuId >= 0
-                              ? static_cast<unsigned>(cfg.offlineCuId)
-                              : cfg.gpu.numCus - 1;
-        sim::Tick when =
-            sim::ticksFromMicroseconds(cfg.cuLossMicroseconds);
-        eq.schedule(when, [this, victim] {
-            dispatch->offlineCu(victim);
-        }, "cuLoss");
-        if (cfg.cuRestoreMicroseconds > cfg.cuLossMicroseconds) {
-            sim::Tick back = sim::ticksFromMicroseconds(
-                cfg.cuRestoreMicroseconds);
-            eq.schedule(back, [this, victim] {
-                dispatch->onlineCu(victim);
-            }, "cuRestore");
-        }
-    }
+    scheduleFaults();
 
     const sim::Tick window =
         cfg.deadlockWindowCycles * cfg.gpu.clockPeriod;
@@ -157,20 +170,29 @@ GpuSystem::run(const isa::Kernel &kernel, const Validator &validator)
                    dispatch->stats().scalar("swapIns").value());
     };
 
+    LivenessOracle oracle(cfg.liveness, cfg.gpu.clockPeriod,
+                          cfg.deadlockWindowCycles);
+
     std::uint64_t last_sig = progress_sig();
     sim::Tick next_check = window;
     while (!kernelDone) {
         eq.simulate(next_check);
         if (kernelDone)
             break;
+        // Sample at the window boundary, not curTick(): the queue's
+        // clock only advances when events execute, so a fully asleep
+        // machine would otherwise freeze the oracle's held-clocks.
+        oracle.sample(next_check, waiterProbes(), retryActivity());
         if (eq.empty()) {
             // Nothing can ever happen again: stranded WGs.
             result.deadlocked = true;
+            result.verdict = oracle.finalizeStall(true);
             break;
         }
         std::uint64_t sig = progress_sig();
         if (sig == last_sig) {
             result.deadlocked = true;
+            result.verdict = oracle.finalizeStall(false);
             break;
         }
         last_sig = sig;
@@ -180,6 +202,12 @@ GpuSystem::run(const isa::Kernel &kernel, const Validator &validator)
             break;
         }
     }
+
+    if (kernelDone)
+        result.verdict = Verdict::Complete;
+    else if (!result.deadlocked)
+        result.verdict = Verdict::Exhausted;
+    result.lostWakeups = oracle.lostWakeups();
 
     if (kernelDone) {
         result.completed = true;
@@ -202,6 +230,148 @@ GpuSystem::run(const isa::Kernel &kernel, const Validator &validator)
         result.validationError = std::move(err);
     }
     return result;
+}
+
+unsigned
+GpuSystem::resolveCuId(int cu_id) const
+{
+    return cu_id >= 0 ? static_cast<unsigned>(cu_id)
+                      : cfg.gpu.numCus - 1;
+}
+
+void
+GpuSystem::scheduleFaults()
+{
+    faultsApplied = 0;
+    if (cfg.oversubscribed) {
+        // The legacy §VI scenario, scheduled exactly as before the
+        // fault engine existed so historic runs stay byte-identical.
+        unsigned victim = resolveCuId(cfg.offlineCuId);
+        sim::Tick when =
+            sim::ticksFromMicroseconds(cfg.cuLossMicroseconds);
+        eq.schedule(when, [this, victim] {
+            dispatch->offlineCu(victim);
+        }, "cuLoss");
+        if (cfg.cuRestoreMicroseconds > cfg.cuLossMicroseconds) {
+            sim::Tick back = sim::ticksFromMicroseconds(
+                cfg.cuRestoreMicroseconds);
+            eq.schedule(back, [this, victim] {
+                dispatch->onlineCu(victim);
+            }, "cuRestore");
+        }
+    }
+    for (const FaultEvent &ev : cfg.faultPlan.events) {
+        sim::Tick at = sim::ticksFromMicroseconds(ev.atUs);
+        eq.schedule(at, [this, ev] { applyFault(ev, true); },
+                    "fault.begin");
+        // CpStall needs no end edge: the CP checks the stall deadline
+        // itself. CU churn events are instantaneous by definition.
+        if (faultKindWindowed(ev.kind) &&
+            ev.kind != FaultKind::CpStall) {
+            sim::Tick end =
+                sim::ticksFromMicroseconds(ev.atUs + ev.durationUs);
+            eq.schedule(end, [this, ev] { applyFault(ev, false); },
+                        "fault.end");
+        }
+    }
+}
+
+void
+GpuSystem::applyFault(const FaultEvent &ev, bool begin)
+{
+    if (begin) {
+        ++faultsApplied;
+        sim::emitTrace(sink.get(), eq.curTick(),
+                       sim::TraceEventKind::FaultInjected, -1, ev.cuId,
+                       sim::StallReason::Running, ev.param,
+                       static_cast<std::int64_t>(ev.kind));
+    }
+    switch (ev.kind) {
+      case FaultKind::CuOffline:
+        dispatch->offlineCu(resolveCuId(ev.cuId));
+        return;
+      case FaultKind::CuOnline:
+        dispatch->onlineCu(resolveCuId(ev.cuId));
+        return;
+      case FaultKind::SyncMonPressure:
+        // Monitor faults are no-ops for policies without a SyncMon.
+        if (monitor) {
+            begin ? monitor->beginCapacityPressure()
+                  : monitor->endCapacityPressure();
+        }
+        return;
+      case FaultKind::LogJam:
+        begin ? cp->beginLogJam() : cp->endLogJam();
+        return;
+      case FaultKind::DropResume:
+        if (monitor) {
+            begin ? monitor->beginResumeDrop()
+                  : monitor->endResumeDrop();
+        }
+        return;
+      case FaultKind::DelayResume:
+        if (monitor) {
+            if (begin)
+                monitor->beginResumeDelay(ev.param);
+            else
+                monitor->endResumeDelay();
+        }
+        return;
+      case FaultKind::CpStall:
+        cp->stallFirmware(
+            eq.curTick() +
+            sim::ticksFromMicroseconds(ev.durationUs));
+        return;
+    }
+}
+
+std::vector<WaiterProbe>
+GpuSystem::waiterProbes() const
+{
+    std::vector<WaiterProbe> probes;
+    for (const auto &wg : dispatch->workgroups()) {
+        if (wg->state == gpu::WgState::Done || !wg->hasWaitCond)
+            continue;
+        WaiterProbe probe;
+        probe.wgId = wg->id;
+        probe.addr = wg->waitAddr;
+        probe.expected = wg->waitExpected;
+        probe.conditionHolds =
+            store.read(wg->waitAddr, 8) == wg->waitExpected;
+        probes.push_back(probe);
+    }
+    return probes;
+}
+
+std::uint64_t
+GpuSystem::retryActivity() const
+{
+    // Activity that does not advance the progress signature (failed
+    // compares mutate nothing) but proves the machine is executing:
+    // waiting-atomic retries, wait re-arms, sleep backoff spins and
+    // stall-timeout wakeups. Baseline's plain-atomic busy wait is
+    // deliberately absent — a spinning Baseline machine is the
+    // paper's deadlock, not a livelock of the added mechanisms.
+    std::uint64_t activity = 0;
+    for (const auto &cu : cus) {
+        const sim::StatGroup &s = cu->stats();
+        activity += static_cast<std::uint64_t>(
+            s.scalar("waitingAtomics").value());
+        activity += static_cast<std::uint64_t>(
+            s.scalar("armWaits").value());
+        activity += static_cast<std::uint64_t>(
+            s.scalar("sleeps").value());
+        activity += static_cast<std::uint64_t>(
+            s.scalar("stallRescues").value());
+    }
+    if (monitor) {
+        const sim::StatGroup &s = monitor->stats();
+        activity += static_cast<std::uint64_t>(
+            s.scalar("logFullRetries").value());
+        activity += static_cast<std::uint64_t>(
+            s.scalar("stallTimeouts").value());
+    }
+    return activity;
 }
 
 void
@@ -287,6 +457,19 @@ GpuSystem::harvest(RunResult &result) const
             s.scalar("logFullRetries").value());
         result.maxConditions = monitor->maxConditions();
         result.maxWaiters = monitor->maxWaiters();
+        result.droppedResumes = static_cast<std::uint64_t>(
+            s.scalar("droppedResumes").value());
+        result.delayedResumes = static_cast<std::uint64_t>(
+            s.scalar("delayedResumes").value());
+    }
+
+    result.injectedFaults = faultsApplied;
+    for (const auto &rec : dispatch->cuRecoveries()) {
+        FaultRecovery recovery;
+        recovery.restoreCycle = rec.restoreTick / period;
+        recovery.cyclesToFirstSwapIn =
+            (rec.firstSwapInTick - rec.restoreTick) / period;
+        result.faultRecoveries.push_back(recovery);
     }
 }
 

@@ -23,6 +23,8 @@
 #include <memory>
 #include <vector>
 
+#include "core/fault_plan.hh"
+#include "core/liveness.hh"
 #include "core/policy.hh"
 #include "core/run_result.hh"
 #include "cp/command_processor.hh"
@@ -63,6 +65,17 @@ struct RunConfig
     /** Which CU goes offline (default: the last one). */
     int offlineCuId = -1;
 
+    /**
+     * Scripted fault-injection campaign (core/fault_plan.hh), applied
+     * on top of (and independently of) the legacy oversubscribed
+     * scenario. Every event is scheduled on the event queue before
+     * simulation starts, so runs stay byte-reproducible.
+     */
+    FaultPlan faultPlan;
+
+    /** Liveness-oracle configuration (core/liveness.hh). */
+    LivenessConfig liveness;
+
     /** No-progress window that declares deadlock, in GPU cycles. */
     sim::Cycles deadlockWindowCycles = 1'000'000;
     /** Absolute simulation budget, in GPU cycles. */
@@ -84,6 +97,13 @@ using Validator =
 class GpuSystem
 {
   public:
+    /**
+     * Composes the machine. Throws std::invalid_argument when the
+     * scenario references a CU the machine does not have
+     * (RunConfig::offlineCuId or a fault-plan churn target out of
+     * range) — the one construction-time error a caller can usefully
+     * catch, unlike the internal ifp_fatal paths.
+     */
     explicit GpuSystem(const RunConfig &cfg);
     ~GpuSystem();
 
@@ -139,6 +159,22 @@ class GpuSystem
     mem::Addr heapNext = 0x1000'0000ULL;
     bool kernelDone = false;
     sim::Tick completionTick = 0;
+    std::uint64_t faultsApplied = 0;
+
+    /** Resolve a plan CU id (-1 = last CU) to a concrete index. */
+    unsigned resolveCuId(int cu_id) const;
+
+    /** Schedule the legacy scenario and cfg.faultPlan on the queue. */
+    void scheduleFaults();
+
+    /** Apply one fault edge (begin or end of a window). */
+    void applyFault(const FaultEvent &event, bool begin);
+
+    /** Snapshot every waiting WG for the liveness oracle. */
+    std::vector<WaiterProbe> waiterProbes() const;
+
+    /** Monotone Mesa-retry/spin counter (livelock signal). */
+    std::uint64_t retryActivity() const;
 
     void harvest(RunResult &result) const;
 };

@@ -9,7 +9,9 @@
 #include <array>
 #include <cstdint>
 #include <string>
+#include <vector>
 
+#include "core/liveness.hh"
 #include "sim/trace_sink.hh"
 #include "sim/types.hh"
 
@@ -20,6 +22,14 @@ struct RunResult
 {
     bool completed = false;
     bool deadlocked = false;
+
+    /**
+     * Liveness-oracle refinement of the flags above: `deadlocked`
+     * stays true for every stalled run (tables and legacy checks keep
+     * their meaning), while the verdict distinguishes DEADLOCK from
+     * LIVELOCK and LOST_WAKEUP.
+     */
+    Verdict verdict = Verdict::Unknown;
 
     /// @name Time
     /// @{
@@ -93,6 +103,20 @@ struct RunResult
     sim::Cycles maxWgWaitCycles = 0;
     /// @}
 
+    /// @name Fault injection (core/fault_plan.hh)
+    /// @{
+    /** Fault events that actually fired during the run. */
+    std::uint64_t injectedFaults = 0;
+    /** Resume notifications suppressed by DropResume windows. */
+    std::uint64_t droppedResumes = 0;
+    /** Resume notifications deferred by DelayResume windows. */
+    std::uint64_t delayedResumes = 0;
+    /** Waiters the oracle flagged as lost (see verdict). */
+    std::vector<LostWakeupRecord> lostWakeups;
+    /** CU-restore to first-swap-in latencies, one per restoration. */
+    std::vector<FaultRecovery> faultRecoveries;
+    /// @}
+
     /// @name Validation
     /// @{
     bool validated = false;
@@ -101,6 +125,9 @@ struct RunResult
 
     /** Wall status string for tables: cycles or DEADLOCK. */
     std::string statusString() const;
+
+    /** Oracle verdict name plus cycles for completed runs. */
+    std::string verdictString() const;
 };
 
 } // namespace ifp::core

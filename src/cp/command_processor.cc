@@ -26,8 +26,19 @@ CommandProcessor::CommandProcessor(std::string name, sim::EventQueue &eq,
       spilledResumes(statGroup.addScalar(
           "spilledResumes", "resumes from spilled-condition checks")),
       rescuesFired(statGroup.addScalar("rescuesFired",
-                                       "CP rescue timeouts fired"))
+                                       "CP rescue timeouts fired")),
+      jamRejects(statGroup.addScalar(
+          "jamRejects", "spills rejected by LogJam fault windows")),
+      stallDeferrals(statGroup.addScalar(
+          "stallDeferrals",
+          "housekeeping passes skipped while the firmware was stalled"))
 {
+}
+
+void
+CommandProcessor::stallFirmware(sim::Tick until)
+{
+    firmwareStalledUntil = std::max(firmwareStalledUntil, until);
 }
 
 void
@@ -78,6 +89,10 @@ bool
 CommandProcessor::spillCondition(mem::Addr addr, mem::MemValue expected,
                                  int wg_id)
 {
+    if (jamDepth > 0) {
+        ++jamRejects;
+        return false;
+    }
     bool ok = log.append(MonitorLogEntry{addr, expected, wg_id});
     if (ok) {
         sim::emitTrace(trace, curTick(), sim::TraceEventKind::LogAbsorb,
@@ -118,6 +133,14 @@ CommandProcessor::housekeeping()
 {
     housekeepingScheduled = false;
     sim::Tick now = curTick();
+
+    if (now < firmwareStalledUntil) {
+        // CpStall fault: keep ticking but do no work until the stall
+        // window closes; pending drains, checks and rescues all wait.
+        ++stallDeferrals;
+        ensureHousekeeping();
+        return;
+    }
 
     // 1. Drain the Monitor Log into the lookup-efficient table.
     unsigned drained = 0;

@@ -91,6 +91,24 @@ class CommandProcessor : public sim::Clocked,
     void dropSpilledFor(int wg_id);
     /// @}
 
+    /// @name Fault-injection hooks (core/fault_plan.hh)
+    /// @{
+    /**
+     * LogJam window: the Monitor Log rejects every append, so waiting
+     * atomics that would spill fail immediately (Mesa retry) — the
+     * sustained log-full phase without actually filling the log.
+     */
+    void beginLogJam() { ++jamDepth; }
+    void endLogJam() { if (jamDepth) --jamDepth; }
+
+    /**
+     * CpStall fault: the firmware is wedged until @p until. The
+     * housekeeping loop keeps its schedule but performs no work (no
+     * drains, no condition checks, no rescues) before that tick.
+     */
+    void stallFirmware(sim::Tick until);
+    /// @}
+
     /// @name Introspection (Figure 13 accounting)
     /// @{
     const MonitorLog &monitorLog() const { return log; }
@@ -132,6 +150,12 @@ class CommandProcessor : public sim::Clocked,
 
     bool housekeepingScheduled = false;
 
+    /// @name Active fault-window state
+    /// @{
+    unsigned jamDepth = 0;
+    sim::Tick firmwareStalledUntil = 0;
+    /// @}
+
     std::uint64_t currentContextBytes = 0;
     std::uint64_t maxContextBytes = 0;
     unsigned maxSpilled = 0;
@@ -144,6 +168,8 @@ class CommandProcessor : public sim::Clocked,
     sim::Scalar &logDrained;
     sim::Scalar &spilledResumes;
     sim::Scalar &rescuesFired;
+    sim::Scalar &jamRejects;
+    sim::Scalar &stallDeferrals;
 };
 
 } // namespace ifp::cp

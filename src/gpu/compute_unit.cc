@@ -479,12 +479,16 @@ ComputeUnit::issueMemRequest(Wavefront &wf, const isa::Instr &in)
     ++wf.wg->memWaitWfs;
     wf.wg->refreshRunBucket(curTick());
     Wavefront *wfp = &wf;
-    req->onResponse = [this, wfp, req] { memResponse(*wfp, req); };
+    // Raw capture: the transport chain holds the MemRequestPtr until
+    // it responds, and an owning capture here would be a shared_ptr
+    // cycle (the request keeping itself alive through its callback).
+    mem::MemRequest *reqp = req.get();
+    req->onResponse = [this, wfp, reqp] { memResponse(*wfp, *reqp); };
     l1.access(req);
 }
 
 void
-ComputeUnit::memResponse(Wavefront &wf, const mem::MemRequestPtr &req)
+ComputeUnit::memResponse(Wavefront &wf, const mem::MemRequest &req)
 {
     ifp_assert(wf.state == WfState::WaitMem,
                "memory response for wg%d wf%u in state %d", wf.wg->id,
@@ -493,10 +497,10 @@ ComputeUnit::memResponse(Wavefront &wf, const mem::MemRequestPtr &req)
                wf.wg->id);
     --wf.wg->memWaitWfs;
 
-    switch (req->op) {
+    switch (req.op) {
       case mem::MemOp::Read: {
         const isa::Instr &in = wf.wg->kernel->code[wf.pc];
-        wf.setReg(in.dst, store.read(req->addr, 8));
+        wf.setReg(in.dst, store.read(req.addr, 8));
         ++wf.pc;
         wf.state = WfState::Ready;
         break;
@@ -506,24 +510,24 @@ ComputeUnit::memResponse(Wavefront &wf, const mem::MemRequestPtr &req)
         wf.state = WfState::Ready;
         break;
       case mem::MemOp::Atomic: {
-        if (!req->waitFailed) {
+        if (!req.waitFailed) {
             const isa::Instr &in = wf.wg->kernel->code[wf.pc];
-            wf.setReg(in.dst, req->result);
+            wf.setReg(in.dst, req.result);
             ++wf.pc;
             wf.state = WfState::Ready;
         } else {
             // Keep pc at the waiting atomic: Mesa semantics, the
             // instruction re-executes when the WG resumes.
             wf.state = WfState::Ready;
-            applyWaitDecision(wf, req->addr, waitExpectedOf(req),
-                              req->decision);
+            applyWaitDecision(wf, req.addr, waitExpectedOf(req),
+                              req.decision);
         }
         break;
       }
       case mem::MemOp::ArmWait:
         // pc already advanced at issue.
         wf.state = WfState::Ready;
-        applyWaitDecision(wf, req->addr, req->expected, req->decision);
+        applyWaitDecision(wf, req.addr, req.expected, req.decision);
         break;
     }
 

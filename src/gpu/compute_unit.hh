@@ -114,7 +114,7 @@ class ComputeUnit : public sim::Clocked
     bool issuable(const Wavefront &wf) const;
     void executeInstr(Wavefront &wf);
     void issueMemRequest(Wavefront &wf, const isa::Instr &in);
-    void memResponse(Wavefront &wf, const mem::MemRequestPtr &req);
+    void memResponse(Wavefront &wf, const mem::MemRequest &req);
     void applyWaitDecision(Wavefront &wf, mem::Addr addr,
                            mem::MemValue expected,
                            const mem::WaitDecision &decision);

@@ -130,9 +130,14 @@ Dispatcher::startFresh(WorkGroup *w, ComputeUnit *cu)
     sim::emitTrace(trace, curTick(),
                    sim::TraceEventKind::WgDispatched, w->id,
                    static_cast<int>(cu->cuId()));
+    // The epoch guard lets offlineCu() cancel this activation if the
+    // CU churns away during the launch latency.
+    std::uint64_t epoch = w->dispatchEpoch;
     eventq().schedule(clockEdge(config.dispatchLatency),
-                      [cu, w] { cu->activateWg(w); },
-                      name() + ".activate");
+                      [cu, w, epoch] {
+        if (w->dispatchEpoch == epoch)
+            cu->activateWg(w);
+    }, name() + ".activate");
 }
 
 void
@@ -143,6 +148,13 @@ Dispatcher::startSwapIn(WorkGroup *w, ComputeUnit *cu)
                wgStateName(w->state));
     ifp_assert(switcher, "no context switcher installed");
     ++swapIns;
+
+    // Close out recovery accounting: the first swap-in after a CU
+    // restoration marks the machine using the returned resources.
+    for (sim::Tick restored : pendingRestores)
+        recoveries.push_back(CuRecovery{restored, curTick()});
+    pendingRestores.clear();
+
     cu->placeWg(w);
     w->setState(WgState::SwitchingIn, curTick());
     sim::emitTrace(trace, curTick(), sim::TraceEventKind::WgSwapIn,
@@ -150,6 +162,10 @@ Dispatcher::startSwapIn(WorkGroup *w, ComputeUnit *cu)
     switcher->restoreContext(w, [this, w, cu] {
         ++w->contextRestores;
         cu->activateWg(w);
+        // The CU may have churned offline while the restore DMA was
+        // in flight; evict the WG right back out.
+        if (cu->offline())
+            preemptRunning(w);
     });
 }
 
@@ -276,10 +292,30 @@ void
 Dispatcher::onlineCu(unsigned cu_id)
 {
     ifp_assert(cu_id < cus.size(), "bad CU id %u", cu_id);
+    if (!cus[cu_id]->offline())
+        return;  // idempotent under overlapping fault windows
     cus[cu_id]->setOffline(false);
+    pendingRestores.push_back(curTick());
     sim::emitTrace(trace, curTick(), sim::TraceEventKind::CuOnline, -1,
                    static_cast<int>(cu_id));
     tryDispatch();
+}
+
+void
+Dispatcher::preemptRunning(WorkGroup *w)
+{
+    ++forcedPreemptions;
+    sim::emitTrace(trace, curTick(), sim::TraceEventKind::WgPreempted,
+                   w->id, w->cuId);
+    w->setState(WgState::SwitchingOut, curTick());
+    ComputeUnit *host = cus[w->cuId];
+    host->beginDrain(w, [this, w] {
+        if (switcher) {
+            switcher->saveContext(w, [this, w] { finishSwapOut(w); });
+        } else {
+            finishSwapOut(w);
+        }
+    });
 }
 
 void
@@ -287,33 +323,41 @@ Dispatcher::offlineCu(unsigned cu_id)
 {
     ifp_assert(cu_id < cus.size(), "bad CU id %u", cu_id);
     ComputeUnit *cu = cus[cu_id];
+    if (cu->offline())
+        return;  // idempotent under overlapping fault windows
     cu->setOffline(true);
     sim::emitTrace(trace, curTick(), sim::TraceEventKind::CuOffline,
                    -1, static_cast<int>(cu_id));
 
     // Snapshot: beginSwapOut mutates the resident list asynchronously.
     std::vector<WorkGroup *> victims = cu->residentWgs();
+    std::vector<int> requeued;
     for (WorkGroup *w : victims) {
-        if (w->state != WgState::Running &&
-            w->state != WgState::Dispatching) {
-            continue;  // already switching out
+        if (w->state == WgState::Dispatching) {
+            // Caught inside the launch latency: cancel the pending
+            // activation (epoch guard) and put the WG back in the
+            // fresh queue — it never ran, so there is no context to
+            // save.
+            ++w->dispatchEpoch;
+            ++forcedPreemptions;
+            sim::emitTrace(trace, curTick(),
+                           sim::TraceEventKind::WgPreempted, w->id,
+                           static_cast<int>(cu_id));
+            cu->removeWg(w);
+            w->setState(WgState::Pending, curTick());
+            requeued.push_back(w->id);
+            continue;
         }
-        ifp_assert(w->state == WgState::Running,
-                   "pre-empting wg%d during dispatch", w->id);
-        ++forcedPreemptions;
-        sim::emitTrace(trace, curTick(),
-                       sim::TraceEventKind::WgPreempted, w->id,
-                       static_cast<int>(cu_id));
-        w->setState(WgState::SwitchingOut, curTick());
-        ComputeUnit *host = cus[w->cuId];
-        host->beginDrain(w, [this, w] {
-            if (switcher) {
-                switcher->saveContext(w,
-                                      [this, w] { finishSwapOut(w); });
-            } else {
-                finishSwapOut(w);
-            }
-        });
+        if (w->state != WgState::Running)
+            continue;  // already switching out or restoring
+        preemptRunning(w);
+    }
+    if (!requeued.empty()) {
+        // Front of the queue, original order: they were dispatched
+        // first, so they go back out first.
+        pendingFresh.insert(pendingFresh.begin(), requeued.begin(),
+                            requeued.end());
+        tryDispatch();
     }
 }
 

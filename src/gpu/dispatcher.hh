@@ -100,6 +100,22 @@ class Dispatcher : public sim::Clocked,
      */
     void onlineCu(unsigned cu_id);
 
+    /**
+     * Per-fault recovery accounting: one record per CU restoration
+     * that was followed by a swap-in, measuring how long the machine
+     * took to make use of the returned resources.
+     */
+    struct CuRecovery
+    {
+        sim::Tick restoreTick;      //!< when onlineCu() fired
+        sim::Tick firstSwapInTick;  //!< first swap-in after it
+    };
+
+    const std::vector<CuRecovery> &cuRecoveries() const
+    {
+        return recoveries;
+    }
+
     /// @name Introspection
     /// @{
     WorkGroup *wg(int wg_id);
@@ -126,6 +142,7 @@ class Dispatcher : public sim::Clocked,
     ComputeUnit *findHost(const isa::Kernel &kernel);
     void startFresh(WorkGroup *wg, ComputeUnit *cu);
     void startSwapIn(WorkGroup *wg, ComputeUnit *cu);
+    void preemptRunning(WorkGroup *wg);
     void beginSwapOut(WorkGroup *wg);
     void finishSwapOut(WorkGroup *wg);
 
@@ -142,6 +159,10 @@ class Dispatcher : public sim::Clocked,
     std::deque<int> pendingFresh;
     std::deque<int> readySwapIn;
     unsigned completed = 0;
+
+    /** Restorations whose first swap-in has not happened yet. */
+    std::vector<sim::Tick> pendingRestores;
+    std::vector<CuRecovery> recoveries;
 
     sim::StatGroup statGroup;
     sim::Scalar &dispatches;

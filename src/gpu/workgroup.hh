@@ -62,6 +62,15 @@ class WorkGroup
 
     WgState state = WgState::Pending;
 
+    /**
+     * Bumped whenever a pending dispatch is invalidated (the host CU
+     * went offline before the launch latency elapsed). The deferred
+     * activation event captures the epoch at schedule time and fires
+     * only if it still matches, so a re-queued WG is never activated
+     * on the CU it was evicted from.
+     */
+    std::uint64_t dispatchEpoch = 0;
+
     std::vector<std::unique_ptr<Wavefront>> wavefronts;
 
     /// @name Intra-WG barrier

@@ -1,0 +1,113 @@
+#include "harness/campaign.hh"
+
+#include <algorithm>
+
+#include "harness/sweep.hh"
+#include "harness/table.hh"
+
+namespace ifp::harness {
+
+CampaignReport
+runChaosCampaign(const CampaignConfig &cfg)
+{
+    CampaignReport report;
+    report.policies = cfg.policies;
+
+    core::ChaosSpec spec = cfg.chaos;
+    spec.numCus = cfg.runCfg.gpu.numCus;
+
+    report.plans.reserve(cfg.numPlans);
+    for (unsigned i = 0; i < cfg.numPlans; ++i)
+        report.plans.push_back(
+            core::generateChaosPlan(spec, cfg.baseSeed + i));
+
+    SweepRunner sweep(cfg.jobs);
+    for (const core::FaultPlan &plan : report.plans) {
+        for (core::Policy policy : cfg.policies) {
+            Experiment exp;
+            exp.workload = cfg.workload;
+            exp.policy = policy;
+            exp.params = cfg.params;
+            exp.runCfg = cfg.runCfg;
+            exp.runCfg.faultPlan = plan;
+            sweep.enqueue(std::move(exp));
+        }
+    }
+    const std::vector<core::RunResult> &results = sweep.run();
+
+    report.runs.reserve(results.size());
+    std::size_t idx = 0;
+    for (const core::FaultPlan &plan : report.plans) {
+        for (core::Policy policy : cfg.policies) {
+            report.runs.push_back(
+                CampaignRun{&plan, policy, results[idx]});
+            ++idx;
+        }
+    }
+    return report;
+}
+
+bool
+CampaignReport::completesAllOf(core::Policy subject,
+                               core::Policy reference) const
+{
+    auto index_of = [&](core::Policy p) -> std::size_t {
+        auto it = std::find(policies.begin(), policies.end(), p);
+        return static_cast<std::size_t>(it - policies.begin());
+    };
+    std::size_t subj = index_of(subject);
+    std::size_t ref = index_of(reference);
+    if (subj >= policies.size() || ref >= policies.size())
+        return false;
+    for (std::size_t p = 0; p < plans.size(); ++p) {
+        if (run(p, ref).result.completed &&
+            !run(p, subj).result.completed)
+            return false;
+    }
+    return true;
+}
+
+void
+CampaignReport::writeTable(std::ostream &os) const
+{
+    std::vector<std::string> headers = {"plan", "seed", "faults"};
+    for (core::Policy p : policies)
+        headers.push_back(core::policyName(p));
+    TextTable table(std::move(headers));
+    for (std::size_t i = 0; i < plans.size(); ++i) {
+        std::vector<std::string> row = {
+            plans[i].name,
+            std::to_string(plans[i].seed),
+            std::to_string(plans[i].events.size()),
+        };
+        for (std::size_t p = 0; p < policies.size(); ++p)
+            row.push_back(run(i, p).result.verdictString());
+        table.addRow(std::move(row));
+    }
+    table.print(os);
+}
+
+void
+CampaignReport::writeCsv(std::ostream &os) const
+{
+    os << "plan,seed,policy,verdict,completed,gpuCycles,"
+          "injectedFaults,forcedPreemptions,droppedResumes,"
+          "delayedResumes,spills,logFullRetries,lostWakeups,"
+          "recoveries\n";
+    for (std::size_t i = 0; i < plans.size(); ++i) {
+        for (std::size_t p = 0; p < policies.size(); ++p) {
+            const core::RunResult &r = run(i, p).result;
+            os << plans[i].name << ',' << plans[i].seed << ','
+               << core::policyName(policies[p]) << ','
+               << core::verdictName(r.verdict) << ','
+               << (r.completed ? 1 : 0) << ',' << r.gpuCycles << ','
+               << r.injectedFaults << ',' << r.forcedPreemptions << ','
+               << r.droppedResumes << ',' << r.delayedResumes << ','
+               << r.spills << ',' << r.logFullRetries << ','
+               << r.lostWakeups.size() << ','
+               << r.faultRecoveries.size() << '\n';
+        }
+    }
+}
+
+} // namespace ifp::harness

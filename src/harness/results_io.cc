@@ -46,6 +46,7 @@ writeResultJson(std::ostream &os, const Experiment &exp,
     os << "\"completed\":" << (r.completed ? "true" : "false") << ",";
     os << "\"deadlocked\":" << (r.deadlocked ? "true" : "false")
        << ",";
+    os << "\"verdict\":\"" << core::verdictName(r.verdict) << "\",";
     os << "\"validated\":" << (r.validated ? "true" : "false") << ",";
     os << "\"gpuCycles\":" << r.gpuCycles << ",";
     os << "\"instructions\":" << r.instructions << ",";
@@ -61,6 +62,32 @@ writeResultJson(std::ostream &os, const Experiment &exp,
     os << "\"cpRescues\":" << r.cpRescues << ",";
     os << "\"spills\":" << r.spills << ",";
     os << "\"logFullRetries\":" << r.logFullRetries << ",";
+    os << "\"faultPlan\":\"" << jsonEscape(exp.runCfg.faultPlan.name)
+       << "\",";
+    os << "\"chaosSeed\":" << exp.runCfg.faultPlan.seed << ",";
+    os << "\"injectedFaults\":" << r.injectedFaults << ",";
+    os << "\"droppedResumes\":" << r.droppedResumes << ",";
+    os << "\"delayedResumes\":" << r.delayedResumes << ",";
+    os << "\"lostWakeups\":[";
+    for (std::size_t i = 0; i < r.lostWakeups.size(); ++i) {
+        const core::LostWakeupRecord &lw = r.lostWakeups[i];
+        if (i)
+            os << ",";
+        os << "{\"wg\":" << lw.wgId << ",\"addr\":" << lw.addr
+           << ",\"expected\":" << lw.expected
+           << ",\"heldCycles\":" << lw.heldCycles << "}";
+    }
+    os << "],";
+    os << "\"faultRecoveries\":[";
+    for (std::size_t i = 0; i < r.faultRecoveries.size(); ++i) {
+        const core::FaultRecovery &fr = r.faultRecoveries[i];
+        if (i)
+            os << ",";
+        os << "{\"restoreCycle\":" << fr.restoreCycle
+           << ",\"cyclesToFirstSwapIn\":" << fr.cyclesToFirstSwapIn
+           << "}";
+    }
+    os << "],";
     os << "\"maxConditions\":" << r.maxConditions << ",";
     os << "\"maxWaiters\":" << r.maxWaiters << ",";
     os << "\"maxMonitoredLines\":" << r.maxMonitoredLines << ",";

@@ -94,12 +94,21 @@ struct MemRequest
     /** Completion callback; invoked exactly once, at response time. */
     std::function<void()> onResponse;
 
-    /** Fire the completion callback. */
+    /**
+     * Fire the completion callback. The callback is moved out before
+     * the call: it typically captures the MemRequestPtr that owns it
+     * (a shared_ptr cycle), so leaving it in place would keep every
+     * responded request alive forever. Clearing it also makes the
+     * invoked-exactly-once contract structural.
+     */
     void
     respond()
     {
-        if (onResponse)
-            onResponse();
+        if (onResponse) {
+            auto callback = std::move(onResponse);
+            onResponse = nullptr;
+            callback();
+        }
     }
 
     bool isUpdate() const
@@ -115,9 +124,15 @@ using MemRequestPtr = std::shared_ptr<MemRequest>;
  * comparison operand for CAS, the explicit expected operand otherwise.
  */
 inline MemValue
+waitExpectedOf(const MemRequest &req)
+{
+    return req.aop == AtomicOpcode::Cas ? req.compare : req.expected;
+}
+
+inline MemValue
 waitExpectedOf(const MemRequestPtr &req)
 {
-    return req->aop == AtomicOpcode::Cas ? req->compare : req->expected;
+    return waitExpectedOf(*req);
 }
 
 /** Generic interface of anything that accepts memory requests. */

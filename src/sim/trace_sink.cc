@@ -46,6 +46,7 @@ traceEventKindName(TraceEventKind kind)
       case TraceEventKind::LogDrain: return "log-drain";
       case TraceEventKind::CuOffline: return "cu-offline";
       case TraceEventKind::CuOnline: return "cu-online";
+      case TraceEventKind::FaultInjected: return "fault-injected";
     }
     return "?";
 }

@@ -82,6 +82,7 @@ enum class TraceEventKind : std::uint8_t
     LogDrain,       //!< CP drained log entries into the monitor table
     CuOffline,      //!< CU lost to kernel-level scheduling
     CuOnline,       //!< CU restored to the schedulable pool
+    FaultInjected,  //!< fault-plan event fired (value = FaultKind)
 };
 
 /** Printable name of a TraceEventKind. */

@@ -63,6 +63,15 @@ SyncMonController::SyncMonController(std::string name,
       evictionsToLog(statGroup.addScalar(
           "evictionsToLog",
           "conditions demoted to the log (evict-youngest policy)")),
+      forcedSpills(statGroup.addScalar(
+          "forcedSpills",
+          "spills forced by SyncMonPressure fault windows")),
+      droppedResumesStat(statGroup.addScalar(
+          "droppedResumes",
+          "resume notifications lost to DropResume fault windows")),
+      delayedResumesStat(statGroup.addScalar(
+          "delayedResumes",
+          "resume notifications deferred by DelayResume windows")),
       waitLatency(statGroup.addHistogram(
           "waitLatency", 0.0, 50'000.0, 20,
           "observed condition-met latencies, in cycles"))
@@ -125,6 +134,23 @@ SyncMonController::registerWaiter(mem::Addr addr, mem::MemValue expected,
 {
     ++registrations;
     bool addr_only = usesAddrOnlyConditions();
+
+    if (pressureDepth > 0) {
+        // SyncMonPressure fault window: the condition cache reports
+        // itself full, so every new waiter exercises the Monitor Log
+        // virtualization path mid-run.
+        ++forcedSpills;
+        ++spills;
+        sim::emitTrace(trace, curTick(),
+                       sim::TraceEventKind::CondSpilled, wg_id, -1,
+                       sim::StallReason::Running, addr,
+                       static_cast<std::int64_t>(expected));
+        if (!cp.spillCondition(addr, expected, wg_id)) {
+            ++logFullRetries;
+            return {mem::WaitKind::Retry, 0};
+        }
+        return waitDecisionFor(addr);
+    }
 
     ConditionCache::Entry *entry = conds.find(addr, expected, addr_only);
     bool inserted_now = false;
@@ -241,8 +267,7 @@ SyncMonController::resumeOne(ConditionCache::Entry &entry)
     observeWaitLatency(entry.addr, curTick() - w.registeredTick);
     mem::Addr addr = entry.addr;
     maybeRetire(entry);
-    if (scheduler)
-        scheduler->resumeWg(w.wgId);
+    notifyResume(w.wgId);
     (void)addr;
 }
 
@@ -266,10 +291,46 @@ SyncMonController::resumeAll(ConditionCache::Entry &entry)
     entry.tail = -1;
     entry.numWaiters = 0;
     maybeRetire(entry);
-    if (scheduler) {
-        for (int wg_id : wg_ids)
-            scheduler->resumeWg(wg_id);
+    for (int wg_id : wg_ids)
+        notifyResume(wg_id);
+}
+
+void
+SyncMonController::notifyResume(int wg_id)
+{
+    if (!scheduler)
+        return;
+    if (dropDepth > 0) {
+        // The lost-wakeup scenario: the condition fired, the waiter
+        // was already unlinked, and the notification evaporates. Only
+        // the CP rescue backstop (or the liveness oracle's verdict)
+        // can save the WG now.
+        ++droppedResumesStat;
+        return;
     }
+    if (delayDepth > 0 && resumeDelayCycles > 0) {
+        ++delayedResumesStat;
+        eventq().schedule(clockEdge(resumeDelayCycles), [this, wg_id] {
+            if (scheduler)
+                scheduler->resumeWg(wg_id);
+        }, name() + ".delayedResume");
+        return;
+    }
+    scheduler->resumeWg(wg_id);
+}
+
+void
+SyncMonController::beginResumeDelay(sim::Cycles delay_cycles)
+{
+    ++delayDepth;
+    resumeDelayCycles = std::max(resumeDelayCycles, delay_cycles);
+}
+
+void
+SyncMonController::endResumeDelay()
+{
+    if (delayDepth && --delayDepth == 0)
+        resumeDelayCycles = 0;
 }
 
 bool

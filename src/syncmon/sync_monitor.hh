@@ -134,6 +134,24 @@ class SyncMonController : public sim::Clocked, public mem::SyncObserver
 
     SyncMonMode mode() const { return policyMode; }
 
+    /// @name Fault-injection hooks (core/fault_plan.hh)
+    ///
+    /// Plain depth counters flipped by GpuSystem-scheduled fault
+    /// edges; windows may nest/overlap, and a window ends only when
+    /// its depth returns to zero. Kept as dumb setters so this layer
+    /// never depends on core.
+    /// @{
+    /** Condition cache reports itself full: every new waiter spills. */
+    void beginCapacityPressure() { ++pressureDepth; }
+    void endCapacityPressure() { if (pressureDepth) --pressureDepth; }
+    /** Resume notifications are silently lost (MonR-style WoV race). */
+    void beginResumeDrop() { ++dropDepth; }
+    void endResumeDrop() { if (dropDepth) --dropDepth; }
+    /** Resume notifications are deferred by @p delay_cycles. */
+    void beginResumeDelay(sim::Cycles delay_cycles);
+    void endResumeDelay();
+    /// @}
+
     /// @name Hardware budget and Figure 13 accounting
     /// @{
     std::uint64_t conditionCacheBits() const;
@@ -166,6 +184,14 @@ class SyncMonController : public sim::Clocked, public mem::SyncObserver
 
     /** Remove a specific WG's waiter nodes from @p entry. */
     void removeWaiter(ConditionCache::Entry &entry, int wg_id);
+
+    /**
+     * Deliver a resume to the scheduler, honouring any active
+     * DropResume / DelayResume fault window. Every monitor-initiated
+     * resume funnels through here; CP rescues deliberately do not
+     * (the rescue backstop is what the faults stress-test).
+     */
+    void notifyResume(int wg_id);
 
     /**
      * Demote @p entry and all its waiters to the Monitor Log.
@@ -212,6 +238,15 @@ class SyncMonController : public sim::Clocked, public mem::SyncObserver
     /** AWG stall-period predictor state (EWMA per address). */
     std::unordered_map<mem::Addr, double> stallEwma;
 
+    /// @name Active fault-window state
+    /// @{
+    unsigned pressureDepth = 0;
+    unsigned dropDepth = 0;
+    unsigned delayDepth = 0;
+    /** Max delay across nested DelayResume windows, in cycles. */
+    sim::Cycles resumeDelayCycles = 0;
+    /// @}
+
     /** Live conditions per monitored line (lazy cleanup refcount). */
     std::unordered_map<mem::Addr, unsigned> lineConds;
     /** Tick at which a line's last condition retired. */
@@ -230,6 +265,9 @@ class SyncMonController : public sim::Clocked, public mem::SyncObserver
     sim::Scalar &stallTimeouts;
     sim::Scalar &switchedOnTimeout;
     sim::Scalar &evictionsToLog;
+    sim::Scalar &forcedSpills;
+    sim::Scalar &droppedResumesStat;
+    sim::Scalar &delayedResumesStat;
     /** Distribution of observed condition-met latencies (cycles). */
     sim::Histogram &waitLatency;
 };

@@ -89,6 +89,53 @@ TEST(MonitorLog, TracksHighWaterMark)
     EXPECT_EQ(log.maxSize(), 3u);
 }
 
+TEST(MonitorLog, WraparoundUnderChurn)
+{
+    // The fault engine's pressure/jam windows drive exactly this
+    // pattern: bursts of appends racing pops across the circular
+    // boundary, with repeated full -> drain -> empty flips and
+    // reject-then-accept cycles at the full edge.
+    mem::BackingStore store;
+    MonitorLog log(0x2000, 4, store);
+
+    int next_wg = 0;
+    int expect_wg = 0;
+    std::uint64_t rejects = 0;
+    for (int round = 0; round < 8; ++round) {
+        // Fill to capacity, then confirm the log-full retry path.
+        while (!log.full())
+            ASSERT_TRUE(log.append({0x100, round, next_wg++}));
+        EXPECT_EQ(log.size(), 4u);
+        EXPECT_FALSE(log.append({0x100, round, 999}));
+        ++rejects;
+
+        // Partial drain (churn): two out, two in, crossing the
+        // wrap point once per round since 4 does not divide evenly
+        // into the append bursts.
+        for (int i = 0; i < 2; ++i) {
+            auto e = log.pop();
+            ASSERT_TRUE(e.has_value());
+            EXPECT_EQ(e->wgId, expect_wg++);
+        }
+        ASSERT_TRUE(log.append({0x100, round, next_wg++}));
+        ASSERT_TRUE(log.append({0x100, round, next_wg++}));
+        EXPECT_TRUE(log.full());
+
+        // Full drain: FIFO order must survive the wraparound.
+        while (!log.empty()) {
+            auto e = log.pop();
+            ASSERT_TRUE(e.has_value());
+            EXPECT_EQ(e->wgId, expect_wg++);
+        }
+        EXPECT_FALSE(log.pop().has_value());
+        EXPECT_EQ(expect_wg, next_wg);
+    }
+    EXPECT_EQ(log.totalAppends(),
+              static_cast<std::uint64_t>(next_wg));
+    EXPECT_EQ(log.totalRejected(), rejects);
+    EXPECT_EQ(log.maxSize(), 4u);
+}
+
 TEST(MonitorLog, NegativeExpectedValuesRoundTrip)
 {
     mem::BackingStore store;

@@ -158,6 +158,64 @@ TEST(DynamicResources, RestoredCuSpeedsUpRecovery)
     EXPECT_LT(back.gpuCycles, gone.gpuCycles);
 }
 
+class RestoredCu : public ::testing::TestWithParam<OverCase>
+{
+};
+
+TEST_P(RestoredCu, OnlyRescuePoliciesExploitTheReturnedCu)
+{
+    // cuRestoreMicroseconds across the full policy matrix: the CU
+    // comes back mid-run, but only policies with swap-in firmware can
+    // use it. Baseline and Sleep stay stranded (their saved contexts
+    // are never restored); every rescue-capable policy completes and
+    // swaps WGs back in.
+    const OverCase &c = GetParam();
+    harness::Experiment exp;
+    exp.workload = c.workload;
+    exp.policy = c.policy;
+    exp.oversubscribed = true;
+    exp.params = test::smallParams();
+    exp.params.iters = 12;
+    exp.runCfg.cuLossMicroseconds = 5;
+    exp.runCfg.cuRestoreMicroseconds = 20;
+    auto result = harness::runExperiment(exp);
+    if (c.expectDeadlock) {
+        EXPECT_TRUE(result.deadlocked);
+        EXPECT_EQ(result.contextRestores, 0u);
+        // The liveness oracle separates the two stranded shapes:
+        // Baseline blocks cold, Sleep spins its backoff forever.
+        EXPECT_EQ(result.verdict, c.policy == Policy::Sleep
+                                      ? core::Verdict::Livelock
+                                      : core::Verdict::Deadlock);
+    } else {
+        EXPECT_TRUE(result.completed)
+            << core::policyName(c.policy) << ": "
+            << result.verdictString();
+        EXPECT_TRUE(result.validated) << result.validationError;
+        EXPECT_EQ(result.verdict, core::Verdict::Complete);
+        EXPECT_GT(result.contextRestores, 0u);
+    }
+}
+
+std::vector<OverCase>
+restoreCases()
+{
+    std::vector<OverCase> cases;
+    for (Policy p : {Policy::Baseline, Policy::Sleep})
+        cases.push_back({"FAM_G", p, true});
+    for (Policy p : {Policy::Timeout, Policy::MonRSAll,
+                     Policy::MonRAll, Policy::MonNRAll,
+                     Policy::MonNROne, Policy::Awg,
+                     Policy::MinResume}) {
+        cases.push_back({"FAM_G", p, false});
+    }
+    return cases;
+}
+
+INSTANTIATE_TEST_SUITE_P(FigTwo, RestoredCu,
+                         ::testing::ValuesIn(restoreCases()),
+                         overName);
+
 TEST(DynamicResources, RestorationDoesNotSaveTheBaseline)
 {
     // Even with the CU back, the Baseline machine has no firmware to

@@ -9,12 +9,17 @@
  *   ifpsim --workload SPM_G --policy AWG --wgs 128 --group 16 \
  *          --stats --json result.json
  *   ifpsim --workload SLM_G --policy MonR-All --debug AWGPred
+ *   ifpsim --workload FAM_G --policy AWG --fault-plan kitchen-sink
+ *   ifpsim --workload SPM_G --policy MonNR-All --chaos-seed 7
  */
 
+#include <algorithm>
 #include <cstring>
 #include <fstream>
 #include <iostream>
+#include <sstream>
 
+#include "core/fault_plan.hh"
 #include "harness/results_io.hh"
 #include "harness/runner.hh"
 #include "isa/instruction.hh"
@@ -34,6 +39,9 @@ struct Options
     std::string jsonPath;
     std::string traceOutPath;
     std::string statsJsonPath;
+    std::string faultPlanArg;
+    std::uint64_t chaosSeed = 0;
+    bool haveChaosSeed = false;
     ifp::workloads::WorkloadParams params =
         ifp::harness::defaultEvalParams();
     ifp::core::RunConfig runCfg;
@@ -71,6 +79,26 @@ usage()
         "  --sleep-max C          Sleep policy max backoff (cycles)\n"
         "  --cu-loss-us U         when the CU is lost (microseconds)\n"
         "  --cu-restore-us U      when the CU comes back (0=never)\n"
+        "  --fault-plan P         fault-injection plan: a preset name\n"
+        "                         (";
+
+    {
+        bool first = true;
+        for (const std::string &n :
+             ifp::core::faultPlanPresetNames()) {
+            std::cout << (first ? "" : ", ") << n;
+            first = false;
+        }
+    }
+
+    std::cout <<
+        ")\n"
+        "                         or a plan file (see "
+        "core/fault_plan.hh)\n"
+        "  --chaos-seed N         generate a random survivable fault\n"
+        "                         plan from seed N (the chaos-campaign\n"
+        "                         generator, so campaign rows can be\n"
+        "                         replayed: seed K = plan chaos-K)\n"
         "  --syncmon-sets N       SyncMon condition cache sets\n"
         "  --syncmon-ways N       SyncMon condition cache ways\n"
         "  --waitlist N           SyncMon waiting-WG list capacity\n"
@@ -131,6 +159,11 @@ main(int argc, char **argv)
             opt.runCfg.cuLossMicroseconds = std::atoll(need(i));
         } else if (!std::strcmp(a, "--cu-restore-us")) {
             opt.runCfg.cuRestoreMicroseconds = std::atoll(need(i));
+        } else if (!std::strcmp(a, "--fault-plan")) {
+            opt.faultPlanArg = need(i);
+        } else if (!std::strcmp(a, "--chaos-seed")) {
+            opt.chaosSeed = std::strtoull(need(i), nullptr, 10);
+            opt.haveChaosSeed = true;
         } else if (!std::strcmp(a, "--syncmon-sets")) {
             opt.runCfg.policy.syncmon.sets = std::atoi(need(i));
         } else if (!std::strcmp(a, "--syncmon-ways")) {
@@ -176,6 +209,37 @@ main(int argc, char **argv)
         return 0;
     }
 
+    if (!opt.faultPlanArg.empty() && opt.haveChaosSeed)
+        ifp_fatal("--fault-plan and --chaos-seed are exclusive");
+    if (opt.haveChaosSeed) {
+        core::ChaosSpec spec;
+        spec.numCus = opt.runCfg.gpu.numCus;
+        opt.runCfg.faultPlan =
+            core::generateChaosPlan(spec, opt.chaosSeed);
+    } else if (!opt.faultPlanArg.empty()) {
+        auto presets = core::faultPlanPresetNames();
+        if (std::find(presets.begin(), presets.end(),
+                      opt.faultPlanArg) != presets.end()) {
+            opt.runCfg.faultPlan =
+                core::faultPlanPreset(opt.faultPlanArg);
+        } else {
+            std::ifstream in(opt.faultPlanArg);
+            if (!in) {
+                ifp_fatal("cannot open fault plan '%s' (not a "
+                          "preset or readable file)",
+                          opt.faultPlanArg.c_str());
+            }
+            std::ostringstream text;
+            text << in.rdbuf();
+            std::string error;
+            auto plan = core::parseFaultPlan(text.str(), error);
+            if (!plan)
+                ifp_fatal("%s: %s", opt.faultPlanArg.c_str(),
+                          error.c_str());
+            opt.runCfg.faultPlan = *plan;
+        }
+    }
+
     harness::Experiment exp;
     exp.workload = opt.workload;
     exp.policy = parsePolicy(opt.policy);
@@ -213,11 +277,13 @@ main(int argc, char **argv)
     }
 
     std::printf(
-        "%s/%s%s: %s cycles, %llu atomics, %llu instructions, "
+        "%s/%s%s: %s cycles, verdict=%s, %llu atomics, "
+        "%llu instructions, "
         "%llu saves / %llu restores, validated=%s\n",
         exp.workload.c_str(), core::policyName(exp.policy),
         exp.oversubscribed ? " (oversubscribed)" : "",
         result.statusString().c_str(),
+        core::verdictName(result.verdict),
         static_cast<unsigned long long>(result.atomicInstructions),
         static_cast<unsigned long long>(result.instructions),
         static_cast<unsigned long long>(result.contextSaves),
