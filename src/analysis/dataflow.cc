@@ -1,0 +1,594 @@
+#include "analysis/dataflow.hh"
+
+#include <algorithm>
+#include <deque>
+
+#include "isa/builder.hh"
+
+namespace ifp::analysis {
+
+using isa::Opcode;
+using isa::Reg;
+
+namespace {
+
+constexpr std::int64_t kMin = std::numeric_limits<std::int64_t>::min();
+constexpr std::int64_t kMax = std::numeric_limits<std::int64_t>::max();
+
+/** Joins into one block entry before bounds widen to the sentinels. */
+constexpr unsigned widenThreshold = 4;
+
+std::int64_t
+satAdd(std::int64_t a, std::int64_t b)
+{
+    if (a == kMin || b == kMin)
+        return kMin;
+    if (a == kMax || b == kMax)
+        return kMax;
+    std::int64_t out;
+    if (__builtin_add_overflow(a, b, &out))
+        return b > 0 ? kMax : kMin;
+    return out;
+}
+
+std::int64_t
+satSub(std::int64_t a, std::int64_t b)
+{
+    if (a == kMin || b == kMax)
+        return kMin;
+    if (a == kMax || b == kMin)
+        return kMax;
+    std::int64_t out;
+    if (__builtin_sub_overflow(a, b, &out))
+        return b < 0 ? kMax : kMin;
+    return out;
+}
+
+bool
+isAlu(Opcode op)
+{
+    return op >= Opcode::Add && op <= Opcode::CmpLe;
+}
+
+Interval
+aluAdd(const Interval &a, const Interval &b)
+{
+    return {satAdd(a.lo, b.lo), satAdd(a.hi, b.hi)};
+}
+
+Interval
+aluSub(const Interval &a, const Interval &b)
+{
+    return {satSub(a.lo, b.hi), satSub(a.hi, b.lo)};
+}
+
+/** x * c for finite positive c, preserving the unbounded sentinels. */
+std::int64_t
+satMulEnd(std::int64_t x, std::int64_t c, bool is_lo)
+{
+    if (x == kMin || x == kMax)
+        return x;
+    std::int64_t p;
+    if (__builtin_mul_overflow(x, c, &p))
+        return is_lo ? kMin : kMax;
+    return p;
+}
+
+Interval
+aluMul(const Interval &a, const Interval &b)
+{
+    // Constant multiplier: monotonic, works on half-bounded intervals
+    // too (important for addresses derived from widened loop indices).
+    const Interval *ival = &a;
+    const Interval *cval = &b;
+    if (!cval->isConst() && ival->isConst())
+        std::swap(ival, cval);
+    if (cval->isConst()) {
+        std::int64_t c = cval->lo;
+        if (c == 0)
+            return Interval::constant(0);
+        if (c > 0) {
+            return {satMulEnd(ival->lo, c, true),
+                    satMulEnd(ival->hi, c, false)};
+        }
+        // Negative multiplier: precise only for bounded intervals,
+        // handled by the generic product below.
+    }
+    if (!a.bounded() || !b.bounded())
+        return Interval::top();
+    std::int64_t lo = kMax, hi = kMin;
+    for (std::int64_t x : {a.lo, a.hi}) {
+        for (std::int64_t y : {b.lo, b.hi}) {
+            std::int64_t p;
+            if (__builtin_mul_overflow(x, y, &p))
+                return Interval::top();
+            lo = std::min(lo, p);
+            hi = std::max(hi, p);
+        }
+    }
+    return {lo, hi};
+}
+
+Interval
+aluDiv(const Interval &a, const Interval &b)
+{
+    // Only the easy precise case: constant positive divisor
+    // (truncating division is monotonic then). Anything else goes to
+    // top; the div-zero structural check reads b separately.
+    if (!b.isConst() || b.lo <= 0)
+        return Interval::top();
+    return {a.lo == kMin ? kMin : a.lo / b.lo,
+            a.hi == kMax ? kMax : a.hi / b.lo};
+}
+
+Interval
+aluRem(const Interval &a, const Interval &b)
+{
+    if (!b.isConst() || b.lo == 0 || b.lo == kMin)
+        return Interval::top();
+    std::int64_t m = b.lo < 0 ? -b.lo : b.lo;
+    if (a.lo >= 0)
+        return {0, std::min(a.hi, m - 1)};
+    return {-(m - 1), m - 1};
+}
+
+Interval
+aluShl(const Interval &a, const Interval &b)
+{
+    if (!a.bounded() || !b.isConst() || b.lo < 0 || b.lo > 62)
+        return Interval::top();
+    std::int64_t factor = std::int64_t{1} << b.lo;
+    return aluMul(a, Interval::constant(factor));
+}
+
+Interval
+aluShr(const Interval &a, const Interval &b)
+{
+    // Logical shift; precise only for non-negative bounded values.
+    if (!a.bounded() || a.lo < 0 || !b.isConst() || b.lo < 0 ||
+        b.lo > 63) {
+        return Interval::top();
+    }
+    return {a.lo >> b.lo, a.hi >> b.lo};
+}
+
+Interval
+aluAnd(const Interval &a, const Interval &b)
+{
+    if (a.isConst() && b.isConst())
+        return Interval::constant(a.lo & b.lo);
+    if (b.isConst() && b.lo >= 0)
+        return {0, b.lo};
+    if (a.isConst() && a.lo >= 0)
+        return {0, a.lo};
+    return Interval::top();
+}
+
+Interval
+cmp(Opcode op, const Interval &a, const Interval &b)
+{
+    auto boolean = [](int known) {
+        return known < 0 ? Interval::range(0, 1)
+                         : Interval::constant(known);
+    };
+    switch (op) {
+      case Opcode::CmpEq:
+        if (a.isConst() && b.isConst())
+            return boolean(a.lo == b.lo);
+        if (!a.overlaps(b))
+            return boolean(0);
+        return boolean(-1);
+      case Opcode::CmpNe:
+        if (a.isConst() && b.isConst())
+            return boolean(a.lo != b.lo);
+        if (!a.overlaps(b))
+            return boolean(1);
+        return boolean(-1);
+      case Opcode::CmpLt:
+        if (a.hi < b.lo)
+            return boolean(1);
+        if (a.lo >= b.hi)
+            return boolean(0);
+        return boolean(-1);
+      case Opcode::CmpLe:
+        if (a.hi <= b.lo)
+            return boolean(1);
+        if (a.lo > b.hi)
+            return boolean(0);
+        return boolean(-1);
+      default:
+        return Interval::range(0, 1);
+    }
+}
+
+} // anonymous namespace
+
+bool
+Interval::bounded() const
+{
+    return lo != kMin && hi != kMax;
+}
+
+Interval
+Interval::join(const Interval &o) const
+{
+    return {std::min(lo, o.lo), std::max(hi, o.hi)};
+}
+
+std::vector<Reg>
+InstrEffects::reads(const isa::Instr &instr)
+{
+    // Mirrors ComputeUnit::executeInstr's register reads exactly.
+    switch (instr.op) {
+      case Opcode::Mov:
+      case Opcode::Bz:
+      case Opcode::Bnz:
+      case Opcode::Ld:
+      case Opcode::LdLds:
+      case Opcode::SleepR:
+        return {instr.src0};
+      case Opcode::Add:
+      case Opcode::Sub:
+      case Opcode::Mul:
+      case Opcode::Div:
+      case Opcode::Rem:
+      case Opcode::And:
+      case Opcode::Or:
+      case Opcode::Xor:
+      case Opcode::Shl:
+      case Opcode::Shr:
+      case Opcode::CmpEq:
+      case Opcode::CmpNe:
+      case Opcode::CmpLt:
+      case Opcode::CmpLe:
+        if (instr.useImm)
+            return {instr.src0};
+        return {instr.src0, instr.src1};
+      case Opcode::St:
+      case Opcode::StLds:
+        return {instr.src0, instr.src1};
+      case Opcode::Atom:
+      case Opcode::AtomWait:
+        return {instr.src0, instr.src1, instr.src2};
+      case Opcode::ArmWait:
+        return {instr.src0, instr.src1};
+      default:
+        return {};
+    }
+}
+
+bool
+InstrEffects::writesDst(const isa::Instr &instr)
+{
+    switch (instr.op) {
+      case Opcode::Movi:
+      case Opcode::Mov:
+      case Opcode::Ld:
+      case Opcode::LdLds:
+      case Opcode::Atom:
+      case Opcode::AtomWait:
+        return true;
+      default:
+        return isAlu(instr.op);
+    }
+}
+
+bool
+InstrEffects::hasGlobalAddress(const isa::Instr &instr)
+{
+    switch (instr.op) {
+      case Opcode::Ld:
+      case Opcode::St:
+      case Opcode::Atom:
+      case Opcode::AtomWait:
+      case Opcode::ArmWait:
+        return true;
+      default:
+        return false;
+    }
+}
+
+bool
+InstrEffects::isWaitOp(const isa::Instr &instr)
+{
+    return instr.op == Opcode::AtomWait || instr.op == Opcode::ArmWait;
+}
+
+Dataflow::Dataflow(const Cfg &cfg, const LaunchContext &launch)
+    : graph(cfg), ctx(launch)
+{
+    // Registers are zero-initialized at wavefront launch; the launch
+    // conventions then fill r0..r4 and the argument registers.
+    for (Reg r = 0; r < isa::numRegs; ++r)
+        entry.regs[r] = Interval::constant(0);
+    entry.regs[isa::rWgId] =
+        Interval::range(0, std::int64_t(ctx.numWgs) - 1);
+    entry.regs[isa::rWfId] =
+        Interval::range(0, std::int64_t(ctx.wavefrontsPerWg) - 1);
+    entry.regs[isa::rNumWgs] = Interval::constant(ctx.numWgs);
+    entry.regs[isa::rWfPerWg] =
+        Interval::constant(ctx.wavefrontsPerWg);
+    for (std::size_t i = 0;
+         i < ctx.args.size() && isa::rArg0 + i < isa::numRegs; ++i) {
+        entry.regs[isa::rArg0 + i] = Interval::constant(ctx.args[i]);
+    }
+    for (Reg r = isa::rZero; r <= isa::rWfPerWg; ++r)
+        entry.defined[r] = true;
+    for (std::size_t i = 0;
+         i < ctx.args.size() && isa::rArg0 + i < isa::numRegs; ++i) {
+        entry.defined[isa::rArg0 + i] = true;
+    }
+    // The wavefront id differs across the wavefronts of one WG: the
+    // one launch-time divergence source.
+    entry.divergent[isa::rWfId] = true;
+
+    states.assign(graph.code().size(), AbstractState{});
+    runFixpoint();
+    runReachingDefs();
+}
+
+AbstractState
+Dataflow::transfer(const AbstractState &in,
+                   const isa::Instr &instr) const
+{
+    AbstractState out = in;
+    if (!InstrEffects::writesDst(instr))
+        return out;
+
+    bool taint = false;
+    for (Reg r : InstrEffects::reads(instr))
+        taint = taint || in.divergent[r];
+
+    Interval v = Interval::top();
+    const Interval a = in.regs[instr.src0];
+    const Interval b = instr.useImm ? Interval::constant(instr.imm)
+                                    : in.regs[instr.src1];
+    switch (instr.op) {
+      case Opcode::Movi:
+        v = Interval::constant(instr.imm);
+        taint = false;
+        break;
+      case Opcode::Mov:
+        v = a;
+        break;
+      case Opcode::Add:
+        v = aluAdd(a, b);
+        break;
+      case Opcode::Sub:
+        v = aluSub(a, b);
+        break;
+      case Opcode::Mul:
+        v = aluMul(a, b);
+        break;
+      case Opcode::Div:
+        v = aluDiv(a, b);
+        break;
+      case Opcode::Rem:
+        v = aluRem(a, b);
+        break;
+      case Opcode::And:
+        v = aluAnd(a, b);
+        break;
+      case Opcode::Or:
+      case Opcode::Xor:
+        if (a.isConst() && b.isConst()) {
+            v = Interval::constant(instr.op == Opcode::Or
+                                       ? (a.lo | b.lo)
+                                       : (a.lo ^ b.lo));
+        }
+        break;
+      case Opcode::Shl:
+        v = aluShl(a, b);
+        break;
+      case Opcode::Shr:
+        v = aluShr(a, b);
+        break;
+      case Opcode::CmpEq:
+      case Opcode::CmpNe:
+      case Opcode::CmpLt:
+      case Opcode::CmpLe:
+        v = cmp(instr.op, a, b);
+        break;
+      case Opcode::Ld:
+      case Opcode::LdLds:
+      case Opcode::Atom:
+      case Opcode::AtomWait:
+        // Memory results are unknown and, in general, differ across
+        // the wavefronts that executed the access.
+        v = Interval::top();
+        taint = true;
+        break;
+      default:
+        break;
+    }
+
+    out.regs[instr.dst] = v;
+    out.defined[instr.dst] = true;
+    out.divergent[instr.dst] = taint;
+    return out;
+}
+
+void
+Dataflow::runFixpoint()
+{
+    const auto &blocks = graph.blocks();
+    if (blocks.empty())
+        return;
+
+    std::vector<AbstractState> blockIn(blocks.size());
+    std::vector<bool> hasIn(blocks.size(), false);
+    std::vector<unsigned> joins(blocks.size(), 0);
+    blockIn[0] = entry;
+    hasIn[0] = true;
+
+    auto joinInto = [&](int succ, const AbstractState &out) {
+        if (!hasIn[succ]) {
+            blockIn[succ] = out;
+            hasIn[succ] = true;
+            return true;
+        }
+        AbstractState merged = blockIn[succ];
+        bool widen = ++joins[succ] > widenThreshold;
+        bool changed = false;
+        for (Reg r = 0; r < isa::numRegs; ++r) {
+            Interval j = merged.regs[r].join(out.regs[r]);
+            if (widen && j != merged.regs[r]) {
+                if (j.lo < merged.regs[r].lo)
+                    j.lo = kMin;
+                if (j.hi > merged.regs[r].hi)
+                    j.hi = kMax;
+            }
+            if (j != merged.regs[r]) {
+                merged.regs[r] = j;
+                changed = true;
+            }
+            if (out.defined[r] && !merged.defined[r]) {
+                merged.defined[r] = true;
+                changed = true;
+            }
+            if (out.divergent[r] && !merged.divergent[r]) {
+                merged.divergent[r] = true;
+                changed = true;
+            }
+        }
+        if (changed)
+            blockIn[succ] = merged;
+        return changed;
+    };
+
+    std::deque<int> work(graph.reversePostorder().begin(),
+                         graph.reversePostorder().end());
+    std::vector<bool> queued(blocks.size(), false);
+    for (int id : work)
+        queued[id] = true;
+
+    while (!work.empty()) {
+        int id = work.front();
+        work.pop_front();
+        queued[id] = false;
+        if (!hasIn[id])
+            continue;
+        AbstractState state = blockIn[id];
+        for (std::size_t pc = blocks[id].first; pc <= blocks[id].last;
+             ++pc) {
+            state = transfer(state, graph.code()[pc]);
+        }
+        for (int succ : blocks[id].succs) {
+            if (joinInto(succ, state) && !queued[succ]) {
+                queued[succ] = true;
+                work.push_back(succ);
+            }
+        }
+    }
+
+    // Record the environment before every pc of every reached block.
+    for (const BasicBlock &bb : blocks) {
+        if (!hasIn[bb.id])
+            continue;
+        AbstractState state = blockIn[bb.id];
+        for (std::size_t pc = bb.first; pc <= bb.last; ++pc) {
+            states[pc] = state;
+            state = transfer(state, graph.code()[pc]);
+        }
+    }
+}
+
+void
+Dataflow::runReachingDefs()
+{
+    const auto &blocks = graph.blocks();
+    const auto &code = graph.code();
+
+    // Site 0..numRegs-1: the entry (launch) definition of each reg.
+    for (Reg r = 0; r < isa::numRegs; ++r)
+        defSites.push_back({-1, r});
+    std::vector<int> siteOfPc(code.size(), -1);
+    for (std::size_t pc = 0; pc < code.size(); ++pc) {
+        if (InstrEffects::writesDst(code[pc])) {
+            siteOfPc[pc] = static_cast<int>(defSites.size());
+            defSites.push_back({static_cast<int>(pc), code[pc].dst});
+        }
+    }
+
+    const std::size_t nSites = defSites.size();
+    reachIn.assign(code.size(), std::vector<bool>(nSites, false));
+    if (blocks.empty())
+        return;
+
+    auto transferBlock = [&](const BasicBlock &bb,
+                             std::vector<bool> set) {
+        for (std::size_t pc = bb.first; pc <= bb.last; ++pc) {
+            int site = siteOfPc[pc];
+            if (site < 0)
+                continue;
+            Reg dst = code[pc].dst;
+            for (std::size_t s = 0; s < nSites; ++s) {
+                if (defSites[s].reg == dst)
+                    set[s] = false;
+            }
+            set[site] = true;
+        }
+        return set;
+    };
+
+    std::vector<std::vector<bool>> blockInSet(
+        blocks.size(), std::vector<bool>(nSites, false));
+    for (Reg r = 0; r < isa::numRegs; ++r)
+        blockInSet[0][r] = true;
+
+    bool changed = true;
+    while (changed) {
+        changed = false;
+        for (int id : graph.reversePostorder()) {
+            std::vector<bool> in = blockInSet[id];
+            for (int pred : blocks[id].preds) {
+                std::vector<bool> out =
+                    transferBlock(blocks[pred], blockInSet[pred]);
+                for (std::size_t s = 0; s < nSites; ++s)
+                    in[s] = in[s] || out[s];
+            }
+            if (in != blockInSet[id]) {
+                blockInSet[id] = std::move(in);
+                changed = true;
+            }
+        }
+    }
+
+    for (const BasicBlock &bb : blocks) {
+        std::vector<bool> set = blockInSet[bb.id];
+        for (std::size_t pc = bb.first; pc <= bb.last; ++pc) {
+            reachIn[pc] = set;
+            int site = siteOfPc[pc];
+            if (site < 0)
+                continue;
+            Reg dst = code[pc].dst;
+            for (std::size_t s = 0; s < nSites; ++s) {
+                if (defSites[s].reg == dst)
+                    set[s] = false;
+            }
+            set[site] = true;
+        }
+    }
+}
+
+Interval
+Dataflow::addressOf(std::size_t pc) const
+{
+    const isa::Instr &instr = graph.code()[pc];
+    return aluAdd(states[pc].regs[instr.src0],
+                  Interval::constant(instr.imm));
+}
+
+std::vector<int>
+Dataflow::reachingDefs(std::size_t pc, Reg reg) const
+{
+    std::vector<int> defs;
+    for (std::size_t s = 0; s < defSites.size(); ++s) {
+        if (defSites[s].reg == reg && reachIn[pc][s])
+            defs.push_back(defSites[s].pc);
+    }
+    std::sort(defs.begin(), defs.end());
+    return defs;
+}
+
+} // namespace ifp::analysis

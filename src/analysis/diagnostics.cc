@@ -1,0 +1,38 @@
+#include "analysis/diagnostics.hh"
+
+namespace ifp::analysis {
+
+const char *
+severityName(Severity severity)
+{
+    switch (severity) {
+      case Severity::Note:
+        return "note";
+      case Severity::Warning:
+        return "warning";
+      case Severity::Error:
+        return "error";
+    }
+    return "unknown";
+}
+
+unsigned
+Report::count(Severity severity) const
+{
+    unsigned n = 0;
+    for (const Diagnostic &d : diagnostics) {
+        if (!d.suppressed && d.severity == severity)
+            ++n;
+    }
+    return n;
+}
+
+bool
+Report::clean(bool werror) const
+{
+    if (count(Severity::Error) > 0)
+        return false;
+    return !werror || count(Severity::Warning) == 0;
+}
+
+} // namespace ifp::analysis

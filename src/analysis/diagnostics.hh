@@ -1,0 +1,77 @@
+/**
+ * @file
+ * Diagnostic records produced by the static kernel verifier.
+ *
+ * Every pass reports findings as Diagnostics: a stable machine
+ * readable code, a severity, the offending pc with its disassembly,
+ * and a fix-it hint. Kernel-level findings (e.g. the static progress
+ * check) carry pc = -1.
+ *
+ * Suppressions are kernel-scoped: a Kernel can declare that a given
+ * diagnostic code is expected (isa::Kernel::lintSuppressions, emitted
+ * by the workload code generators where a hazard is the point of the
+ * experiment, e.g. the MonR check-then-arm race). Suppressed
+ * diagnostics stay in the report — marked, demoted out of the error
+ * count — so tools can still show *why* a kernel is exempt.
+ */
+
+#ifndef IFP_ANALYSIS_DIAGNOSTICS_HH
+#define IFP_ANALYSIS_DIAGNOSTICS_HH
+
+#include <string>
+#include <vector>
+
+namespace ifp::analysis {
+
+/** How bad a finding is. */
+enum class Severity
+{
+    Note,     //!< informational (e.g. a suppressed finding)
+    Warning,  //!< probably a bug; fails --Werror
+    Error,    //!< definitely malformed or guaranteed to hang
+};
+
+/** Printable severity name ("note" / "warning" / "error"). */
+const char *severityName(Severity severity);
+
+/** One finding of one pass. */
+struct Diagnostic
+{
+    /** Pass that produced the finding (e.g. "structural"). */
+    std::string pass;
+    /** Stable machine-readable code (e.g. "branch-range", "wov"). */
+    std::string code;
+    Severity severity = Severity::Warning;
+    /** Offending instruction index, or -1 for kernel-level findings. */
+    int pc = -1;
+    std::string message;
+    /** Disassembly of the instruction at pc ("" for kernel-level). */
+    std::string disasm;
+    /** Fix-it hint. */
+    std::string hint;
+
+    /** Set when a kernel-scoped suppression matched this code. */
+    bool suppressed = false;
+    /** The suppression's stated reason (annotation). */
+    std::string suppressReason;
+};
+
+/** The full result of linting one kernel. */
+struct Report
+{
+    std::string kernel;
+    std::vector<Diagnostic> diagnostics;
+
+    /** Unsuppressed findings at exactly @p severity. */
+    unsigned count(Severity severity) const;
+
+    /**
+     * True when the kernel passes: no unsuppressed errors, and with
+     * @p werror no unsuppressed warnings either.
+     */
+    bool clean(bool werror) const;
+};
+
+} // namespace ifp::analysis
+
+#endif // IFP_ANALYSIS_DIAGNOSTICS_HH

@@ -1,0 +1,180 @@
+#include "analysis/lint.hh"
+
+#include <algorithm>
+#include <ostream>
+#include <tuple>
+
+#include "analysis/cfg.hh"
+#include "analysis/passes.hh"
+
+namespace ifp::analysis {
+
+unsigned
+baselineResidency(const isa::Kernel &kernel, unsigned num_cus,
+                  unsigned simds_per_cu, unsigned wavefronts_per_simd,
+                  unsigned lds_bytes_per_cu)
+{
+    unsigned wf_per_wg = kernel.wavefrontsPerWg();
+    unsigned per_cu = kernel.maxWgsPerCu;
+    if (wf_per_wg > 0) {
+        per_cu = std::min(per_cu,
+                          simds_per_cu * wavefronts_per_simd /
+                              wf_per_wg);
+    }
+    if (kernel.ldsBytes > 0)
+        per_cu = std::min(per_cu, lds_bytes_per_cu / kernel.ldsBytes);
+    return std::min(kernel.numWgs, num_cus * per_cu);
+}
+
+LaunchContext
+makeLaunchContext(const isa::Kernel &kernel, unsigned num_cus,
+                  unsigned simds_per_cu, unsigned wavefronts_per_simd,
+                  unsigned lds_bytes_per_cu)
+{
+    LaunchContext ctx;
+    ctx.numWgs = kernel.numWgs;
+    ctx.wavefrontsPerWg = kernel.wavefrontsPerWg();
+    ctx.args.assign(kernel.args.begin(), kernel.args.end());
+    ctx.maxResidentWgs =
+        baselineResidency(kernel, num_cus, simds_per_cu,
+                          wavefronts_per_simd, lds_bytes_per_cu);
+    return ctx;
+}
+
+Report
+runLint(const isa::Kernel &kernel, const LaunchContext &launch)
+{
+    Report report;
+    report.kernel = kernel.name;
+
+    Cfg cfg(kernel.code);
+    Dataflow df(cfg, launch);
+    PassContext ctx{kernel, cfg, df};
+
+    runStructuralPass(ctx, report.diagnostics);
+    runBarrierDivergencePass(ctx, report.diagnostics);
+    runWovPass(ctx, report.diagnostics);
+    runLostWakeupPass(ctx, report.diagnostics);
+    runProgressPass(ctx, report.diagnostics);
+
+    for (Diagnostic &d : report.diagnostics) {
+        for (const isa::LintSuppression &s : kernel.lintSuppressions) {
+            if (s.code == d.code) {
+                d.suppressed = true;
+                d.suppressReason = s.reason;
+                d.severity = Severity::Note;
+                break;
+            }
+        }
+    }
+
+    std::sort(report.diagnostics.begin(), report.diagnostics.end(),
+              [](const Diagnostic &a, const Diagnostic &b) {
+                  // Kernel-level findings (pc -1) sort last.
+                  unsigned pa = a.pc < 0 ? ~0U : unsigned(a.pc);
+                  unsigned pb = b.pc < 0 ? ~0U : unsigned(b.pc);
+                  return std::tie(pa, a.pass, a.code, a.message) <
+                         std::tie(pb, b.pass, b.code, b.message);
+              });
+    return report;
+}
+
+void
+printReport(const Report &report, std::ostream &os)
+{
+    unsigned errors = report.count(Severity::Error);
+    unsigned warnings = report.count(Severity::Warning);
+    unsigned suppressed = 0;
+    for (const Diagnostic &d : report.diagnostics)
+        suppressed += d.suppressed ? 1 : 0;
+
+    os << report.kernel << ": " << errors << " error(s), " << warnings
+       << " warning(s)";
+    if (suppressed > 0)
+        os << ", " << suppressed << " suppressed";
+    os << "\n";
+    for (const Diagnostic &d : report.diagnostics) {
+        os << "  [" << severityName(d.severity) << "] "
+           << d.pass << "/" << d.code;
+        if (d.pc >= 0)
+            os << " pc " << d.pc << " `" << d.disasm << "`";
+        os << ": " << d.message << "\n";
+        if (d.suppressed)
+            os << "      suppressed: " << d.suppressReason << "\n";
+        else if (!d.hint.empty())
+            os << "      hint: " << d.hint << "\n";
+    }
+}
+
+namespace {
+
+void
+writeJsonString(std::ostream &os, const std::string &s)
+{
+    os << '"';
+    for (char c : s) {
+        switch (c) {
+          case '"':
+            os << "\\\"";
+            break;
+          case '\\':
+            os << "\\\\";
+            break;
+          case '\n':
+            os << "\\n";
+            break;
+          case '\t':
+            os << "\\t";
+            break;
+          default:
+            if (static_cast<unsigned char>(c) < 0x20) {
+                const char *hex = "0123456789abcdef";
+                os << "\\u00" << hex[(c >> 4) & 0xf] << hex[c & 0xf];
+            } else {
+                os << c;
+            }
+        }
+    }
+    os << '"';
+}
+
+} // anonymous namespace
+
+void
+writeReportsJson(const std::vector<Report> &reports, std::ostream &os)
+{
+    os << "{\n  \"kernels\": [";
+    for (std::size_t k = 0; k < reports.size(); ++k) {
+        const Report &r = reports[k];
+        os << (k ? ",\n" : "\n") << "    {\n      \"kernel\": ";
+        writeJsonString(os, r.kernel);
+        os << ",\n      \"errors\": " << r.count(Severity::Error)
+           << ",\n      \"warnings\": " << r.count(Severity::Warning)
+           << ",\n      \"diagnostics\": [";
+        for (std::size_t i = 0; i < r.diagnostics.size(); ++i) {
+            const Diagnostic &d = r.diagnostics[i];
+            os << (i ? ",\n" : "\n") << "        {\"pass\": ";
+            writeJsonString(os, d.pass);
+            os << ", \"code\": ";
+            writeJsonString(os, d.code);
+            os << ", \"severity\": \"" << severityName(d.severity)
+               << "\", \"pc\": " << d.pc << ",\n         \"message\": ";
+            writeJsonString(os, d.message);
+            os << ",\n         \"disasm\": ";
+            writeJsonString(os, d.disasm);
+            os << ",\n         \"hint\": ";
+            writeJsonString(os, d.hint);
+            os << ",\n         \"suppressed\": "
+               << (d.suppressed ? "true" : "false");
+            if (d.suppressed) {
+                os << ", \"suppressReason\": ";
+                writeJsonString(os, d.suppressReason);
+            }
+            os << "}";
+        }
+        os << (r.diagnostics.empty() ? "]" : "\n      ]") << "\n    }";
+    }
+    os << (reports.empty() ? "]" : "\n  ]") << "\n}\n";
+}
+
+} // namespace ifp::analysis

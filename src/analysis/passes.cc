@@ -1,0 +1,673 @@
+#include "analysis/passes.hh"
+
+#include <algorithm>
+#include <set>
+#include <string>
+
+#include "isa/builder.hh"
+
+namespace ifp::analysis {
+
+using isa::Opcode;
+using isa::Reg;
+
+namespace {
+
+constexpr int backsliceDepth = 6;
+
+/** Residency demands beyond this are reported as "at least". */
+constexpr std::int64_t demandClamp = 1'000'000'000;
+
+bool
+isCondBranch(const isa::Instr &instr)
+{
+    return instr.op == Opcode::Bz || instr.op == Opcode::Bnz;
+}
+
+bool
+isAluOp(Opcode op)
+{
+    return op >= Opcode::Add && op <= Opcode::CmpLe;
+}
+
+bool
+isEqualityCmp(Opcode op)
+{
+    return op == Opcode::CmpEq || op == Opcode::CmpNe;
+}
+
+/** Atomic ops that accumulate arrivals (counter semantics). */
+bool
+isAccumulatingAop(mem::AtomicOpcode aop)
+{
+    using mem::AtomicOpcode;
+    return aop == AtomicOpcode::Add || aop == AtomicOpcode::Sub ||
+           aop == AtomicOpcode::Inc || aop == AtomicOpcode::Dec;
+}
+
+/** Global-memory ops that modify their target address. */
+bool
+isGlobalWrite(const isa::Instr &instr)
+{
+    if (instr.op == Opcode::St)
+        return true;
+    if (instr.op == Opcode::Atom || instr.op == Opcode::AtomWait)
+        return instr.aop != mem::AtomicOpcode::Load;
+    return false;
+}
+
+bool
+reachablePc(const PassContext &ctx, std::size_t pc)
+{
+    int blk = ctx.cfg.blockOf(pc);
+    return blk >= 0 && ctx.cfg.block(blk).reachable;
+}
+
+Diagnostic
+makeDiag(const PassContext &ctx, const char *pass, const char *code,
+         Severity severity, int pc, std::string message,
+         std::string hint)
+{
+    Diagnostic d;
+    d.pass = pass;
+    d.code = code;
+    d.severity = severity;
+    d.pc = pc;
+    d.message = std::move(message);
+    d.hint = std::move(hint);
+    if (pc >= 0 &&
+        pc < static_cast<int>(ctx.kernel.code.size())) {
+        d.disasm = isa::disassemble(ctx.kernel.code[pc]);
+    }
+    return d;
+}
+
+/**
+ * Collect the definition pcs transitively feeding (pc, reg), walking
+ * through ALU/Mov defs up to @p depth levels. Load-class defs (Ld,
+ * LdLds, Atom, AtomWait) are slice leaves. Entry definitions (-1) are
+ * skipped.
+ */
+void
+collectBackslice(const PassContext &ctx, std::size_t pc, Reg reg,
+                 int depth, std::set<int> &defs)
+{
+    for (int d : ctx.df.reachingDefs(pc, reg)) {
+        if (d < 0 || defs.count(d))
+            continue;
+        defs.insert(d);
+        if (depth <= 0)
+            continue;
+        const isa::Instr &in = ctx.kernel.code[d];
+        if (in.op == Opcode::Mov || isAluOp(in.op)) {
+            for (Reg r : InstrEffects::reads(in))
+                collectBackslice(ctx, d, r, depth - 1, defs);
+        }
+    }
+}
+
+std::set<int>
+backslice(const PassContext &ctx, std::size_t pc, Reg reg)
+{
+    std::set<int> defs;
+    collectBackslice(ctx, pc, reg, backsliceDepth, defs);
+    return defs;
+}
+
+/**
+ * Two memory ops address the same abstract location when their
+ * address intervals are bounded and identical, or when they share the
+ * same base register with identical reaching definitions and the same
+ * offset (robust against unbounded bases, e.g. SLM's queue slots).
+ */
+bool
+sameAbstractAddress(const PassContext &ctx, std::size_t a,
+                    std::size_t b)
+{
+    Interval ia = ctx.df.addressOf(a);
+    Interval ib = ctx.df.addressOf(b);
+    if (ia.bounded() && ib.bounded())
+        return ia == ib;
+    const isa::Instr &insA = ctx.kernel.code[a];
+    const isa::Instr &insB = ctx.kernel.code[b];
+    return insA.src0 == insB.src0 && insA.imm == insB.imm &&
+           ctx.df.reachingDefs(a, insA.src0) ==
+               ctx.df.reachingDefs(b, insB.src0);
+}
+
+} // anonymous namespace
+
+// ---------------------------------------------------------------------
+// Structural verifier
+// ---------------------------------------------------------------------
+
+void
+runStructuralPass(const PassContext &ctx, std::vector<Diagnostic> &out)
+{
+    const auto &code = ctx.kernel.code;
+    const char *pass = "structural";
+
+    bool sawReachableHalt = false;
+    for (std::size_t pc = 0; pc < code.size(); ++pc) {
+        const isa::Instr &in = code[pc];
+        const bool reachable = reachablePc(ctx, pc);
+        if (in.op == Opcode::Halt && reachable)
+            sawReachableHalt = true;
+
+        if (isBranch(in) &&
+            (in.imm < 0 ||
+             in.imm >= static_cast<std::int64_t>(code.size()))) {
+            out.push_back(makeDiag(
+                ctx, pass, "branch-range", Severity::Error,
+                static_cast<int>(pc),
+                "branch target " + std::to_string(in.imm) +
+                    " outside code [0, " +
+                    std::to_string(code.size()) + ")",
+                "bind the label before build() or fix the target"));
+        }
+        if (in.op == Opcode::Valu && in.imm <= 0) {
+            out.push_back(makeDiag(
+                ctx, pass, "valu-cycles", Severity::Error,
+                static_cast<int>(pc),
+                "valu with non-positive cycle count " +
+                    std::to_string(in.imm),
+                "valu must occupy the SIMD for at least one cycle"));
+        }
+        if (InstrEffects::writesDst(in) && in.dst == isa::rZero) {
+            out.push_back(makeDiag(
+                ctx, pass, "writes-r0", Severity::Warning,
+                static_cast<int>(pc),
+                "instruction writes r0, the by-convention zero "
+                "register",
+                "use a scratch register (r16..r31) instead"));
+        }
+        if (in.useImm && !isAluOp(in.op)) {
+            out.push_back(makeDiag(
+                ctx, pass, "atom-shape", Severity::Warning,
+                static_cast<int>(pc),
+                "useImm is only meaningful on ALU instructions",
+                "clear useImm; non-ALU ops read imm directly"));
+        }
+        if (in.op == Opcode::Atom &&
+            in.aop != mem::AtomicOpcode::Cas && in.src2 != 0) {
+            out.push_back(makeDiag(
+                ctx, pass, "atom-shape", Severity::Warning,
+                static_cast<int>(pc),
+                "non-CAS atomic with a compare operand in src2 "
+                "(ignored at the L2 ALU)",
+                "src2 is read only by CAS; did you mean AtomWait's "
+                "expected operand?"));
+        }
+        if (in.op == Opcode::ArmWait && in.dst != 0) {
+            out.push_back(makeDiag(
+                ctx, pass, "atom-shape", Severity::Warning,
+                static_cast<int>(pc),
+                "ArmWait does not write a destination register",
+                "drop the dst operand; the monitor result is "
+                "delivered by resumption"));
+        }
+
+        if (!reachable)
+            continue;
+
+        // Value-dependent checks (need the dataflow environment).
+        if (in.op == Opcode::Div || in.op == Opcode::Rem) {
+            Interval rhs = in.useImm
+                               ? Interval::constant(in.imm)
+                               : ctx.df.value(pc, in.src1);
+            if (rhs.isConst() && rhs.lo == 0) {
+                out.push_back(makeDiag(
+                    ctx, pass, "div-zero", Severity::Error,
+                    static_cast<int>(pc),
+                    "division by constant zero (runtime panic)",
+                    "fix the divisor; the interpreter asserts on 0"));
+            }
+        }
+        if (in.op == Opcode::SleepR) {
+            Interval v = ctx.df.value(pc, in.src0);
+            if (v.hi <= 0) {
+                out.push_back(makeDiag(
+                    ctx, pass, "sleep-cycles", Severity::Error,
+                    static_cast<int>(pc),
+                    "s_sleep duration is provably non-positive "
+                    "(runtime assert)",
+                    "seed the backoff register with a positive "
+                    "cycle count"));
+            }
+        }
+        for (Reg r : InstrEffects::reads(in)) {
+            if (!ctx.df.mayBeDefined(pc, r)) {
+                out.push_back(makeDiag(
+                    ctx, pass, "use-before-def", Severity::Warning,
+                    static_cast<int>(pc),
+                    "r" + std::to_string(r) +
+                        " is read but never written on any path "
+                        "(reads launch-time zero)",
+                    "initialize the register, or use r0 if zero is "
+                    "intended"));
+            }
+        }
+    }
+
+    if (!sawReachableHalt) {
+        out.push_back(makeDiag(
+            ctx, pass, "no-halt", Severity::Error, -1,
+            "kernel has no reachable Halt; wavefronts cannot retire",
+            "end every path with halt()"));
+    }
+    for (const BasicBlock &bb : ctx.cfg.blocks()) {
+        if (bb.reachable && bb.fallsOffEnd) {
+            out.push_back(makeDiag(
+                ctx, pass, "fall-off-end", Severity::Error,
+                static_cast<int>(bb.last),
+                "control flow can run past the end of the code "
+                "(runtime panic)",
+                "terminate the path with halt() or a branch"));
+        }
+        if (!bb.reachable) {
+            out.push_back(makeDiag(
+                ctx, pass, "unreachable", Severity::Warning,
+                static_cast<int>(bb.first),
+                "unreachable code (pcs " + std::to_string(bb.first) +
+                    ".." + std::to_string(bb.last) + ")",
+                "remove dead code or fix the branch that should "
+                "reach it"));
+        }
+    }
+}
+
+// ---------------------------------------------------------------------
+// Barrier divergence
+// ---------------------------------------------------------------------
+
+void
+runBarrierDivergencePass(const PassContext &ctx,
+                         std::vector<Diagnostic> &out)
+{
+    const auto &code = ctx.kernel.code;
+    for (std::size_t pc_bar = 0; pc_bar < code.size(); ++pc_bar) {
+        if (code[pc_bar].op != Opcode::Bar ||
+            !reachablePc(ctx, pc_bar)) {
+            continue;
+        }
+        int barBlock = ctx.cfg.blockOf(pc_bar);
+        for (std::size_t pc_b = 0; pc_b < code.size(); ++pc_b) {
+            if (!isCondBranch(code[pc_b]) || !reachablePc(ctx, pc_b))
+                continue;
+            if (!ctx.df.divergent(pc_b, code[pc_b].src0))
+                continue;
+            int bBlk = ctx.cfg.blockOf(pc_b);
+            // The divergent region: blocks reachable from the branch
+            // before control reconverges at its immediate
+            // postdominator. A Bar there can be reached by a strict
+            // subset of the WG's wavefronts.
+            std::vector<bool> region = ctx.cfg.reachableFrom(
+                bBlk, ctx.cfg.ipdom(bBlk), /*follow_back_edges=*/true);
+            if (barBlock != bBlk && region[barBlock]) {
+                out.push_back(makeDiag(
+                    ctx, "barrier-divergence", "bar-divergence",
+                    Severity::Warning, static_cast<int>(pc_bar),
+                    "barrier reachable under divergent control flow "
+                    "(branch at pc " +
+                        std::to_string(pc_b) +
+                        " depends on a wavefront-varying value)",
+                    "hoist the barrier past the reconvergence point, "
+                    "or make the branch condition uniform"));
+                break;  // one report per barrier
+            }
+        }
+    }
+}
+
+// ---------------------------------------------------------------------
+// Window of vulnerability
+// ---------------------------------------------------------------------
+
+void
+runWovPass(const PassContext &ctx, std::vector<Diagnostic> &out)
+{
+    const auto &code = ctx.kernel.code;
+    for (std::size_t pc_w = 0; pc_w < code.size(); ++pc_w) {
+        if (code[pc_w].op != Opcode::ArmWait ||
+            !reachablePc(ctx, pc_w)) {
+            continue;
+        }
+        int wBlk = ctx.cfg.blockOf(pc_w);
+        bool reported = false;
+        for (std::size_t pc_c = 0; pc_c < code.size() && !reported;
+             ++pc_c) {
+            const isa::Instr &check = code[pc_c];
+            // AtomWait is the race-free form: check and wait are one
+            // atomic step, so it is deliberately not a WOV check.
+            if ((check.op != Opcode::Ld &&
+                 check.op != Opcode::Atom) ||
+                !reachablePc(ctx, pc_c)) {
+                continue;
+            }
+            if (!sameAbstractAddress(ctx, pc_c, pc_w))
+                continue;
+            for (std::size_t pc_b = 0; pc_b < code.size(); ++pc_b) {
+                if (!isCondBranch(code[pc_b]) ||
+                    !reachablePc(ctx, pc_b)) {
+                    continue;
+                }
+                std::set<int> slice =
+                    backslice(ctx, pc_b, code[pc_b].src0);
+                if (!slice.count(static_cast<int>(pc_c)))
+                    continue;
+                int bBlk = ctx.cfg.blockOf(pc_b);
+                std::vector<bool> reach = ctx.cfg.reachableFrom(
+                    bBlk, -1, /*follow_back_edges=*/true);
+                if (wBlk != bBlk && !reach[wBlk])
+                    continue;
+                out.push_back(makeDiag(
+                    ctx, "wov", "wov", Severity::Warning,
+                    static_cast<int>(pc_w),
+                    "monitor armed after a separate check of the "
+                    "same address (check at pc " +
+                        std::to_string(pc_c) + ", branch at pc " +
+                        std::to_string(pc_b) +
+                        "): a notification landing between check "
+                        "and arm is lost",
+                    "fuse check and wait with a waiting atomic "
+                    "(AtomWait) to close the window"));
+                reported = true;
+                break;
+            }
+        }
+    }
+}
+
+// ---------------------------------------------------------------------
+// Lost wakeup
+// ---------------------------------------------------------------------
+
+void
+runLostWakeupPass(const PassContext &ctx, std::vector<Diagnostic> &out)
+{
+    const auto &code = ctx.kernel.code;
+    struct WaitTarget
+    {
+        std::size_t pc;
+        Interval addr;
+    };
+    std::vector<WaitTarget> targets;
+    for (std::size_t pc = 0; pc < code.size(); ++pc) {
+        if (InstrEffects::isWaitOp(code[pc]) && reachablePc(ctx, pc)) {
+            Interval addr = ctx.df.addressOf(pc);
+            if (addr.bounded())
+                targets.push_back({pc, addr});
+        }
+    }
+    if (targets.empty())
+        return;
+    for (std::size_t pc = 0; pc < code.size(); ++pc) {
+        if (code[pc].op != Opcode::St || !reachablePc(ctx, pc))
+            continue;
+        Interval addr = ctx.df.addressOf(pc);
+        if (!addr.bounded())
+            continue;
+        for (const WaitTarget &t : targets) {
+            if (!addr.overlaps(t.addr))
+                continue;
+            out.push_back(makeDiag(
+                ctx, "lost-wakeup", "lost-wakeup", Severity::Warning,
+                static_cast<int>(pc),
+                "plain store to an address the wait at pc " +
+                    std::to_string(t.pc) +
+                    " monitors; plain stores do not notify waiting "
+                    "WGs",
+                "use a releasing atomic (Atom Exch/Store) so the "
+                "sync monitor observes the update"));
+            break;  // one report per store
+        }
+    }
+}
+
+// ---------------------------------------------------------------------
+// Static progress check
+// ---------------------------------------------------------------------
+
+namespace {
+
+/** A spin-wait: a loop whose exit consumes a global read's value. */
+struct SpinWait
+{
+    std::size_t readPc;
+    std::size_t branchPc;
+    Interval addr;
+    const Loop *loop;
+};
+
+std::vector<SpinWait>
+findSpinWaits(const PassContext &ctx)
+{
+    std::vector<SpinWait> waits;
+    const auto &code = ctx.kernel.code;
+    for (const Loop &loop : ctx.cfg.loops()) {
+        for (int blkId : loop.blocks) {
+            const BasicBlock &blk = ctx.cfg.block(blkId);
+            if (!blk.reachable || !isCondBranch(code[blk.last]))
+                continue;
+            bool exits = blkId == loop.backEdgeSrc;
+            for (int succ : blk.succs)
+                exits = exits || !loop.contains(succ);
+            if (!exits)
+                continue;
+            std::set<int> slice =
+                backslice(ctx, blk.last, code[blk.last].src0);
+            for (int d : slice) {
+                const isa::Instr &read = code[d];
+                if ((read.op != Opcode::Ld &&
+                     read.op != Opcode::Atom) ||
+                    !loop.contains(
+                        ctx.cfg.blockOf(static_cast<std::size_t>(d)))) {
+                    continue;
+                }
+                auto dup = std::find_if(
+                    waits.begin(), waits.end(), [&](const SpinWait &w) {
+                        return w.readPc ==
+                               static_cast<std::size_t>(d);
+                    });
+                if (dup == waits.end()) {
+                    waits.push_back(
+                        {static_cast<std::size_t>(d), blk.last,
+                         ctx.df.addressOf(
+                             static_cast<std::size_t>(d)),
+                         &loop});
+                }
+            }
+        }
+    }
+    return waits;
+}
+
+/**
+ * Concurrent-residency requirement for some WG to reach @p notifyPc
+ * under a non-yielding policy: the product of all *counter gates* its
+ * path must pass. A counter gate is a conditional branch whose
+ * condition is an equality compare between a fetch-add-class atomic
+ * result and a constant k — passing it requires k+1 distinct WGs to
+ * have executed the atomic, and under a non-yielding policy all of
+ * them are still resident (spinning on the event this notify
+ * produces).
+ */
+std::int64_t
+residencyNeed(const PassContext &ctx, std::size_t notifyPc)
+{
+    const auto &code = ctx.kernel.code;
+    int nBlk = ctx.cfg.blockOf(notifyPc);
+    std::int64_t need = 1;
+    for (std::size_t pc_b = 0; pc_b < code.size(); ++pc_b) {
+        const isa::Instr &br = code[pc_b];
+        if (!isCondBranch(br) || !reachablePc(ctx, pc_b))
+            continue;
+        if (br.imm < 0 ||
+            br.imm >= static_cast<std::int64_t>(code.size())) {
+            continue;
+        }
+        int taken = ctx.cfg.blockOf(static_cast<std::size_t>(br.imm));
+        int fall = pc_b + 1 < code.size()
+                       ? ctx.cfg.blockOf(pc_b + 1)
+                       : -1;
+        if (taken < 0 || fall < 0 || taken == fall)
+            continue;
+        // Forward-path (DAG) reachability: is the notify only on one
+        // side of this branch?
+        bool viaTaken = ctx.cfg.reachableFrom(taken, -1,
+                                              false)[nBlk] ||
+                        taken == nBlk;
+        bool viaFall =
+            ctx.cfg.reachableFrom(fall, -1, false)[nBlk] ||
+            fall == nBlk;
+        if (viaTaken == viaFall)
+            continue;
+
+        // Condition must be an equality compare between an
+        // accumulating atomic's result and a constant.
+        for (int d : ctx.df.reachingDefs(pc_b, br.src0)) {
+            if (d < 0 || !isEqualityCmp(code[d].op))
+                continue;
+            const isa::Instr &cmp = code[d];
+            auto isCountSide = [&](Reg r) {
+                for (int s : backslice(ctx, d, r)) {
+                    const isa::Instr &src = code[s];
+                    if ((src.op == Opcode::Atom ||
+                         src.op == Opcode::AtomWait) &&
+                        isAccumulatingAop(src.aop)) {
+                        return true;
+                    }
+                }
+                return false;
+            };
+            Interval rhs = cmp.useImm
+                               ? Interval::constant(cmp.imm)
+                               : ctx.df.value(d, cmp.src1);
+            Interval lhs = ctx.df.value(d, cmp.src0);
+            std::int64_t k = -1;
+            if (rhs.isConst() && isCountSide(cmp.src0))
+                k = rhs.lo;
+            else if (lhs.isConst() && !cmp.useImm &&
+                     isCountSide(cmp.src1)) {
+                k = lhs.lo;
+            }
+            if (k < 1)
+                continue;
+            // Which successor is the "count == k" side?
+            bool equalIsTaken = (cmp.op == Opcode::CmpEq) ==
+                                (br.op == Opcode::Bnz);
+            if ((equalIsTaken && viaTaken) ||
+                (!equalIsTaken && viaFall)) {
+                need = std::min(demandClamp,
+                                need * std::min(demandClamp, k + 1));
+                break;
+            }
+        }
+    }
+    return need;
+}
+
+} // anonymous namespace
+
+void
+runProgressPass(const PassContext &ctx, std::vector<Diagnostic> &out)
+{
+    const auto &code = ctx.kernel.code;
+    const LaunchContext &launch = ctx.df.launch();
+
+    bool hasWaitInstrs = false;
+    for (const isa::Instr &in : code)
+        hasWaitInstrs = hasWaitInstrs || InstrEffects::isWaitOp(in);
+
+    std::vector<SpinWait> waits = findSpinWaits(ctx);
+
+    // Wait conditions with no matching notifier anywhere: spin waits
+    // plus the explicit waiting instructions. Only bounded addresses
+    // can be matched; host-initialized memory is invisible statically,
+    // so this stays a warning.
+    std::vector<std::size_t> waitPcs;
+    for (const SpinWait &w : waits)
+        waitPcs.push_back(w.readPc);
+    for (std::size_t pc = 0; pc < code.size(); ++pc) {
+        if (InstrEffects::isWaitOp(code[pc]) && reachablePc(ctx, pc))
+            waitPcs.push_back(pc);
+    }
+    std::sort(waitPcs.begin(), waitPcs.end());
+    waitPcs.erase(std::unique(waitPcs.begin(), waitPcs.end()),
+                  waitPcs.end());
+    for (std::size_t pc : waitPcs) {
+        Interval addr = ctx.df.addressOf(pc);
+        if (!addr.bounded())
+            continue;
+        bool notified = false;
+        for (std::size_t n = 0; n < code.size() && !notified; ++n) {
+            if (n == pc || !isGlobalWrite(code[n]) ||
+                !reachablePc(ctx, n)) {
+                continue;
+            }
+            Interval na = ctx.df.addressOf(n);
+            notified = !na.bounded() || na.overlaps(addr);
+        }
+        // A wait op that itself writes (e.g. a waiting exchange) can
+        // be satisfied by another WG executing the same instruction.
+        notified = notified || isGlobalWrite(code[pc]);
+        if (!notified) {
+            out.push_back(makeDiag(
+                ctx, "progress", "wait-no-notify", Severity::Warning,
+                static_cast<int>(pc),
+                "no instruction in this kernel ever writes the "
+                "waited-on address",
+                "add the releasing write, or document the "
+                "host-initialized value this waits for"));
+        }
+    }
+
+    // The residency check models non-yielding execution: a waiting WG
+    // occupies its CU slot forever. Kernels carrying AtomWait/ArmWait
+    // run under policies that can swap waiters out (the paper's fix),
+    // so only wait-free kernels are checked.
+    if (hasWaitInstrs)
+        return;
+
+    for (const SpinWait &w : waits) {
+        if (!w.addr.bounded())
+            continue;
+        std::int64_t best = -1;
+        for (std::size_t n = 0; n < code.size(); ++n) {
+            if (!isGlobalWrite(code[n]) || !reachablePc(ctx, n))
+                continue;
+            // Writes inside the spin loop execute while still
+            // waiting; they cannot be the unblocking notification.
+            if (w.loop->contains(
+                    ctx.cfg.blockOf(static_cast<std::size_t>(n)))) {
+                continue;
+            }
+            Interval na = ctx.df.addressOf(n);
+            if (!na.bounded() || !na.overlaps(w.addr))
+                continue;
+            std::int64_t need = residencyNeed(ctx, n);
+            if (best < 0 || need < best)
+                best = need;
+        }
+        if (best < 0)
+            continue;  // covered by wait-no-notify (or unmatchable)
+        std::int64_t demand = std::max<std::int64_t>(2, best);
+        if (demand > launch.maxResidentWgs) {
+            out.push_back(makeDiag(
+                ctx, "progress", "insufficient-residency",
+                Severity::Error, static_cast<int>(w.readPc),
+                "spin-wait needs " + std::to_string(demand) +
+                    " concurrently resident WGs to be notified, but "
+                    "Baseline occupancy sustains only " +
+                    std::to_string(launch.maxResidentWgs) + " of " +
+                    std::to_string(launch.numWgs) +
+                    " (guaranteed deadlock under non-yielding "
+                    "policies)",
+                "reduce the grid, raise occupancy, or use waiting "
+                "synchronization (AtomWait/ArmWait) so blocked WGs "
+                "can yield"));
+        }
+    }
+}
+
+} // namespace ifp::analysis

@@ -1,0 +1,67 @@
+/**
+ * @file
+ * The diagnostic passes of the static kernel verifier (ifplint).
+ *
+ * Each pass walks the Cfg/Dataflow results of one kernel and appends
+ * Diagnostics. Pass catalogue (pass name / codes):
+ *
+ *  - "structural": branch-range, fall-off-end, no-halt, unreachable,
+ *    use-before-def, atom-shape, valu-cycles, sleep-cycles, div-zero,
+ *    writes-r0 — well-formedness of the instruction stream.
+ *  - "barrier-divergence": bar-divergence — a Bar reachable from a
+ *    divergent branch before its reconvergence point (wavefronts of
+ *    one WG can disagree about reaching the barrier).
+ *  - "wov": wov — the paper's window of vulnerability: a load-class
+ *    check of an address guards a branch, and a later ArmWait arms
+ *    the monitor on the same abstract address as a *separate* step;
+ *    a notification between check and arm is lost (Figure 10 top,
+ *    provoked dynamically by test_window_of_vulnerability.cc).
+ *  - "lost-wakeup": lost-wakeup — a plain St to an address some path
+ *    waits on via AtomWait/ArmWait; plain stores do not notify the
+ *    monitor.
+ *  - "progress": wait-no-notify, insufficient-residency — the static
+ *    inter-WG progress check. Spin-wait sites (loops whose exit
+ *    condition consumes a global read) are matched against notify
+ *    sites (global writes to an overlapping abstract address);
+ *    reaching a notify site may require passing counter gates
+ *    (a branch on `fetch-add result == k`, i.e. k+1 arrivals).
+ *    Multiplying the gates on a notifier's path gives the number of
+ *    WGs that must be *concurrently resident* for the notify to ever
+ *    execute under a non-yielding policy; when that exceeds Baseline
+ *    occupancy, the kernel deadlocks (paper Figure 1). Only kernels
+ *    with no waiting instructions (AtomWait/ArmWait) are checked —
+ *    waiting WGs can be swapped out, which is the paper's fix.
+ */
+
+#ifndef IFP_ANALYSIS_PASSES_HH
+#define IFP_ANALYSIS_PASSES_HH
+
+#include <vector>
+
+#include "analysis/dataflow.hh"
+#include "analysis/diagnostics.hh"
+#include "isa/kernel.hh"
+
+namespace ifp::analysis {
+
+/** Everything a pass needs about one kernel. */
+struct PassContext
+{
+    const isa::Kernel &kernel;
+    const Cfg &cfg;
+    const Dataflow &df;
+};
+
+void runStructuralPass(const PassContext &ctx,
+                       std::vector<Diagnostic> &out);
+void runBarrierDivergencePass(const PassContext &ctx,
+                              std::vector<Diagnostic> &out);
+void runWovPass(const PassContext &ctx, std::vector<Diagnostic> &out);
+void runLostWakeupPass(const PassContext &ctx,
+                       std::vector<Diagnostic> &out);
+void runProgressPass(const PassContext &ctx,
+                     std::vector<Diagnostic> &out);
+
+} // namespace ifp::analysis
+
+#endif // IFP_ANALYSIS_PASSES_HH

@@ -2,8 +2,10 @@
 
 #include <algorithm>
 #include <ostream>
+#include <sstream>
 #include <stdexcept>
 
+#include "analysis/lint.hh"
 #include "sim/logging.hh"
 
 namespace ifp::core {
@@ -150,6 +152,24 @@ GpuSystem::run(const isa::Kernel &kernel, const Validator &validator)
 {
     RunResult result;
     kernelDone = false;
+
+    if (cfg.dispatch.lintBeforeDispatch) {
+        analysis::LaunchContext launch = analysis::makeLaunchContext(
+            kernel, cfg.gpu.numCus, cfg.gpu.simdsPerCu,
+            cfg.gpu.wavefrontsPerSimd, cfg.gpu.ldsBytesPerCu);
+        analysis::Report report = analysis::runLint(kernel, launch);
+        if (!report.diagnostics.empty()) {
+            std::ostringstream os;
+            analysis::printReport(report, os);
+            sim::warnImpl("pre-dispatch lint of kernel '%s':\n%s",
+                          kernel.name.c_str(), os.str().c_str());
+        }
+        if (!report.clean(cfg.dispatch.lintWerror)) {
+            throw std::invalid_argument(
+                "kernel '" + kernel.name +
+                "' failed pre-dispatch lint (see warnings above)");
+        }
+    }
 
     dispatch->setOnComplete([this] {
         kernelDone = true;

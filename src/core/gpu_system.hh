@@ -43,12 +43,30 @@
 
 namespace ifp::core {
 
+/** Pre-dispatch verification knobs. */
+struct DispatchOptions
+{
+    /**
+     * Run the static kernel verifier (analysis/lint — the same passes
+     * tools/ifplint exposes) before dispatch. Diagnostics are printed
+     * through warn(); an unsuppressed error throws
+     * std::invalid_argument instead of launching a kernel the
+     * verifier can prove malformed. Off by default: the registry is
+     * gated by the ifplint ctest instead, and ad-hoc test kernels may
+     * deliberately be broken.
+     */
+    bool lintBeforeDispatch = false;
+    /** With lintBeforeDispatch: unsuppressed warnings throw, too. */
+    bool lintWerror = false;
+};
+
 /** Scenario and machine configuration of one run. */
 struct RunConfig
 {
     gpu::GpuConfig gpu;
     cp::CpConfig cp;
     PolicyConfig policy;
+    DispatchOptions dispatch;
 
     /** Run the §VI oversubscribed experiment. */
     bool oversubscribed = false;

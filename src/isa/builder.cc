@@ -252,12 +252,35 @@ KernelBuilder::bar()
     emit(Opcode::Bar);
 }
 
+void
+KernelBuilder::suppressLint(const std::string &code_,
+                            const std::string &reason)
+{
+    for (const LintSuppression &s : lintSuppressions) {
+        if (s.code == code_)
+            return;
+    }
+    lintSuppressions.push_back(LintSuppression{code_, reason});
+}
+
 std::vector<Instr>
 KernelBuilder::build()
 {
     for (const Fixup &fixup : fixups) {
         std::int64_t target = labelTargets[fixup.labelIndex];
-        ifp_assert(target >= 0, "branch to unbound label");
+        if (target < 0) {
+            ifp_fatal("branch at pc %zu references label %zu, which "
+                      "was never bound; bind() it before build()",
+                      fixup.instrIndex, fixup.labelIndex);
+        }
+        if (target >= static_cast<std::int64_t>(code.size())) {
+            ifp_fatal("branch at pc %zu targets label %zu bound at "
+                      "position %lld, past the last instruction "
+                      "(code size %zu); emit the branch target (or a "
+                      "halt) before build()",
+                      fixup.instrIndex, fixup.labelIndex,
+                      static_cast<long long>(target), code.size());
+        }
         code[fixup.instrIndex].imm = target;
     }
     fixups.clear();

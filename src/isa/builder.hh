@@ -154,8 +154,26 @@ class KernelBuilder
     std::size_t size() const { return code.size(); }
 
     /**
+     * Waive static-analysis diagnostic @p code for the kernel under
+     * construction, with the reason the flagged pattern is intended
+     * (e.g. "wov" for the split check/ArmWait monitor emitters).
+     * Duplicate codes are ignored. Callers that assemble a Kernel by
+     * hand copy suppressions() into Kernel::lintSuppressions.
+     */
+    void suppressLint(const std::string &code, const std::string &reason);
+
+    /** Suppressions recorded via suppressLint(). */
+    const std::vector<LintSuppression> &
+    suppressions() const
+    {
+        return lintSuppressions;
+    }
+
+    /**
      * Finalize: patches all label references and returns the code.
-     * Panics if any used label is unbound.
+     * Exits with a diagnostic if any referenced label is unbound or
+     * bound past the last instruction (a branch to it could never
+     * land on a valid pc).
      */
     std::vector<Instr> build();
 
@@ -173,6 +191,7 @@ class KernelBuilder
     /** Bound position per label index; -1 when unbound. */
     std::vector<std::int64_t> labelTargets;
     std::vector<Fixup> fixups;
+    std::vector<LintSuppression> lintSuppressions;
 };
 
 } // namespace ifp::isa

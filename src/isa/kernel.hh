@@ -21,6 +21,21 @@ namespace ifp::isa {
 /** Wavefront width (work-items per wavefront). */
 constexpr unsigned wavefrontSize = 64;
 
+/**
+ * A kernel-scoped waiver for one static-analysis diagnostic code.
+ *
+ * The verifier (analysis/lint) demotes matching diagnostics to
+ * suppressed notes instead of dropping them, so --Werror gates hold
+ * while deliberately racy kernels (e.g. the split check/ArmWait
+ * window-of-vulnerability emitters) stay annotated with the reason
+ * the race is intentional.
+ */
+struct LintSuppression
+{
+    std::string code;   //!< diagnostic code, e.g. "wov"
+    std::string reason; //!< why the pattern is intentional
+};
+
 /** A compiled kernel ready for dispatch. */
 struct Kernel
 {
@@ -43,6 +58,9 @@ struct Kernel
 
     /** Kernel arguments, loaded into r8.. at wavefront launch. */
     std::vector<mem::MemValue> args;
+
+    /** Waived static-analysis diagnostics (see LintSuppression). */
+    std::vector<LintSuppression> lintSuppressions;
 
     /** Wavefronts per work-group. */
     unsigned

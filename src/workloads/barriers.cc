@@ -26,6 +26,7 @@ finishKernel(KernelBuilder &b, const std::string &name,
     isa::Kernel k;
     k.name = name;
     k.code = b.build();
+    k.lintSuppressions = b.suppressions();
     k.wiPerWg = params.wiPerWg;
     k.numWgs = params.numWgs;
     k.vgprsPerWi = vgprs;

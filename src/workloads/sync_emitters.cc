@@ -97,6 +97,11 @@ emitTasAcquire(KernelBuilder &b, const StyleParams &sp, Reg addr_reg,
       case SyncStyle::WaitInstr: {
         // Figure 10 (top): the wait arms the monitor *after* the
         // failed attempt — the window-of-vulnerability pattern.
+        // ifplint flags it (test_window_of_vulnerability.cc provokes
+        // it dynamically); that is the point of the MonR variant.
+        b.suppressLint("wov", "MonR arms the monitor after the failed "
+                              "attempt by design (Figure 10 top); the "
+                              "runtime re-check tolerates the race");
         Label retry = b.here();
         Label done = b.label();
         b.atom(rAtomResult, AtomicOpcode::Exch, addr_reg, offset, rOne,
@@ -165,6 +170,10 @@ emitWaitEq(KernelBuilder &b, const StyleParams &sp, Reg addr_reg,
         return;
       }
       case SyncStyle::WaitInstr: {
+        // Same split check/arm window as emitTasAcquire above.
+        b.suppressLint("wov", "MonR arms the monitor after the failed "
+                              "attempt by design (Figure 10 top); the "
+                              "runtime re-check tolerates the race");
         Label poll = b.here();
         Label done = b.label();
         b.atom(rAtomResult, AtomicOpcode::Load, addr_reg, offset,

@@ -74,6 +74,71 @@ makeTestKernel(isa::KernelBuilder &b, unsigned num_wgs = 1,
     return k;
 }
 
+/**
+ * The Figure 10 window-of-vulnerability kernel, shared between the
+ * dynamic race reproduction (test_window_of_vulnerability.cc) and the
+ * static analyzer's cross-check (test_analysis.cc).
+ *
+ * Two WGs. WG0 (consumer) waits for flag == 1; WG1 (producer) sets
+ * the flag after @p producer_delay cycles of work. With
+ * @p use_waiting_atomic false the consumer checks and then arms the
+ * monitor as separate steps, and the check-to-arm distance is
+ * inflated by @p gap_cycles so the producer's update can land inside
+ * the window.
+ */
+inline isa::Kernel
+wovRaceKernel(mem::Addr flag, mem::Addr done, bool use_waiting_atomic,
+              std::int64_t gap_cycles, std::int64_t producer_delay)
+{
+    isa::KernelBuilder b;
+    b.movi(16, static_cast<std::int64_t>(flag));
+    b.movi(17, 1);
+
+    isa::Label consumer = b.label();
+    isa::Label finish = b.label();
+    b.bz(isa::rWgId, consumer);
+
+    // ---- producer (wg1)
+    b.valu(producer_delay);
+    b.atom(20, mem::AtomicOpcode::Exch, 16, 0, 17, 0, false, true);
+    b.br(finish);
+
+    // ---- consumer (wg0)
+    b.bind(consumer);
+    if (use_waiting_atomic) {
+        // Figure 10 bottom: compare-and-wait, no race.
+        isa::Label retry = b.here();
+        b.atomWait(20, mem::AtomicOpcode::Load, 16, 0, 0, 17, true);
+        b.cmpEq(21, 20, 17);
+        b.bz(21, retry);
+    } else {
+        // Figure 10 top: check, then arm. The valu models the
+        // distance between the check and the wait reaching the L2.
+        isa::Label poll = b.here();
+        isa::Label got = b.label();
+        b.atom(20, mem::AtomicOpcode::Load, 16, 0, 0, 0, true);
+        b.cmpEq(21, 20, 17);
+        b.bnz(21, got);
+        b.valu(gap_cycles);
+        b.armWait(16, 0, 17);
+        b.br(poll);
+        b.bind(got);
+    }
+
+    b.bind(finish);
+    b.movi(22, static_cast<std::int64_t>(done));
+    b.atom(23, mem::AtomicOpcode::Inc, 22, 0, 0);
+    b.halt();
+
+    isa::Kernel k;
+    k.name = "race";
+    k.code = b.build();
+    k.numWgs = 2;
+    k.wiPerWg = 64;
+    k.maxWgsPerCu = 8;
+    return k;
+}
+
 } // namespace ifp::test
 
 #endif // IFP_TESTS_TEST_HELPERS_HH

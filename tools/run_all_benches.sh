@@ -10,12 +10,47 @@
 # the bench tables must stay byte-identical. Wired into ctest as the
 # `observability` label.
 #
+# With --verify the script is instead the one-stop verification entry
+# point: configure + build, the tier-1 ctest suite, the static kernel
+# verifier gate (ifplint --all --Werror), clang-tidy (skipped when not
+# installed) and the sanitized test run (ASan+UBSan). This is what CI
+# or a pre-merge check should call.
+#
 # Usage: run_all_benches.sh [--trace] [BENCH_DIR] [JOBS]
+#        run_all_benches.sh --verify [BUILD_DIR] [JOBS]
 #   BENCH_DIR  directory with the bench binaries (default: build/bench)
 #   JOBS       parallel worker count (default: IFP_BENCH_PARITY_JOBS
 #              or the machine's core count; unused with --trace)
 
 set -u
+
+if [ "${1:-}" = "--verify" ]; then
+    shift
+    SRC_DIR="$(cd "$(dirname "$0")/.." && pwd)"
+    BUILD_DIR="${1:-build}"
+    JOBS="${2:-$(nproc 2>/dev/null || echo 4)}"
+
+    set -e
+    echo "== configure + build ($BUILD_DIR)"
+    cmake -S "$SRC_DIR" -B "$BUILD_DIR" > /dev/null
+    cmake --build "$BUILD_DIR" -j "$JOBS"
+
+    echo "== tier-1 tests (ctest)"
+    ctest --test-dir "$BUILD_DIR" --output-on-failure -j "$JOBS"
+
+    echo "== static kernel verifier (ifplint --all --Werror)"
+    "$BUILD_DIR/tools/ifplint" --all --Werror > /dev/null
+    echo "lint clean"
+
+    echo "== clang-tidy"
+    "$SRC_DIR/tools/run_clang_tidy.sh" "$BUILD_DIR" "$JOBS"
+
+    echo "== sanitized tests (ASan + UBSan)"
+    "$SRC_DIR/tools/run_sanitized_tests.sh" "$BUILD_DIR-sanitize" "$JOBS"
+
+    echo "== verify: all checks passed"
+    exit 0
+fi
 
 MODE=parity
 if [ "${1:-}" = "--trace" ]; then

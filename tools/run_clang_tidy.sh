@@ -1,0 +1,46 @@
+#!/usr/bin/env bash
+# Run clang-tidy (config: .clang-tidy at the repo root) over the
+# simulator sources, against a compile_commands.json exported by
+# CMake. Degrades gracefully when clang-tidy is not installed — the
+# curated container image ships only the base toolchain — so callers
+# (run_all_benches.sh --verify) can invoke it unconditionally.
+#
+# Usage: run_clang_tidy.sh [BUILD_DIR] [JOBS] [-- TIDY_ARGS...]
+#   BUILD_DIR  build tree with/for compile_commands.json (default: build)
+#   JOBS       parallel clang-tidy processes (default: nproc)
+#   TIDY_ARGS  forwarded to clang-tidy, e.g. `-- --fix`
+
+set -u
+
+SRC_DIR="$(cd "$(dirname "$0")/.." && pwd)"
+BUILD_DIR="${1:-build}"
+JOBS="${2:-$(nproc 2>/dev/null || echo 4)}"
+shift $(( $# > 2 ? 2 : $# ))
+[ "${1:-}" = "--" ] && shift
+
+TIDY="$(command -v clang-tidy || true)"
+if [ -z "$TIDY" ]; then
+    echo "run_clang_tidy: clang-tidy not installed; skipping" \
+         "(install clang-tidy to enable this check)"
+    exit 0
+fi
+
+if [ ! -f "$BUILD_DIR/compile_commands.json" ]; then
+    cmake -S "$SRC_DIR" -B "$BUILD_DIR" \
+          -DCMAKE_EXPORT_COMPILE_COMMANDS=ON > /dev/null || exit 2
+fi
+
+# run-clang-tidy parallelizes when available; otherwise iterate.
+RUNNER="$(command -v run-clang-tidy || true)"
+if [ -n "$RUNNER" ]; then
+    "$RUNNER" -p "$BUILD_DIR" -j "$JOBS" -quiet "$@" \
+        "$SRC_DIR/src/.*\.cc" "$SRC_DIR/tools/.*\.cc"
+    exit $?
+fi
+
+fail=0
+for f in "$SRC_DIR"/src/*/*.cc "$SRC_DIR"/tools/*.cc; do
+    [ -f "$f" ] || continue
+    "$TIDY" -p "$BUILD_DIR" -quiet "$@" "$f" || fail=1
+done
+exit $fail
