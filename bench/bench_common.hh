@@ -14,6 +14,7 @@
 #include <string>
 #include <vector>
 
+#include "harness/bench_report.hh"
 #include "harness/runner.hh"
 #include "harness/sweep.hh"
 #include "harness/table.hh"
@@ -105,13 +106,16 @@ evalRun(const std::string &workload, core::Policy policy,
  * Execute every experiment queued on @p sweep (worker count from
  * IFP_BENCH_JOBS) and print the per-bench wall-clock/speedup line to
  * stderr. Results come back in submission order, so tables built
- * from them are byte-identical to a serial run.
+ * from them are byte-identical to a serial run. When
+ * IFP_BENCH_JSON_OUT is set, the sweep's perf record also lands in
+ * the machine-readable BENCH_*.json report (harness/bench_report.hh).
  */
 inline const std::vector<core::RunResult> &
 runSweep(harness::SweepRunner &sweep, const std::string &label)
 {
     const std::vector<core::RunResult> &results = sweep.run();
     sweep.reportPerf(label);
+    harness::BenchReport::instance().addSweep(label, sweep);
     return results;
 }
 

@@ -52,13 +52,14 @@ BENCHMARK(BM_BackingStoreAtomics);
 void
 BM_L2AtomicRoundTrip(benchmark::State &state)
 {
+    mem::MemRequestPool pool;
     sim::EventQueue eq;
     mem::BackingStore store;
     mem::Dram dram("dram", eq, mem::DramConfig{});
-    mem::L2Cache l2("l2", eq, mem::L2Config{}, dram, store);
+    mem::L2Cache l2("l2", eq, mem::L2Config{}, dram, store, pool);
     std::uint64_t ops = 0;
     for (auto _ : state) {
-        auto req = std::make_shared<mem::MemRequest>();
+        mem::MemRequestPtr req = pool.allocate();
         req->op = mem::MemOp::Atomic;
         req->aop = mem::AtomicOpcode::Add;
         // Spread across lines to measure pipelined throughput.

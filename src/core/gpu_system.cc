@@ -71,19 +71,20 @@ GpuSystem::GpuSystem(const RunConfig &run_cfg)
 
     dram = std::make_unique<mem::Dram>("dram", eq, cfg.gpu.dram);
     l2cache = std::make_unique<mem::L2Cache>("l2", eq, cfg.gpu.l2,
-                                             *dram, store);
+                                             *dram, store, pool);
     dma = std::make_unique<mem::DmaEngine>("dma", eq, cfg.gpu.dma);
     cp = std::make_unique<cp::CommandProcessor>("cp", eq, cfg.cp, *dma,
-                                                store, l2cache.get());
+                                                store, l2cache.get(),
+                                                &pool);
     dispatch = std::make_unique<gpu::Dispatcher>("dispatcher", eq,
                                                  cfg.gpu);
 
     for (unsigned i = 0; i < cfg.gpu.numCus; ++i) {
         std::string cu_name = "cu" + std::to_string(i);
         l1s.push_back(std::make_unique<mem::L1Cache>(
-            cu_name + ".l1", eq, cfg.gpu.l1, *l2cache));
+            cu_name + ".l1", eq, cfg.gpu.l1, *l2cache, pool));
         cus.push_back(std::make_unique<gpu::ComputeUnit>(
-            cu_name, eq, i, cfg.gpu, *l1s.back(), store));
+            cu_name, eq, i, cfg.gpu, *l1s.back(), store, pool));
     }
 
     std::vector<gpu::ComputeUnit *> cu_ptrs;
@@ -482,6 +483,9 @@ GpuSystem::harvest(RunResult &result) const
         result.delayedResumes = static_cast<std::uint64_t>(
             s.scalar("delayedResumes").value());
     }
+
+    result.hostEvents = eq.numExecuted();
+    result.memRequests = pool.totalAllocations();
 
     result.injectedFaults = faultsApplied;
     for (const auto &rec : dispatch->cuRecoveries()) {

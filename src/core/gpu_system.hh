@@ -160,6 +160,13 @@ class GpuSystem
 
   private:
     RunConfig cfg;
+    /**
+     * Slab pool backing every MemRequest of the run. Declared before
+     * the event queue (and thus destroyed after it): pending events
+     * and device queues may hold MemRequestPtrs whose final release
+     * recycles into the pool. Its destructor asserts nothing leaked.
+     */
+    mem::MemRequestPool pool;
     sim::EventQueue eq;
     mem::BackingStore store;
 

@@ -37,6 +37,14 @@ struct RunResult
     sim::Cycles gpuCycles = 0;   //!< runTicks in GPU clock cycles
     /// @}
 
+    /// @name Host-side work (perf baselines)
+    /// @{
+    /** Simulation events executed by the run's event queue. */
+    std::uint64_t hostEvents = 0;
+    /** MemRequests allocated from the run's request pool. */
+    std::uint64_t memRequests = 0;
+    /// @}
+
     /// @name Dynamic instruction counts
     /// @{
     std::uint64_t instructions = 0;

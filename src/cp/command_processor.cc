@@ -10,12 +10,14 @@ CommandProcessor::CommandProcessor(std::string name, sim::EventQueue &eq,
                                    const CpConfig &cfg,
                                    mem::DmaEngine &dma_engine,
                                    mem::BackingStore &backing,
-                                   mem::MemDevice *l2)
+                                   mem::MemDevice *l2,
+                                   mem::MemRequestPool *request_pool)
     : Clocked(std::move(name), eq, cfg.clockPeriod),
       config(cfg),
       dma(dma_engine),
       store(backing),
-      log(cfg.monitorLogBase, cfg.monitorLogCapacity, backing, l2),
+      log(cfg.monitorLogBase, cfg.monitorLogCapacity, backing, l2,
+          request_pool),
       statGroup(this->name()),
       contextSavesStat(statGroup.addScalar("contextSaves",
                                            "WG contexts saved")),

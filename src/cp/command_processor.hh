@@ -61,7 +61,8 @@ class CommandProcessor : public sim::Clocked,
     CommandProcessor(std::string name, sim::EventQueue &eq,
                      const CpConfig &cfg, mem::DmaEngine &dma,
                      mem::BackingStore &store,
-                     mem::MemDevice *l2 = nullptr);
+                     mem::MemDevice *l2 = nullptr,
+                     mem::MemRequestPool *request_pool = nullptr);
 
     void setScheduler(gpu::WgScheduler *s) { scheduler = s; }
     void setTraceSink(sim::TraceSink *sink) { trace = sink; }

@@ -6,10 +6,13 @@ namespace ifp::cp {
 
 MonitorLog::MonitorLog(mem::Addr log_base, unsigned log_capacity,
                        mem::BackingStore &backing,
-                       mem::MemDevice *l2_dev)
-    : base(log_base), capacity(log_capacity), store(backing), l2(l2_dev)
+                       mem::MemDevice *l2_dev,
+                       mem::MemRequestPool *request_pool)
+    : base(log_base), capacity(log_capacity), store(backing), l2(l2_dev),
+      pool(request_pool)
 {
     ifp_assert(capacity > 0, "monitor log needs capacity");
+    ifp_assert(!l2 || pool, "timing writes need a request pool");
 }
 
 bool
@@ -26,8 +29,9 @@ MonitorLog::append(const MonitorLogEntry &entry)
     store.write(at + 16, entry.wgId, 8);
 
     if (l2) {
-        // Charge one timing write for the record (fire and forget).
-        auto req = std::make_shared<mem::MemRequest>();
+        // Charge one timing write for the record (fire and forget:
+        // the refcount recycles it once the L2 responds).
+        mem::MemRequestPtr req = pool->allocate();
         req->op = mem::MemOp::Write;
         req->addr = at;
         req->size = monitorLogEntryBytes;

@@ -46,9 +46,12 @@ class MonitorLog
      * @param capacity number of entries
      * @param store    functional memory holding the buffer
      * @param l2       optional device to charge timing writes against
+     * @param pool     request pool for the timing writes (required
+     *                 when @p l2 is set)
      */
     MonitorLog(mem::Addr base, unsigned capacity,
-               mem::BackingStore &store, mem::MemDevice *l2 = nullptr);
+               mem::BackingStore &store, mem::MemDevice *l2 = nullptr,
+               mem::MemRequestPool *pool = nullptr);
 
     /** Append at the tail. @return false when the log is full. */
     bool append(const MonitorLogEntry &entry);
@@ -76,6 +79,7 @@ class MonitorLog
     unsigned capacity;
     mem::BackingStore &store;
     mem::MemDevice *l2;
+    mem::MemRequestPool *pool;
 
     unsigned head = 0;
     unsigned tail = 0;

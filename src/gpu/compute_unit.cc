@@ -9,14 +9,21 @@ namespace ifp::gpu {
 ComputeUnit::ComputeUnit(std::string name, sim::EventQueue &eq,
                          unsigned cu_id, const GpuConfig &cfg,
                          mem::MemDevice &l1_dev,
-                         mem::BackingStore &backing)
+                         mem::BackingStore &backing,
+                         mem::MemRequestPool &request_pool)
     : Clocked(std::move(name), eq, cfg.clockPeriod),
       id(cu_id),
       config(cfg),
       l1(l1_dev),
       store(backing),
+      pool(request_pool),
       simdWfs(cfg.simdsPerCu),
       rrIndex(cfg.simdsPerCu, 0),
+      descTick(this->name() + ".tick"),
+      descWake(this->name() + ".wake"),
+      descRescue(this->name() + ".rescue"),
+      descSwitchReq(this->name() + ".switchReq"),
+      descWgDone(this->name() + ".wgDone"),
       statGroup(this->name()),
       numInstructions(statGroup.addScalar("instructions",
                                           "instructions issued")),
@@ -180,8 +187,7 @@ ComputeUnit::notifyReady()
     if (tickScheduled || !anyIssuable())
         return;
     tickScheduled = true;
-    eventq().schedule(clockEdge(1), [this] { tick(); },
-                      name() + ".tick");
+    eventq().schedule(clockEdge(1), [this] { tick(); }, descTick);
 }
 
 bool
@@ -418,7 +424,7 @@ ComputeUnit::executeInstr(Wavefront &wf)
             eventq().schedule(curTick(), [this, wg] {
                 if (listener)
                     listener->wgCompleted(wg);
-            }, name() + ".wgDone");
+            }, descWgDone);
         } else {
             wg->refreshRunBucket(curTick());
         }
@@ -432,7 +438,7 @@ void
 ComputeUnit::issueMemRequest(Wavefront &wf, const isa::Instr &in)
 {
     using isa::Opcode;
-    auto req = std::make_shared<mem::MemRequest>();
+    mem::MemRequestPtr req = pool.allocate();
     req->addr = static_cast<mem::Addr>(wf.reg(in.src0) + in.imm);
     req->size = 8;
     req->cuId = static_cast<int>(id);
@@ -478,13 +484,17 @@ ComputeUnit::issueMemRequest(Wavefront &wf, const isa::Instr &in)
     wf.state = WfState::WaitMem;
     ++wf.wg->memWaitWfs;
     wf.wg->refreshRunBucket(curTick());
-    Wavefront *wfp = &wf;
-    // Raw capture: the transport chain holds the MemRequestPtr until
-    // it responds, and an owning capture here would be a shared_ptr
-    // cycle (the request keeping itself alive through its callback).
-    mem::MemRequest *reqp = req.get();
-    req->onResponse = [this, wfp, reqp] { memResponse(*wfp, *reqp); };
+    // The transport chain owns the request until it responds; the
+    // typed responder slot cannot form an ownership cycle the way an
+    // owning std::function capture could.
+    req->setResponder(this, reinterpret_cast<std::uint64_t>(&wf));
     l1.access(req);
+}
+
+void
+ComputeUnit::onMemResponse(mem::MemRequest &req, std::uint64_t tag)
+{
+    memResponse(*reinterpret_cast<Wavefront *>(tag), req);
 }
 
 void
@@ -580,7 +590,7 @@ ComputeUnit::applyWaitDecision(Wavefront &wf, mem::Addr addr,
         eventq().schedule(curTick(), [this, wg, rescue] {
             if (listener)
                 listener->wgWantsSwitch(wg, rescue);
-        }, name() + ".switchReq");
+        }, descSwitchReq);
         return;
       }
     }
@@ -600,7 +610,7 @@ ComputeUnit::scheduleWake(Wavefront &wf, sim::Cycles cycles)
         }
         wakeWf(*wfp);
         checkDrained(wfp->wg);
-    }, name() + ".wake");
+    }, descWake);
 }
 
 void
@@ -645,11 +655,11 @@ ComputeUnit::scheduleRescue(Wavefront &wf, mem::Addr addr,
             eventq().schedule(curTick(), [this, wg, rescue] {
                 if (listener)
                     listener->wgWantsSwitch(wg, rescue);
-            }, name() + ".switchReq");
+            }, descSwitchReq);
             return;
           }
         }
-    }, name() + ".rescue");
+    }, descRescue);
 }
 
 } // namespace ifp::gpu

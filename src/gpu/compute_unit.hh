@@ -50,12 +50,20 @@ class CuListener
 };
 
 /** One compute unit. */
-class ComputeUnit : public sim::Clocked
+class ComputeUnit : public sim::Clocked, public mem::MemResponder
 {
   public:
     ComputeUnit(std::string name, sim::EventQueue &eq, unsigned cu_id,
                 const GpuConfig &cfg, mem::MemDevice &l1,
-                mem::BackingStore &store);
+                mem::BackingStore &store,
+                mem::MemRequestPool &request_pool);
+
+    /**
+     * Memory response for an issued request; the tag carries the
+     * issuing Wavefront. The wavefront cannot retire while the
+     * request is in flight (WaitMem), so the pointer stays valid.
+     */
+    void onMemResponse(mem::MemRequest &req, std::uint64_t tag) override;
 
     /// @name Wiring
     /// @{
@@ -129,6 +137,7 @@ class ComputeUnit : public sim::Clocked
     const GpuConfig &config;
     mem::MemDevice &l1;
     mem::BackingStore &store;
+    mem::MemRequestPool &pool;
     CuListener *listener = nullptr;
     mem::SyncObserver *observer = nullptr;
     sim::TraceSink *trace = nullptr;
@@ -141,6 +150,15 @@ class ComputeUnit : public sim::Clocked
     bool tickScheduled = false;
 
     std::unordered_map<int, std::function<void()>> drainCallbacks;
+
+    /// @name Precomputed event descriptions (hot path: no concats)
+    /// @{
+    std::string descTick;
+    std::string descWake;
+    std::string descRescue;
+    std::string descSwitchReq;
+    std::string descWgDone;
+    /// @}
 
     sim::StatGroup statGroup;
     sim::Scalar &numInstructions;

@@ -1,0 +1,183 @@
+#include "harness/bench_report.hh"
+
+#include <cstdio>
+#include <cstdlib>
+#include <fstream>
+
+#include "core/policy.hh"
+#include "sim/logging.hh"
+
+namespace ifp::harness {
+
+namespace {
+
+/** Minimal JSON string escaping (labels are plain identifiers). */
+std::string
+escaped(const std::string &s)
+{
+    std::string out;
+    out.reserve(s.size());
+    for (char c : s) {
+        if (c == '"' || c == '\\')
+            out.push_back('\\');
+        out.push_back(c);
+    }
+    return out;
+}
+
+std::string
+num(double value)
+{
+    char buf[64];
+    std::snprintf(buf, sizeof(buf), "%.6f", value);
+    return buf;
+}
+
+double
+rate(std::uint64_t count, double seconds)
+{
+    return seconds > 0.0 ? static_cast<double>(count) / seconds : 0.0;
+}
+
+} // anonymous namespace
+
+std::uint64_t
+BenchReport::Sweep::hostEvents() const
+{
+    std::uint64_t total = 0;
+    for (const Point &p : points)
+        total += p.hostEvents;
+    return total;
+}
+
+std::uint64_t
+BenchReport::Sweep::memRequests() const
+{
+    std::uint64_t total = 0;
+    for (const Point &p : points)
+        total += p.memRequests;
+    return total;
+}
+
+BenchReport &
+BenchReport::instance()
+{
+    static BenchReport report;
+    return report;
+}
+
+BenchReport::BenchReport()
+{
+    const char *env = std::getenv("IFP_BENCH_JSON_OUT");
+    if (env == nullptr || *env == '\0')
+        return;
+    outPath = env;
+
+    // BENCH_<name>.json -> <name>; anything else is used as-is.
+    std::string base = outPath;
+    if (std::size_t slash = base.find_last_of('/');
+        slash != std::string::npos)
+        base = base.substr(slash + 1);
+    if (base.rfind("BENCH_", 0) == 0)
+        base = base.substr(6);
+    if (base.size() > 5 && base.compare(base.size() - 5, 5, ".json") == 0)
+        base = base.substr(0, base.size() - 5);
+    benchName = base;
+}
+
+void
+BenchReport::addSweep(const std::string &label, const SweepRunner &sweep)
+{
+    if (!enabled())
+        return;
+
+    Sweep record;
+    record.label = label;
+    record.jobs = sweep.jobs();
+    record.wallSeconds = sweep.wallSeconds();
+    record.serialSeconds = sweep.serialSeconds();
+
+    const std::vector<Experiment> &exps = sweep.queuedExperiments();
+    const std::vector<core::RunResult> &results = sweep.results();
+    const std::vector<double> &seconds = sweep.pointSeconds();
+    for (std::size_t i = 0; i < results.size(); ++i) {
+        Point p;
+        p.workload = exps[i].workload;
+        p.policy = core::policyName(exps[i].policy);
+        p.oversubscribed = exps[i].oversubscribed;
+        p.completed = results[i].completed;
+        p.seconds = seconds[i];
+        p.gpuCycles = results[i].gpuCycles;
+        p.hostEvents = results[i].hostEvents;
+        p.memRequests = results[i].memRequests;
+        record.points.push_back(std::move(p));
+    }
+    sweeps.push_back(std::move(record));
+    writeFile();
+}
+
+void
+BenchReport::writeFile() const
+{
+    std::ofstream os(outPath, std::ios::trunc);
+    if (!os) {
+        sim::warnImpl("cannot write bench report to '%s'",
+                      outPath.c_str());
+        return;
+    }
+
+    double wall = 0.0;
+    std::uint64_t events = 0, requests = 0;
+    for (const Sweep &s : sweeps) {
+        wall += s.wallSeconds;
+        events += s.hostEvents();
+        requests += s.memRequests();
+    }
+
+    os << "{\"schema\":\"ifp-bench-v1\",";
+    os << "\"bench\":\"" << escaped(benchName) << "\",";
+    os << "\"sweeps\":[";
+    for (std::size_t i = 0; i < sweeps.size(); ++i) {
+        const Sweep &s = sweeps[i];
+        if (i > 0)
+            os << ",";
+        os << "{\"label\":\"" << escaped(s.label) << "\",";
+        os << "\"jobs\":" << s.jobs << ",";
+        os << "\"runs\":" << s.points.size() << ",";
+        os << "\"wallSeconds\":" << num(s.wallSeconds) << ",";
+        os << "\"serialSeconds\":" << num(s.serialSeconds) << ",";
+        os << "\"hostEvents\":" << s.hostEvents() << ",";
+        os << "\"memRequests\":" << s.memRequests() << ",";
+        os << "\"eventsPerSecond\":"
+           << num(rate(s.hostEvents(), s.wallSeconds)) << ",";
+        os << "\"requestsPerSecond\":"
+           << num(rate(s.memRequests(), s.wallSeconds)) << ",";
+        os << "\"points\":[";
+        for (std::size_t j = 0; j < s.points.size(); ++j) {
+            const Point &p = s.points[j];
+            if (j > 0)
+                os << ",";
+            os << "{\"workload\":\"" << escaped(p.workload) << "\",";
+            os << "\"policy\":\"" << escaped(p.policy) << "\",";
+            os << "\"oversubscribed\":"
+               << (p.oversubscribed ? "true" : "false") << ",";
+            os << "\"completed\":" << (p.completed ? "true" : "false")
+               << ",";
+            os << "\"seconds\":" << num(p.seconds) << ",";
+            os << "\"gpuCycles\":" << p.gpuCycles << ",";
+            os << "\"hostEvents\":" << p.hostEvents << ",";
+            os << "\"memRequests\":" << p.memRequests << "}";
+        }
+        os << "]}";
+    }
+    os << "],";
+    os << "\"totals\":{";
+    os << "\"wallSeconds\":" << num(wall) << ",";
+    os << "\"hostEvents\":" << events << ",";
+    os << "\"memRequests\":" << requests << ",";
+    os << "\"eventsPerSecond\":" << num(rate(events, wall)) << ",";
+    os << "\"requestsPerSecond\":" << num(rate(requests, wall));
+    os << "}}\n";
+}
+
+} // namespace ifp::harness

@@ -1,0 +1,84 @@
+/**
+ * @file
+ * Machine-readable perf baselines for the bench binaries.
+ *
+ * When the IFP_BENCH_JSON_OUT environment variable names an output
+ * file, every sweep a bench binary executes (via bench_common.hh's
+ * runSweep) is recorded: host wall/serial seconds, per-point runtime,
+ * and the host-side work counters harvested from each run (events
+ * executed, memory requests allocated). From those the document
+ * derives the events-per-second and requests-per-second rates that
+ * `tools/bench_check` compares against a committed baseline.
+ *
+ * The file is rewritten after every sweep, so an interrupted bench
+ * still leaves a valid document covering the sweeps that finished.
+ * Schema "ifp-bench-v1"; the layout is documented in EXPERIMENTS.md.
+ */
+
+#ifndef IFP_HARNESS_BENCH_REPORT_HH
+#define IFP_HARNESS_BENCH_REPORT_HH
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "harness/sweep.hh"
+
+namespace ifp::harness {
+
+/** Process-wide collector behind IFP_BENCH_JSON_OUT. */
+class BenchReport
+{
+  public:
+    /** The process's collector (reads the environment once). */
+    static BenchReport &instance();
+
+    /** True when a report file was requested for this process. */
+    bool enabled() const { return !outPath.empty(); }
+
+    /**
+     * Record one completed sweep under @p label and rewrite the
+     * report file. No-op (and no I/O) when not enabled().
+     */
+    void addSweep(const std::string &label, const SweepRunner &sweep);
+
+    BenchReport(const BenchReport &) = delete;
+    BenchReport &operator=(const BenchReport &) = delete;
+
+  private:
+    BenchReport();
+
+    struct Point
+    {
+        std::string workload;
+        std::string policy;
+        bool oversubscribed = false;
+        bool completed = false;
+        double seconds = 0.0;
+        std::uint64_t gpuCycles = 0;
+        std::uint64_t hostEvents = 0;
+        std::uint64_t memRequests = 0;
+    };
+
+    struct Sweep
+    {
+        std::string label;
+        unsigned jobs = 1;
+        double wallSeconds = 0.0;
+        double serialSeconds = 0.0;
+        std::vector<Point> points;
+
+        std::uint64_t hostEvents() const;
+        std::uint64_t memRequests() const;
+    };
+
+    void writeFile() const;
+
+    std::string outPath;    //!< empty: reporting disabled
+    std::string benchName;  //!< from the output file's basename
+    std::vector<Sweep> sweeps;
+};
+
+} // namespace ifp::harness
+
+#endif // IFP_HARNESS_BENCH_REPORT_HH

@@ -59,13 +59,13 @@ SweepRunner::run()
 
     const std::size_t n = experiments.size();
     resultsVec.resize(n);
-    std::vector<double> runSeconds(n, 0.0);
+    pointSecs.assign(n, 0.0);
 
     const auto sweepStart = Clock::now();
     auto runOne = [&](std::size_t i) {
         const auto start = Clock::now();
         resultsVec[i] = runExperiment(experiments[i]);
-        runSeconds[i] = secondsSince(start);
+        pointSecs[i] = secondsSince(start);
     };
 
     const unsigned workers =
@@ -95,9 +95,16 @@ SweepRunner::run()
 
     wall = secondsSince(sweepStart);
     serial = 0.0;
-    for (double s : runSeconds)
+    for (double s : pointSecs)
         serial += s;
     return resultsVec;
+}
+
+const std::vector<double> &
+SweepRunner::pointSeconds() const
+{
+    ifp_assert(ran, "pointSeconds() before run()");
+    return pointSecs;
 }
 
 const core::RunResult &

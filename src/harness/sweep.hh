@@ -60,6 +60,16 @@ class SweepRunner
     /** Sum of per-run seconds: the serial-equivalent cost. */
     double serialSeconds() const { return serial; }
 
+    /** Host seconds each experiment took, by index (after run()). */
+    const std::vector<double> &pointSeconds() const;
+
+    /** The experiments queued so far, in submission order. */
+    const std::vector<Experiment> &
+    queuedExperiments() const
+    {
+        return experiments;
+    }
+
     /**
      * Print a one-line wall-clock/speedup report for this sweep to
      * stderr (stdout stays reserved for tables/CSV so parallel and
@@ -77,6 +87,7 @@ class SweepRunner
     unsigned numJobs;
     std::vector<Experiment> experiments;
     std::vector<core::RunResult> resultsVec;
+    std::vector<double> pointSecs;
     double wall = 0.0;
     double serial = 0.0;
     bool ran = false;

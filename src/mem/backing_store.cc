@@ -8,20 +8,31 @@ BackingStore::Page &
 BackingStore::pageFor(Addr addr)
 {
     Addr page_addr = addr / pageBytes;
+    if (page_addr == cachedPageAddr)
+        return *cachedPage;
     auto it = pages.find(page_addr);
     if (it == pages.end()) {
         auto page = std::make_unique<Page>();
         page->fill(0);
         it = pages.emplace(page_addr, std::move(page)).first;
     }
+    cachedPageAddr = page_addr;
+    cachedPage = it->second.get();
     return *it->second;
 }
 
 const BackingStore::Page *
 BackingStore::pageForConst(Addr addr) const
 {
-    auto it = pages.find(addr / pageBytes);
-    return it == pages.end() ? nullptr : it->second.get();
+    Addr page_addr = addr / pageBytes;
+    if (page_addr == cachedPageAddr)
+        return cachedPage;
+    auto it = pages.find(page_addr);
+    if (it == pages.end())
+        return nullptr;
+    cachedPageAddr = page_addr;
+    cachedPage = it->second.get();
+    return cachedPage;
 }
 
 MemValue

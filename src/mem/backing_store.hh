@@ -66,6 +66,17 @@ class BackingStore
 
     std::unordered_map<Addr, std::unique_ptr<Page>> pages;
     std::uint64_t mutationCount = 0;
+
+    /**
+     * Last-page lookup cache. Accesses cluster heavily (a spinning WG
+     * hammers one synchronization word; streaming code walks a page
+     * before leaving it), so one entry removes the hash lookup from
+     * almost every read/write. Safe because pages are never erased
+     * and unique_ptr keeps their addresses stable across rehashing.
+     * Mutable: the cache is an optimization of const reads too.
+     */
+    mutable Addr cachedPageAddr = ~Addr{0};
+    mutable Page *cachedPage = nullptr;
 };
 
 } // namespace ifp::mem

@@ -12,11 +12,11 @@
 #ifndef IFP_MEM_DRAM_HH
 #define IFP_MEM_DRAM_HH
 
-#include <deque>
 #include <vector>
 
 #include "mem/request.hh"
 #include "sim/clocked.hh"
+#include "sim/ring_queue.hh"
 #include "sim/stats.hh"
 
 namespace ifp::mem {
@@ -51,7 +51,7 @@ class Dram : public sim::Clocked, public MemDevice
   private:
     struct Channel
     {
-        std::deque<MemRequestPtr> queue;
+        sim::RingQueue<MemRequestPtr> queue;
         /** Tick at which the channel becomes free again. */
         sim::Tick busyUntil = 0;
         bool drainScheduled = false;
@@ -62,6 +62,12 @@ class Dram : public sim::Clocked, public MemDevice
 
     DramConfig config;
     std::vector<Channel> channelState;
+
+    /// @name Precomputed event descriptions (hot path: no concats)
+    /// @{
+    std::string descDrain;
+    std::string descResp;
+    /// @}
 
     sim::StatGroup statGroup;
     sim::Scalar &numReads;

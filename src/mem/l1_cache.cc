@@ -5,11 +5,16 @@
 namespace ifp::mem {
 
 L1Cache::L1Cache(std::string name, sim::EventQueue &eq,
-                 const L1Config &cfg, MemDevice &next_level)
+                 const L1Config &cfg, MemDevice &next_level,
+                 MemRequestPool &request_pool)
     : Clocked(std::move(name), eq, cfg.clockPeriod),
       config(cfg),
       tags(cfg.sizeBytes, cfg.assoc, cfg.lineBytes),
       next(next_level),
+      pool(request_pool),
+      descHit(this->name() + ".hit"),
+      descFill(this->name() + ".fill"),
+      descBypass(this->name() + ".bypass"),
       statGroup(this->name()),
       hits(statGroup.addScalar("hits", "read hits")),
       misses(statGroup.addScalar("misses", "read misses")),
@@ -48,20 +53,15 @@ L1Cache::access(const MemRequestPtr &req)
       case MemOp::Atomic:
       case MemOp::ArmWait: {
         // Atomics are performed at the L2 (GCN-style). Acquire
-        // semantics invalidate the local L1 when the response returns.
+        // semantics invalidate the local L1 when the response
+        // returns, before the requester sees it.
         ++bypasses;
-        if (req->acquire) {
-            auto inner = req->onResponse;
-            req->onResponse = [this, inner] {
-                invalidateAll();
-                if (inner)
-                    inner();
-            };
-        }
+        if (req->acquire)
+            req->chainResponder(&acquireHook);
         // Charge the bypass latency on the way in.
-        auto forward = [this, req] { next.access(req); };
         eventq().schedule(clockEdge(config.bypassLatency),
-                          std::move(forward), name() + ".bypass");
+                          [this, req] { next.access(req); },
+                          descBypass);
         return;
       }
     }
@@ -75,7 +75,7 @@ L1Cache::handleRead(const MemRequestPtr &req)
         ++hits;
         tags.touch(*line);
         eventq().schedule(clockEdge(config.hitLatency),
-                          [req] { req->respond(); }, name() + ".hit");
+                          [req] { req->respond(); }, descHit);
         return;
     }
 
@@ -86,14 +86,20 @@ L1Cache::handleRead(const MemRequestPtr &req)
     if (!first)
         return;  // fill already outstanding
 
-    auto fill = std::make_shared<MemRequest>();
+    MemRequestPtr fill = pool.allocate();
     fill->op = MemOp::Read;
     fill->addr = line_addr;
     fill->size = config.lineBytes;
     fill->cuId = req->cuId;
     fill->issueTick = curTick();
-    fill->onResponse = [this, line_addr] { handleFill(line_addr); };
+    fill->setResponder(this, line_addr);
     next.access(fill);
+}
+
+void
+L1Cache::onMemResponse(MemRequest &, std::uint64_t tag)
+{
+    handleFill(static_cast<Addr>(tag));
 }
 
 void
@@ -109,7 +115,7 @@ L1Cache::handleFill(Addr line_addr)
 
     for (const MemRequestPtr &req : waiting) {
         eventq().schedule(clockEdge(config.hitLatency),
-                          [req] { req->respond(); }, name() + ".fill");
+                          [req] { req->respond(); }, descFill);
     }
 }
 

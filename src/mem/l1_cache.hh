@@ -38,13 +38,17 @@ struct L1Config
 };
 
 /** Write-through, no-write-allocate L1 data cache. */
-class L1Cache : public sim::Clocked, public MemDevice
+class L1Cache : public sim::Clocked, public MemDevice,
+                public MemResponder
 {
   public:
     L1Cache(std::string name, sim::EventQueue &eq, const L1Config &cfg,
-            MemDevice &next_level);
+            MemDevice &next_level, MemRequestPool &request_pool);
 
     void access(const MemRequestPtr &req) override;
+
+    /** Fill completion (the tag carries the line address). */
+    void onMemResponse(MemRequest &req, std::uint64_t tag) override;
 
     /** Drop every line (acquire semantics / context switch). */
     void invalidateAll();
@@ -56,12 +60,38 @@ class L1Cache : public sim::Clocked, public MemDevice
     void handleRead(const MemRequestPtr &req);
     void handleFill(Addr line_addr);
 
+    /**
+     * Chained into acquire responses: flushes the L1 before the
+     * requester's own responder runs (buffer_wbinvl1 semantics).
+     */
+    struct AcquireHook : MemResponder
+    {
+        explicit AcquireHook(L1Cache &c) : cache(c) {}
+
+        void
+        onMemResponse(MemRequest &, std::uint64_t) override
+        {
+            cache.invalidateAll();
+        }
+
+        L1Cache &cache;
+    };
+
     L1Config config;
     CacheTags tags;
     MemDevice &next;
+    MemRequestPool &pool;
+    AcquireHook acquireHook{*this};
 
     /** Reads outstanding per missing line (MSHR-style merging). */
     std::unordered_map<Addr, std::vector<MemRequestPtr>> mshrs;
+
+    /// @name Precomputed event descriptions (hot path: no concats)
+    /// @{
+    std::string descHit;
+    std::string descFill;
+    std::string descBypass;
+    /// @}
 
     sim::StatGroup statGroup;
     sim::Scalar &hits;

@@ -8,13 +8,17 @@ namespace ifp::mem {
 
 L2Cache::L2Cache(std::string name, sim::EventQueue &eq,
                  const L2Config &config, MemDevice &dram_dev,
-                 BackingStore &backing)
+                 BackingStore &backing, MemRequestPool &request_pool)
     : Clocked(std::move(name), eq, config.clockPeriod),
       cfg(config),
       dram(dram_dev),
       store(backing),
+      pool(request_pool),
       tags(config.sizeBytes, config.assoc, config.lineBytes),
       banks(config.banks),
+      descDrain(this->name() + ".drain"),
+      descLineBusy(this->name() + ".lineBusy"),
+      descFinish(this->name() + ".finish"),
       statGroup(this->name()),
       hits(statGroup.addScalar("hits", "accesses hitting in the tags")),
       misses(statGroup.addScalar("misses", "accesses missing")),
@@ -91,7 +95,7 @@ L2Cache::drainBank(unsigned idx)
         eventq().schedule(bank.busyUntil, [this, idx] {
             banks[idx].drainScheduled = false;
             drainBank(idx);
-        }, name() + ".drain");
+        }, descDrain);
         return;
     }
 
@@ -109,7 +113,7 @@ L2Cache::drainBank(unsigned idx)
             eventq().schedule(it->second, [this, idx] {
                 banks[idx].drainScheduled = false;
                 drainBank(idx);
-            }, name() + ".lineBusy");
+            }, descLineBusy);
             return;
         }
     }
@@ -132,59 +136,64 @@ L2Cache::drainBank(unsigned idx)
         eventq().schedule(bank.busyUntil, [this, idx] {
             banks[idx].drainScheduled = false;
             drainBank(idx);
-        }, name() + ".drain");
+        }, descDrain);
     }
 }
 
 void
-L2Cache::ensureLine(const MemRequestPtr &req, std::function<void()> then)
+L2Cache::scheduleFinish(const MemRequestPtr &req)
+{
+    eventq().schedule(clockEdge(cfg.hitLatency),
+                      [this, req] { finishAccess(req); }, descFinish);
+}
+
+void
+L2Cache::serviceRequest(const MemRequestPtr &req)
 {
     if (CacheTags::Line *line = tags.lookup(req->addr)) {
         ++hits;
         tags.touch(*line);
         if (req->isUpdate())
             line->dirty = true;
-        then();
+        scheduleFinish(req);
         return;
     }
 
     ++misses;
-    auto fill = std::make_shared<MemRequest>();
+    MemRequestPtr fill = pool.allocate();
     fill->op = MemOp::Read;
     fill->addr = tags.lineOf(req->addr);
     fill->size = cfg.lineBytes;
     fill->issueTick = curTick();
-    fill->onResponse = [this, req, cont = std::move(then)] {
-        CacheTags::Line *line = nullptr;
-        CacheTags::Victim victim = tags.insert(req->addr, &line);
-        if (!victim.noWayFree) {
-            if (victim.evicted && victim.wasDirty) {
-                ++writebacks;
-                auto wb = std::make_shared<MemRequest>();
-                wb->op = MemOp::Write;
-                wb->addr = victim.lineAddr;
-                wb->size = cfg.lineBytes;
-                wb->issueTick = curTick();
-                dram.access(wb);  // fire and forget
-            }
-            if (req->isUpdate())
-                line->dirty = true;
-            if (monitoredLines.count(tags.lineOf(req->addr)))
-                line->pinned = true;
-        }
-        cont();
-    };
+    // The blocked request rides in the fill's parent slot (owned, so
+    // a torn-down in-flight fill still releases it to the pool).
+    fill->parent = req;
+    fill->setResponder(this);
     dram.access(fill);
 }
 
 void
-L2Cache::serviceRequest(const MemRequestPtr &req)
+L2Cache::onMemResponse(MemRequest &fill, std::uint64_t)
 {
-    ensureLine(req, [this, req] {
-        sim::Tick done = clockEdge(cfg.hitLatency);
-        eventq().schedule(done, [this, req] { finishAccess(req); },
-                          name() + ".finish");
-    });
+    MemRequestPtr req = std::move(fill.parent);
+    CacheTags::Line *line = nullptr;
+    CacheTags::Victim victim = tags.insert(req->addr, &line);
+    if (!victim.noWayFree) {
+        if (victim.evicted && victim.wasDirty) {
+            ++writebacks;
+            MemRequestPtr wb = pool.allocate();
+            wb->op = MemOp::Write;
+            wb->addr = victim.lineAddr;
+            wb->size = cfg.lineBytes;
+            wb->issueTick = curTick();
+            dram.access(wb);  // fire and forget: recycled by refcount
+        }
+        if (req->isUpdate())
+            line->dirty = true;
+        if (monitoredLines.count(tags.lineOf(req->addr)))
+            line->pinned = true;
+    }
+    scheduleFinish(req);
 }
 
 void
@@ -244,7 +253,7 @@ L2Cache::finishAccess(const MemRequestPtr &req)
             // how the WG should wait. With no observer installed
             // (Baseline/Sleep policies) the code's own retry loop runs.
             if (observer) {
-                req->decision = observer->onWaitFail(req, old_value);
+                req->decision = observer->onWaitFail(*req, old_value);
             } else {
                 req->decision = WaitDecision{WaitKind::Proceed, 0};
             }
@@ -261,7 +270,7 @@ L2Cache::finishAccess(const MemRequestPtr &req)
       }
       case MemOp::ArmWait: {
         ++armWaits;
-        req->decision = observer ? observer->onArmWait(req)
+        req->decision = observer ? observer->onArmWait(*req)
                                  : WaitDecision{WaitKind::Proceed, 0};
         req->respond();
         return;

@@ -22,7 +22,6 @@
 #ifndef IFP_MEM_L2_CACHE_HH
 #define IFP_MEM_L2_CACHE_HH
 
-#include <deque>
 #include <unordered_map>
 #include <unordered_set>
 #include <vector>
@@ -32,6 +31,7 @@
 #include "mem/request.hh"
 #include "mem/sync_hooks.hh"
 #include "sim/clocked.hh"
+#include "sim/ring_queue.hh"
 #include "sim/stats.hh"
 
 namespace ifp::mem {
@@ -69,13 +69,18 @@ struct L2Config
 /**
  * The shared L2. Implements MemDevice for the L1s; talks to DRAM below.
  */
-class L2Cache : public sim::Clocked, public MemDevice
+class L2Cache : public sim::Clocked, public MemDevice,
+                public MemResponder
 {
   public:
     L2Cache(std::string name, sim::EventQueue &eq, const L2Config &cfg,
-            MemDevice &dram, BackingStore &store);
+            MemDevice &dram, BackingStore &store,
+            MemRequestPool &request_pool);
 
     void access(const MemRequestPtr &req) override;
+
+    /** DRAM fill completion; the fill's parent is the blocked req. */
+    void onMemResponse(MemRequest &fill, std::uint64_t tag) override;
 
     /** Install the waiting-policy controller (may be nullptr). */
     void setSyncObserver(SyncObserver *obs) { observer = obs; }
@@ -103,7 +108,7 @@ class L2Cache : public sim::Clocked, public MemDevice
   private:
     struct Bank
     {
-        std::deque<MemRequestPtr> queue;
+        sim::RingQueue<MemRequestPtr> queue;
         sim::Tick busyUntil = 0;
         bool drainScheduled = false;
         /** Per-line RMW turnaround state (atomics only). */
@@ -114,18 +119,25 @@ class L2Cache : public sim::Clocked, public MemDevice
     void drainBank(unsigned idx);
     void serviceRequest(const MemRequestPtr &req);
     void finishAccess(const MemRequestPtr &req);
-    void ensureLine(const MemRequestPtr &req,
-                    std::function<void()> then);
+    void scheduleFinish(const MemRequestPtr &req);
 
     L2Config cfg;
     MemDevice &dram;
     BackingStore &store;
+    MemRequestPool &pool;
     SyncObserver *observer = nullptr;
 
     CacheTags tags;
     std::vector<Bank> banks;
     std::unordered_set<Addr> monitoredLines;
     std::size_t maxMonitoredLines = 0;
+
+    /// @name Precomputed event descriptions (hot path: no concats)
+    /// @{
+    std::string descDrain;
+    std::string descLineBusy;
+    std::string descFinish;
+    /// @}
 
     sim::StatGroup statGroup;
     sim::Scalar &hits;

@@ -31,18 +31,23 @@ class SyncObserver
     /**
      * A waiting atomic failed its comparison at the L2.
      *
+     * Observers receive a plain reference: they inspect the request
+     * during the call and must not retain it (retaining would require
+     * a MemRequestPtr and reintroduce the ownership cycles the pooled
+     * lifecycle is designed to rule out).
+     *
      * @param req      the failing request (expected value, WG identity)
      * @param observed the value the atomic observed
      * @return how the issuing WG should wait
      */
-    virtual WaitDecision onWaitFail(const MemRequestPtr &req,
+    virtual WaitDecision onWaitFail(const MemRequest &req,
                                     MemValue observed) = 0;
 
     /**
      * A wait-instruction (MonR/MonRS style) arrived to arm the
-     * monitor for (req->addr, req->expected).
+     * monitor for (req.addr, req.expected).
      */
-    virtual WaitDecision onArmWait(const MemRequestPtr &req) = 0;
+    virtual WaitDecision onArmWait(const MemRequest &req) = 0;
 
     /**
      * An access touched a line whose monitored bit is set.

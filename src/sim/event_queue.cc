@@ -66,6 +66,12 @@ EventQueue::schedule(Event *event, Tick when)
 void
 EventQueue::deschedule(Event *event)
 {
+    descheduleImpl(event, /*recycleOwned=*/true);
+}
+
+void
+EventQueue::descheduleImpl(Event *event, bool recycleOwned)
+{
     ifp_assert(event != nullptr, "descheduling null event");
     ifp_assert(event->_scheduled, "event '%s' not scheduled",
                event->description().c_str());
@@ -73,18 +79,31 @@ EventQueue::deschedule(Event *event)
     event->_squashed = true;
     ifp_assert(liveEvents > 0, "live event underflow");
     --liveEvents;
+    if (event->_owned && recycleOwned) {
+        // Squashed queue-owned one-shot: release its captures and
+        // recycle it now. The stale heap entry is harmless — reuse
+        // assigns a strictly newer sequence number, so the pop loop
+        // skips it — and never recycles (only this path and the
+        // post-process path park events, so no double-free).
+        auto *lam = static_cast<LambdaEvent *>(event);
+        lam->release();
+        freeList.push_back(lam);
+    }
 }
 
 void
 EventQueue::reschedule(Event *event, Tick when)
 {
+    // Keep owned one-shots off the free-list across the gap: the
+    // same object is re-armed immediately, and parking it would let
+    // schedule(Tick, fn) hand it out while still in use here.
     if (event->_scheduled)
-        deschedule(event);
+        descheduleImpl(event, /*recycleOwned=*/false);
     schedule(event, when);
 }
 
-void
-EventQueue::schedule(Tick when, std::function<void()> fn, std::string desc)
+Event *
+EventQueue::schedule(Tick when, SmallFunc fn, std::string desc)
 {
     // One-shots are recycled: a fired lambda is re-armed instead of
     // paying a fresh make_unique + std::function allocation. Stale
@@ -102,6 +121,7 @@ EventQueue::schedule(Tick when, std::function<void()> fn, std::string desc)
     }
     ev->_owned = true;
     schedule(ev, when);
+    return ev;
 }
 
 bool

@@ -36,6 +36,7 @@
 #include <string>
 #include <vector>
 
+#include "sim/small_func.hh"
 #include "sim/types.hh"
 
 namespace ifp::sim {
@@ -76,7 +77,16 @@ class Event
 class LambdaEvent : public Event
 {
   public:
-    explicit LambdaEvent(std::function<void()> fn, std::string desc = "")
+    /**
+     * Retained description capacity cap: a recycled one-shot keeps
+     * its desc string's buffer for reuse, but not past this size, so
+     * a single verbose scheduler cannot pin large buffers in the
+     * free-list forever. The cap is above libstdc++'s SSO threshold;
+     * the hot-path device descriptions all fit inline.
+     */
+    static constexpr std::size_t descCapacityCap = 32;
+
+    explicit LambdaEvent(SmallFunc fn, std::string desc = "")
         : callback(std::move(fn)), desc(std::move(desc))
     {}
 
@@ -84,7 +94,7 @@ class LambdaEvent : public Event
 
     /** Re-arm a recycled one-shot with a new callable. */
     void
-    reset(std::function<void()> fn, std::string d)
+    reset(SmallFunc fn, std::string d)
     {
         callback = std::move(fn);
         desc = std::move(d);
@@ -95,7 +105,10 @@ class LambdaEvent : public Event
     release()
     {
         callback = nullptr;
-        desc.clear();
+        if (desc.capacity() > descCapacityCap)
+            std::string().swap(desc);
+        else
+            desc.clear();
     }
 
     std::string
@@ -105,7 +118,7 @@ class LambdaEvent : public Event
     }
 
   private:
-    std::function<void()> callback;
+    SmallFunc callback;
     std::string desc;
 };
 
@@ -127,7 +140,13 @@ class EventQueue
     /** Schedule @p event at absolute tick @p when (>= curTick). */
     void schedule(Event *event, Tick when);
 
-    /** Remove a scheduled event from the queue. */
+    /**
+     * Remove a scheduled event from the queue. A queue-owned one-shot
+     * (from schedule(Tick, fn)) is released and recycled immediately:
+     * its captured resources drop now and the LambdaEvent returns to
+     * the free-list instead of being stranded behind its stale heap
+     * entry. The handle must not be used again after descheduling.
+     */
     void deschedule(Event *event);
 
     /** Deschedule (if needed) and reschedule at a new tick. */
@@ -135,10 +154,11 @@ class EventQueue
 
     /**
      * Convenience: schedule a one-shot callable. The queue owns the
-     * temporary event and frees it after execution.
+     * temporary event and recycles it after execution. The returned
+     * handle stays valid until the event fires or is descheduled —
+     * use it only to deschedule() the one-shot early.
      */
-    void schedule(Tick when, std::function<void()> fn,
-                  std::string desc = "");
+    Event *schedule(Tick when, SmallFunc fn, std::string desc = "");
 
     /** True when no events remain. */
     bool empty() const { return heap.empty(); }
@@ -167,6 +187,12 @@ class EventQueue
   private:
     /** step() minus the trace-tick scope; simulate() loops on this. */
     bool stepOne();
+
+    /**
+     * @p recycleOwned false keeps a queue-owned one-shot out of the
+     * free-list (reschedule() re-arms the same object immediately).
+     */
+    void descheduleImpl(Event *event, bool recycleOwned);
 
     struct HeapEntry
     {

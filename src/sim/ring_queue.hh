@@ -1,0 +1,98 @@
+/**
+ * @file
+ * Fixed-allocation FIFO for hot device queues.
+ *
+ * std::deque allocates and frees a node every time the cursor crosses
+ * a block boundary, so a steady stream of requests through an L2 bank
+ * or DRAM channel queue still churns the heap. RingQueue is a
+ * power-of-two circular buffer: it grows (doubling) only while the
+ * queue's high-water mark is still rising, after which push/pop touch
+ * no allocator at all — the property the zero-steady-state-allocation
+ * gate (tests/test_alloc_gate.cc) locks in for the memory path.
+ *
+ * Popped slots are overwritten with a default-constructed T so
+ * refcounted payloads (MemRequestPtr) release their target at pop
+ * time, not when the slot happens to be reused.
+ */
+
+#ifndef IFP_SIM_RING_QUEUE_HH
+#define IFP_SIM_RING_QUEUE_HH
+
+#include <cstddef>
+#include <utility>
+#include <vector>
+
+#include "sim/logging.hh"
+
+namespace ifp::sim {
+
+/** Growable circular FIFO; steady-state push/pop never allocate. */
+template <typename T>
+class RingQueue
+{
+  public:
+    bool empty() const { return count == 0; }
+    std::size_t size() const { return count; }
+
+    /** Slots available before the next (doubling) growth. */
+    std::size_t capacity() const { return buf.size(); }
+
+    T &
+    front()
+    {
+        ifp_assert(count > 0, "front() on empty RingQueue");
+        return buf[head];
+    }
+
+    const T &
+    front() const
+    {
+        ifp_assert(count > 0, "front() on empty RingQueue");
+        return buf[head];
+    }
+
+    void
+    push_back(T value)
+    {
+        if (count == buf.size())
+            grow();
+        buf[(head + count) & (buf.size() - 1)] = std::move(value);
+        ++count;
+    }
+
+    void
+    pop_front()
+    {
+        ifp_assert(count > 0, "pop_front() on empty RingQueue");
+        buf[head] = T();   // drop payload (refcounts) immediately
+        head = (head + 1) & (buf.size() - 1);
+        --count;
+    }
+
+    void
+    clear()
+    {
+        while (count > 0)
+            pop_front();
+    }
+
+  private:
+    void
+    grow()
+    {
+        const std::size_t old_cap = buf.size();
+        std::vector<T> bigger(old_cap == 0 ? 8 : old_cap * 2);
+        for (std::size_t i = 0; i < count; ++i)
+            bigger[i] = std::move(buf[(head + i) & (old_cap - 1)]);
+        buf = std::move(bigger);
+        head = 0;
+    }
+
+    std::vector<T> buf;     //!< power-of-two length (or empty)
+    std::size_t head = 0;
+    std::size_t count = 0;
+};
+
+} // namespace ifp::sim
+
+#endif // IFP_SIM_RING_QUEUE_HH

@@ -1,0 +1,145 @@
+/**
+ * @file
+ * Move-only callable wrapper with a large inline buffer.
+ *
+ * The event queue's one-shot lambdas are the hottest allocation site
+ * in the simulator: libstdc++'s std::function only stores trivially
+ * copyable callables of <= 16 bytes inline, so almost every scheduled
+ * lambda (captures of `this` plus a request handle or a few scalars)
+ * heap-allocates. SmallFunc stores any nothrow-movable callable of up
+ * to inlineBytes in place — large enough for every lambda the devices
+ * schedule — and falls back to the heap only beyond that, keeping the
+ * steady-state simulation loop allocation-free.
+ *
+ * Move-only on purpose: a scheduled callback has exactly one owner
+ * (the LambdaEvent), and copyability is what forces std::function to
+ * reject move-only captures like pooled request handles.
+ */
+
+#ifndef IFP_SIM_SMALL_FUNC_HH
+#define IFP_SIM_SMALL_FUNC_HH
+
+#include <cstddef>
+#include <new>
+#include <type_traits>
+#include <utility>
+
+namespace ifp::sim {
+
+/** Move-only void() callable with inline storage. */
+class SmallFunc
+{
+  public:
+    /** Inline capture budget; larger callables heap-allocate. */
+    static constexpr std::size_t inlineBytes = 64;
+
+    SmallFunc() = default;
+    SmallFunc(std::nullptr_t) {}
+
+    template <typename F,
+              typename = std::enable_if_t<
+                  !std::is_same_v<std::decay_t<F>, SmallFunc>>>
+    SmallFunc(F &&fn)
+    {
+        using Fn = std::decay_t<F>;
+        static_assert(std::is_invocable_r_v<void, Fn &>,
+                      "SmallFunc wraps void() callables");
+        if constexpr (fitsInline<Fn>()) {
+            ::new (static_cast<void *>(buf)) Fn(std::forward<F>(fn));
+            ops = &inlineOps<Fn>;
+        } else {
+            *reinterpret_cast<Fn **>(static_cast<void *>(buf)) =
+                new Fn(std::forward<F>(fn));
+            ops = &heapOps<Fn>;
+        }
+    }
+
+    SmallFunc(SmallFunc &&other) noexcept { moveFrom(other); }
+
+    SmallFunc &
+    operator=(SmallFunc &&other) noexcept
+    {
+        if (this != &other) {
+            destroy();
+            moveFrom(other);
+        }
+        return *this;
+    }
+
+    SmallFunc &
+    operator=(std::nullptr_t)
+    {
+        destroy();
+        ops = nullptr;
+        return *this;
+    }
+
+    SmallFunc(const SmallFunc &) = delete;
+    SmallFunc &operator=(const SmallFunc &) = delete;
+
+    ~SmallFunc() { destroy(); }
+
+    void operator()() { ops->invoke(buf); }
+
+    explicit operator bool() const { return ops != nullptr; }
+
+  private:
+    struct Ops
+    {
+        void (*invoke)(void *);
+        /** Move-construct dst's payload from src and destroy src's. */
+        void (*relocate)(void *dst, void *src);
+        void (*destroy)(void *);
+    };
+
+    template <typename Fn>
+    static constexpr bool
+    fitsInline()
+    {
+        return sizeof(Fn) <= inlineBytes &&
+               alignof(Fn) <= alignof(std::max_align_t) &&
+               std::is_nothrow_move_constructible_v<Fn>;
+    }
+
+    template <typename Fn>
+    static constexpr Ops inlineOps = {
+        [](void *p) { (*static_cast<Fn *>(p))(); },
+        [](void *dst, void *src) {
+            ::new (dst) Fn(std::move(*static_cast<Fn *>(src)));
+            static_cast<Fn *>(src)->~Fn();
+        },
+        [](void *p) { static_cast<Fn *>(p)->~Fn(); },
+    };
+
+    template <typename Fn>
+    static constexpr Ops heapOps = {
+        [](void *p) { (**static_cast<Fn **>(p))(); },
+        [](void *dst, void *src) {
+            *static_cast<Fn **>(dst) = *static_cast<Fn **>(src);
+        },
+        [](void *p) { delete *static_cast<Fn **>(p); },
+    };
+
+    void
+    moveFrom(SmallFunc &other) noexcept
+    {
+        ops = other.ops;
+        if (ops)
+            ops->relocate(buf, other.buf);
+        other.ops = nullptr;
+    }
+
+    void
+    destroy()
+    {
+        if (ops)
+            ops->destroy(buf);
+    }
+
+    alignas(std::max_align_t) unsigned char buf[inlineBytes];
+    const Ops *ops = nullptr;
+};
+
+} // namespace ifp::sim
+
+#endif // IFP_SIM_SMALL_FUNC_HH

@@ -233,18 +233,17 @@ SyncMonController::registerWaiter(mem::Addr addr, mem::MemValue expected,
 }
 
 mem::WaitDecision
-SyncMonController::onWaitFail(const mem::MemRequestPtr &req,
+SyncMonController::onWaitFail(const mem::MemRequest &req,
                               mem::MemValue observed)
 {
     (void)observed;
-    return registerWaiter(req->addr, mem::waitExpectedOf(req),
-                          req->wgId);
+    return registerWaiter(req.addr, mem::waitExpectedOf(req), req.wgId);
 }
 
 mem::WaitDecision
-SyncMonController::onArmWait(const mem::MemRequestPtr &req)
+SyncMonController::onArmWait(const mem::MemRequest &req)
 {
-    return registerWaiter(req->addr, req->expected, req->wgId);
+    return registerWaiter(req.addr, req.expected, req.wgId);
 }
 
 void

@@ -123,9 +123,9 @@ class SyncMonController : public sim::Clocked, public mem::SyncObserver
 
     /// @name mem::SyncObserver
     /// @{
-    mem::WaitDecision onWaitFail(const mem::MemRequestPtr &req,
+    mem::WaitDecision onWaitFail(const mem::MemRequest &req,
                                  mem::MemValue observed) override;
-    mem::WaitDecision onArmWait(const mem::MemRequestPtr &req) override;
+    mem::WaitDecision onArmWait(const mem::MemRequest &req) override;
     void onMonitoredAccess(mem::Addr addr, mem::MemValue new_value,
                            bool is_update, int by_wg) override;
     mem::WaitDecision onStallTimeout(int wg_id, mem::Addr addr,

@@ -32,7 +32,7 @@ class TimeoutController : public mem::SyncObserver
     sim::Cycles intervalCycles() const { return interval; }
 
     mem::WaitDecision
-    onWaitFail(const mem::MemRequestPtr &req,
+    onWaitFail(const mem::MemRequest &req,
                mem::MemValue observed) override
     {
         (void)req;
@@ -41,7 +41,7 @@ class TimeoutController : public mem::SyncObserver
     }
 
     mem::WaitDecision
-    onArmWait(const mem::MemRequestPtr &req) override
+    onArmWait(const mem::MemRequest &req) override
     {
         (void)req;
         return decide();

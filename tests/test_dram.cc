@@ -11,81 +11,100 @@
 namespace ifp::mem {
 namespace {
 
-MemRequestPtr
-makeRead(Addr addr, std::function<void()> cb)
+/** Records the completion tick of every response it receives. */
+struct Recorder : MemResponder
 {
-    auto req = std::make_shared<MemRequest>();
+    explicit Recorder(sim::EventQueue &eq) : eq(eq) {}
+
+    void
+    onMemResponse(MemRequest &, std::uint64_t) override
+    {
+        done.push_back(eq.curTick());
+    }
+
+    sim::EventQueue &eq;
+    std::vector<sim::Tick> done;
+};
+
+MemRequestPtr
+makeRead(MemRequestPool &pool, Addr addr, Recorder *rec)
+{
+    MemRequestPtr req = pool.allocate();
     req->op = MemOp::Read;
     req->addr = addr;
-    req->onResponse = std::move(cb);
+    if (rec)
+        req->setResponder(rec);
     return req;
 }
 
 TEST(Dram, SingleAccessLatency)
 {
+    MemRequestPool pool;
     sim::EventQueue eq;
     DramConfig cfg;
     Dram dram("dram", eq, cfg);
+    Recorder rec(eq);
 
-    sim::Tick done = 0;
-    dram.access(makeRead(0x40, [&] { done = eq.curTick(); }));
+    dram.access(makeRead(pool, 0x40, &rec));
     eq.simulate();
-    EXPECT_EQ(done, cfg.accessLatency * cfg.clockPeriod);
+    ASSERT_EQ(rec.done.size(), 1u);
+    EXPECT_EQ(rec.done[0], cfg.accessLatency * cfg.clockPeriod);
 }
 
 TEST(Dram, SameChannelSerializesAtBurstRate)
 {
+    MemRequestPool pool;
     sim::EventQueue eq;
     DramConfig cfg;
     Dram dram("dram", eq, cfg);
+    Recorder rec(eq);
 
     // Same channel: addresses separated by channels*interleave.
-    std::vector<sim::Tick> done;
     for (int i = 0; i < 3; ++i) {
         Addr addr = 0x40 + i * cfg.channels * cfg.interleaveBytes;
-        dram.access(makeRead(addr, [&] {
-            done.push_back(eq.curTick());
-        }));
+        dram.access(makeRead(pool, addr, &rec));
     }
     eq.simulate();
-    ASSERT_EQ(done.size(), 3u);
+    ASSERT_EQ(rec.done.size(), 3u);
     sim::Tick burst = cfg.burstCycles * cfg.clockPeriod;
-    EXPECT_EQ(done[1] - done[0], burst);
-    EXPECT_EQ(done[2] - done[1], burst);
+    EXPECT_EQ(rec.done[1] - rec.done[0], burst);
+    EXPECT_EQ(rec.done[2] - rec.done[1], burst);
 }
 
 TEST(Dram, DifferentChannelsProceedInParallel)
 {
+    MemRequestPool pool;
     sim::EventQueue eq;
     DramConfig cfg;
     Dram dram("dram", eq, cfg);
+    Recorder rec(eq);
 
-    std::vector<sim::Tick> done;
-    for (unsigned i = 0; i < cfg.channels; ++i) {
-        dram.access(makeRead(i * cfg.interleaveBytes, [&] {
-            done.push_back(eq.curTick());
-        }));
-    }
+    for (unsigned i = 0; i < cfg.channels; ++i)
+        dram.access(makeRead(pool, i * cfg.interleaveBytes, &rec));
     eq.simulate();
-    ASSERT_EQ(done.size(), cfg.channels);
-    for (sim::Tick t : done)
+    ASSERT_EQ(rec.done.size(), cfg.channels);
+    for (sim::Tick t : rec.done)
         EXPECT_EQ(t, cfg.accessLatency * cfg.clockPeriod);
 }
 
 TEST(Dram, CountsReadsAndWrites)
 {
+    MemRequestPool pool;
     sim::EventQueue eq;
     DramConfig cfg;
     Dram dram("dram", eq, cfg);
 
-    dram.access(makeRead(0x0, nullptr));
-    auto wr = std::make_shared<MemRequest>();
+    dram.access(makeRead(pool, 0x0, nullptr));
+    MemRequestPtr wr = pool.allocate();
     wr->op = MemOp::Write;
     wr->addr = 0x40;
     dram.access(wr);
+    wr.reset();
     eq.simulate();
     EXPECT_DOUBLE_EQ(dram.stats().scalar("reads").value(), 1.0);
     EXPECT_DOUBLE_EQ(dram.stats().scalar("writes").value(), 1.0);
+    // Responder-less requests are recycled by refcount alone.
+    EXPECT_EQ(pool.inUse(), 0u);
 }
 
 } // anonymous namespace

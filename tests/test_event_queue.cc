@@ -274,6 +274,81 @@ TEST(EventQueueFreeList, CapturedResourcesReleaseAfterFiring)
     EXPECT_TRUE(observer.expired());
 }
 
+// Regression: descheduling a queue-owned one-shot used to strand the
+// LambdaEvent behind its stale heap entry — its captured resources
+// stayed alive and the object never returned to the free-list. A
+// squashed one-shot is now released and recycled immediately.
+TEST(EventQueueFreeList, SquashedOneShotsAreRecycledImmediately)
+{
+    EventQueue eq;
+    int hits = 0;
+    Event *ev = eq.schedule(10, [&hits] { ++hits; });
+    EXPECT_EQ(eq.size(), 1u);
+    EXPECT_EQ(eq.freeListSize(), 0u);
+    eq.deschedule(ev);
+    // Back on the free-list right away, not at drain time.
+    EXPECT_EQ(eq.size(), 0u);
+    EXPECT_EQ(eq.freeListSize(), 1u);
+    // The next one-shot reuses the object instead of allocating.
+    eq.schedule(20, [&hits] { hits += 10; });
+    EXPECT_EQ(eq.ownedPoolSize(), 1u);
+    eq.simulate();
+    EXPECT_EQ(hits, 10);
+}
+
+TEST(EventQueueFreeList, SquashedOneShotReleasesCapturedResources)
+{
+    EventQueue eq;
+    auto token = std::make_shared<int>(7);
+    std::weak_ptr<int> observer = token;
+    Event *ev = eq.schedule(5, [t = std::move(token)] { (void)*t; });
+    eq.deschedule(ev);
+    // Captured resources drop at squash time, not when the slot is
+    // eventually reused.
+    EXPECT_TRUE(observer.expired());
+    eq.simulate();   // the stale heap entry must be skipped cleanly
+    EXPECT_TRUE(eq.empty());
+}
+
+TEST(EventQueueFreeList, ScheduleSquashDrainKeepsInvariants)
+{
+    EventQueue eq;
+    int hits = 0;
+    std::vector<Event *> one_shots;
+    for (int i = 0; i < 16; ++i)
+        one_shots.push_back(eq.schedule(i + 1, [&hits] { ++hits; }));
+    // Squash every other one...
+    for (int i = 1; i < 16; i += 2)
+        eq.deschedule(one_shots[i]);
+    EXPECT_EQ(eq.size(), 8u);
+    EXPECT_EQ(eq.freeListSize(), 8u);
+    // ...drain the rest, and every object must be parked for reuse.
+    eq.simulate();
+    EXPECT_EQ(hits, 8);
+    EXPECT_TRUE(eq.empty());
+    EXPECT_EQ(eq.size(), 0u);
+    EXPECT_EQ(eq.ownedPoolSize(), 16u);
+    EXPECT_EQ(eq.freeListSize(), 16u);
+}
+
+TEST(EventQueueFreeList, SquashedSlotsServeNewWorkWithinTheSameTick)
+{
+    // A device pattern: schedule a drain, cancel it, schedule a
+    // replacement at a different tick, repeatedly. The pool must stay
+    // at one object and each replacement must run exactly once.
+    EventQueue eq;
+    int fired = 0;
+    for (int round = 0; round < 64; ++round) {
+        Event *ev = eq.schedule(eq.curTick() + 100, [] { FAIL(); });
+        eq.deschedule(ev);
+        eq.schedule(eq.curTick() + 1, [&fired] { ++fired; });
+        eq.step();
+    }
+    eq.simulate();
+    EXPECT_EQ(fired, 64);
+    EXPECT_EQ(eq.ownedPoolSize(), 1u);
+}
+
 // Regression: constructing a second EventQueue used to overwrite the
 // trace tick hook for the whole process, so an older queue's traces
 // reported the younger queue's ticks. The hook is now a TraceTickScope

@@ -45,7 +45,7 @@ struct SpillFixture : public ::testing::Test
                                            mem::DramConfig{});
         l2 = std::make_unique<mem::L2Cache>("l2", eq,
                                             mem::L2Config{}, *dram,
-                                            store);
+                                            store, pool);
         dma = std::make_unique<mem::DmaEngine>("dma", eq,
                                                mem::DmaConfig{});
         cp = std::make_unique<cp::CommandProcessor>(
@@ -61,7 +61,7 @@ struct SpillFixture : public ::testing::Test
     void
     waitingLoad(mem::Addr addr, mem::MemValue expected, int wg)
     {
-        auto req = std::make_shared<mem::MemRequest>();
+        mem::MemRequestPtr req = pool.allocate();
         req->op = mem::MemOp::Atomic;
         req->aop = mem::AtomicOpcode::Load;
         req->addr = addr;
@@ -75,7 +75,7 @@ struct SpillFixture : public ::testing::Test
     void
     atomicStore(mem::Addr addr, mem::MemValue value)
     {
-        auto req = std::make_shared<mem::MemRequest>();
+        mem::MemRequestPtr req = pool.allocate();
         req->op = mem::MemOp::Atomic;
         req->aop = mem::AtomicOpcode::Store;
         req->addr = addr;
@@ -90,6 +90,7 @@ struct SpillFixture : public ::testing::Test
         eq.simulate(eq.curTick() + ticks);
     }
 
+    mem::MemRequestPool pool;
     sim::EventQueue eq;
     mem::BackingStore store;
     std::unique_ptr<mem::Dram> dram;
@@ -143,7 +144,7 @@ TEST_F(SpillFixture, EvictYoungestFallsBackWhenLogIsFull)
     cp_cfg.monitorLogCapacity = 1;
     dram = std::make_unique<mem::Dram>("dram", eq, mem::DramConfig{});
     l2 = std::make_unique<mem::L2Cache>("l2", eq, mem::L2Config{},
-                                        *dram, store);
+                                        *dram, store, pool);
     dma = std::make_unique<mem::DmaEngine>("dma", eq,
                                            mem::DmaConfig{});
     cp = std::make_unique<cp::CommandProcessor>("cp", eq, cp_cfg,

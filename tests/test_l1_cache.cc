@@ -31,30 +31,35 @@ class StubLevel : public MemDevice
     std::vector<MemRequestPtr> accesses;
 };
 
-struct L1Fixture : public ::testing::Test
+struct L1Fixture : public ::testing::Test, public MemResponder
 {
     L1Fixture()
         : cfg(), stub(eq, 100 * cfg.clockPeriod),
-          l1("l1", eq, cfg, stub)
+          l1("l1", eq, cfg, stub, pool)
     {}
+
+    void
+    onMemResponse(MemRequest &, std::uint64_t) override
+    {
+        completions.push_back(eq.curTick());
+    }
 
     MemRequestPtr
     makeReq(MemOp op, Addr addr)
     {
-        auto req = std::make_shared<MemRequest>();
+        MemRequestPtr req = pool.allocate();
         req->op = op;
         req->addr = addr;
-        req->onResponse = [this, req] {
-            completions.push_back({req, eq.curTick()});
-        };
+        req->setResponder(this);
         return req;
     }
 
+    MemRequestPool pool;
     sim::EventQueue eq;
     L1Config cfg;
     StubLevel stub;
     L1Cache l1;
-    std::vector<std::pair<MemRequestPtr, sim::Tick>> completions;
+    std::vector<sim::Tick> completions;
 };
 
 TEST_F(L1Fixture, ColdReadMissesAndFills)
@@ -65,7 +70,7 @@ TEST_F(L1Fixture, ColdReadMissesAndFills)
     // Miss: fill (100 cy stub) + hit latency after fill.
     sim::Tick expected =
         (100 + cfg.hitLatency) * cfg.clockPeriod;
-    EXPECT_EQ(completions[0].second, expected);
+    EXPECT_EQ(completions[0], expected);
     EXPECT_DOUBLE_EQ(l1.stats().scalar("misses").value(), 1.0);
     // The fill fetched the whole line.
     ASSERT_EQ(stub.accesses.size(), 1u);
@@ -84,7 +89,7 @@ TEST_F(L1Fixture, WarmReadHitsLocally)
     eq.simulate();
     ASSERT_EQ(completions.size(), 1u);
     EXPECT_TRUE(stub.accesses.empty());  // no next-level traffic
-    EXPECT_LE(completions[0].second - start,
+    EXPECT_LE(completions[0] - start,
               (cfg.hitLatency + 1) * cfg.clockPeriod);
     EXPECT_DOUBLE_EQ(l1.stats().scalar("hits").value(), 1.0);
 }
@@ -143,6 +148,19 @@ TEST_F(L1Fixture, AcquireAtomicInvalidatesL1)
     l1.access(makeReq(MemOp::Read, 0x1000));
     eq.simulate();
     EXPECT_EQ(stub.accesses.size(), 1u);
+}
+
+TEST_F(L1Fixture, NoRequestsLeakAcrossRuns)
+{
+    l1.access(makeReq(MemOp::Read, 0x1000));
+    l1.access(makeReq(MemOp::Read, 0x1008));
+    auto at = makeReq(MemOp::Atomic, 0x2000);
+    at->acquire = true;
+    l1.access(at);
+    at.reset();
+    eq.simulate();
+    stub.accesses.clear();
+    EXPECT_EQ(pool.inUse(), 0u);
 }
 
 } // anonymous namespace

@@ -20,16 +20,16 @@ class RecordingObserver : public SyncObserver
 {
   public:
     WaitDecision
-    onWaitFail(const MemRequestPtr &req, MemValue observed) override
+    onWaitFail(const MemRequest &req, MemValue observed) override
     {
-        waitFails.push_back({req->addr, observed});
+        waitFails.push_back({req.addr, observed});
         return decision;
     }
 
     WaitDecision
-    onArmWait(const MemRequestPtr &req) override
+    onArmWait(const MemRequest &req) override
     {
-        armWaits.push_back({req->addr, req->expected});
+        armWaits.push_back({req.addr, req.expected});
         return decision;
     }
 
@@ -54,13 +54,19 @@ class RecordingObserver : public SyncObserver
     std::vector<Notify> notifies;
 };
 
-struct L2Fixture : public ::testing::Test
+struct L2Fixture : public ::testing::Test, public MemResponder
 {
     L2Fixture()
         : dram("dram", eq, DramConfig{}),
-          l2("l2", eq, L2Config{}, dram, store)
+          l2("l2", eq, L2Config{}, dram, store, pool)
     {
         l2.setSyncObserver(&observer);
+    }
+
+    void
+    onMemResponse(MemRequest &, std::uint64_t) override
+    {
+        completions.push_back(eq.curTick());
     }
 
     MemRequestPtr
@@ -68,26 +74,25 @@ struct L2Fixture : public ::testing::Test
           AtomicOpcode aop = AtomicOpcode::Load, MemValue operand = 0,
           bool waiting = false, MemValue expected = 0)
     {
-        auto req = std::make_shared<MemRequest>();
+        MemRequestPtr req = pool.allocate();
         req->op = op;
         req->addr = addr;
         req->aop = aop;
         req->operand = operand;
         req->waiting = waiting;
         req->expected = expected;
-        req->onResponse = [this, req] {
-            completions.push_back({req, eq.curTick()});
-        };
+        req->setResponder(this);
         l2.access(req);
         return req;
     }
 
+    MemRequestPool pool;
     sim::EventQueue eq;
     BackingStore store;
     Dram dram;
     L2Cache l2;
     RecordingObserver observer;
-    std::vector<std::pair<MemRequestPtr, sim::Tick>> completions;
+    std::vector<sim::Tick> completions;
 };
 
 TEST_F(L2Fixture, AtomicExecutesAtL2AndReturnsOldValue)
@@ -182,16 +187,15 @@ TEST_F(L2Fixture, SameLineAtomicsSerializeAtRmwTurnaround)
     // the turnaround being measured.
     issue(MemOp::Read, 0x6000);
     eq.simulate();
-    std::vector<sim::Tick> done;
+    completions.clear();
+    std::vector<sim::Tick> &done = completions;
     for (int i = 0; i < 3; ++i) {
-        auto req = std::make_shared<MemRequest>();
+        MemRequestPtr req = pool.allocate();
         req->op = MemOp::Atomic;
         req->addr = 0x6000;
         req->aop = AtomicOpcode::Add;
         req->operand = 1;
-        req->onResponse = [&done, this] {
-            done.push_back(eq.curTick());
-        };
+        req->setResponder(this);
         l2.access(req);
     }
     eq.simulate();
@@ -205,18 +209,16 @@ TEST_F(L2Fixture, SameLineAtomicsSerializeAtRmwTurnaround)
 
 TEST_F(L2Fixture, DifferentLineAtomicsPipelineFaster)
 {
-    std::vector<sim::Tick> done;
+    std::vector<sim::Tick> &done = completions;
     for (int i = 0; i < 2; ++i) {
-        auto req = std::make_shared<MemRequest>();
+        MemRequestPtr req = pool.allocate();
         req->op = MemOp::Atomic;
         // Same bank (banks stride by line), different lines.
         req->addr = 0x6000 + static_cast<Addr>(i) * 64 *
                                  l2.config().banks;
         req->aop = AtomicOpcode::Add;
         req->operand = 1;
-        req->onResponse = [&done, this] {
-            done.push_back(eq.curTick());
-        };
+        req->setResponder(this);
         l2.access(req);
     }
     eq.simulate();
@@ -258,6 +260,16 @@ TEST_F(L2Fixture, TracksMaxMonitoredLines)
     l2.setMonitored(0x1000, false);
     EXPECT_EQ(l2.numMonitored(), 1u);
     EXPECT_EQ(l2.maxMonitored(), 2u);
+}
+
+TEST_F(L2Fixture, DrainedRunLeavesNoLiveRequests)
+{
+    // Misses (fills), hits, atomics and writebacks all recycle.
+    for (int i = 0; i < 8; ++i)
+        issue(MemOp::Atomic, 0x7000 + i * 256, AtomicOpcode::Add, 1);
+    eq.simulate();
+    EXPECT_EQ(pool.inUse(), 0u);
+    EXPECT_GT(pool.totalAllocations(), 8u);  // includes the fills
 }
 
 } // anonymous namespace

@@ -1,0 +1,171 @@
+/**
+ * @file
+ * Unit tests for the MemRequest slab pool and the typed-responder
+ * lifecycle: intrusive refcounting, slab recycling, the parent-handle
+ * teardown path, the exactly-once response contract, and the
+ * leaked-request destructor assert that catches the callback-capture
+ * bug class structurally.
+ */
+
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <utility>
+#include <vector>
+
+#include "mem/request.hh"
+
+namespace ifp::mem {
+namespace {
+
+/** Responder recording every (address, tag) completion it sees. */
+struct Recorder : MemResponder
+{
+    void
+    onMemResponse(MemRequest &req, std::uint64_t tag) override
+    {
+        seen.emplace_back(req.addr, tag);
+    }
+
+    std::vector<std::pair<Addr, std::uint64_t>> seen;
+};
+
+TEST(MemRequestPool, AllocateRecycleReuse)
+{
+    MemRequestPool pool(4);
+    EXPECT_EQ(pool.inUse(), 0u);
+    EXPECT_EQ(pool.capacity(), 0u);
+    {
+        MemRequestPtr req = pool.allocate();
+        EXPECT_EQ(pool.inUse(), 1u);
+        EXPECT_EQ(pool.capacity(), 4u);
+        req->addr = 0x1234;
+    }
+    EXPECT_EQ(pool.inUse(), 0u);
+
+    // The recycled slot comes back with default-constructed fields.
+    MemRequestPtr again = pool.allocate();
+    EXPECT_EQ(again->addr, 0u);
+    EXPECT_EQ(again->op, MemOp::Read);
+    EXPECT_FALSE(again->waiting);
+    EXPECT_EQ(pool.totalAllocations(), 2u);
+    EXPECT_EQ(pool.capacity(), 4u);  // no second slab needed
+}
+
+TEST(MemRequestPool, HandleCopiesShareOneRequest)
+{
+    MemRequestPool pool;
+    MemRequestPtr a = pool.allocate();
+    a->addr = 0x40;
+    MemRequestPtr b = a;             // copy retains
+    MemRequestPtr c = std::move(a);  // move transfers
+    EXPECT_FALSE(a);
+    EXPECT_EQ(b.get(), c.get());
+    EXPECT_EQ(pool.inUse(), 1u);
+    b.reset();
+    EXPECT_EQ(pool.inUse(), 1u);     // c still holds it
+    c.reset();
+    EXPECT_EQ(pool.inUse(), 0u);
+}
+
+TEST(MemRequestPool, GrowsBySlabsAndTracksHighWater)
+{
+    MemRequestPool pool(2);
+    std::vector<MemRequestPtr> held;
+    for (int i = 0; i < 5; ++i)
+        held.push_back(pool.allocate());
+    EXPECT_EQ(pool.inUse(), 5u);
+    EXPECT_EQ(pool.capacity(), 6u);  // three slabs of two
+    held.clear();
+    EXPECT_EQ(pool.inUse(), 0u);
+    EXPECT_EQ(pool.maxInUse(), 5u);
+    EXPECT_EQ(pool.totalAllocations(), 5u);
+
+    // Steady-state churn reuses the slabs: capacity is sticky.
+    for (int i = 0; i < 1000; ++i)
+        pool.allocate();
+    EXPECT_EQ(pool.capacity(), 6u);
+    EXPECT_EQ(pool.maxInUse(), 5u);
+    EXPECT_EQ(pool.totalAllocations(), 1005u);
+}
+
+TEST(MemRequestPool, ParentChainReleasesOnRecycle)
+{
+    // The L2-fill pattern: a fill owns its blocked original through
+    // the parent slot. Dropping the outermost handle must unwind the
+    // whole chain back into the pool (mid-flight teardown).
+    MemRequestPool pool;
+    MemRequestPtr original = pool.allocate();
+    MemRequestPtr l2_fill = pool.allocate();
+    MemRequestPtr l1_fill = pool.allocate();
+    l2_fill->parent = original;
+    l1_fill->parent = l2_fill;
+    original.reset();
+    l2_fill.reset();
+    EXPECT_EQ(pool.inUse(), 3u);  // chain keeps everything alive
+    l1_fill.reset();
+    EXPECT_EQ(pool.inUse(), 0u);
+}
+
+TEST(MemRequestResponder, ChainedSlotFiresBeforePrimary)
+{
+    MemRequestPool pool;
+    Recorder primary, chained;
+    MemRequestPtr req = pool.allocate();
+    req->addr = 0x80;
+    req->setResponder(&primary, 1);
+    req->chainResponder(&chained, 2);
+    req->respond();
+    ASSERT_EQ(chained.seen.size(), 1u);
+    ASSERT_EQ(primary.seen.size(), 1u);
+    EXPECT_EQ(chained.seen[0], (std::pair<Addr, std::uint64_t>{0x80, 2}));
+    EXPECT_EQ(primary.seen[0], (std::pair<Addr, std::uint64_t>{0x80, 1}));
+}
+
+TEST(MemRequestResponder, RespondFiresEachSlotExactlyOnce)
+{
+    MemRequestPool pool;
+    Recorder primary;
+    MemRequestPtr req = pool.allocate();
+    req->setResponder(&primary);
+    req->respond();
+    req->respond();  // second call must be a structural no-op
+    EXPECT_EQ(primary.seen.size(), 1u);
+}
+
+TEST(MemRequestResponder, RecycledRequestCarriesNoStaleResponder)
+{
+    MemRequestPool pool(1);
+    Recorder primary, chained;
+    {
+        MemRequestPtr req = pool.allocate();
+        req->setResponder(&primary);
+        req->chainResponder(&chained);
+        // Dropped without responding (a torn-down in-flight request).
+    }
+    // The same slot, reallocated, must not re-fire the old responders.
+    MemRequestPtr req = pool.allocate();
+    req->respond();
+    EXPECT_TRUE(primary.seen.empty());
+    EXPECT_TRUE(chained.seen.empty());
+}
+
+using MemRequestPoolDeathTest = ::testing::Test;
+
+TEST(MemRequestPoolDeathTest, LeakedRequestFatalsOnPoolDestruction)
+{
+    // A handle (or a callback capturing one) that outlives the pool is
+    // exactly the self-cycle bug class; the pool must refuse to die
+    // quietly. The leaked handle is declared before the pool so its
+    // release would run after the pool's destructor fires the assert.
+    EXPECT_DEATH(
+        {
+            MemRequestPtr leaked;
+            MemRequestPool pool;
+            leaked = pool.allocate();
+        },
+        "leaked");
+}
+
+} // anonymous namespace
+} // namespace ifp::mem

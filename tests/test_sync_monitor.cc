@@ -36,7 +36,7 @@ struct SyncMonFixture : public ::testing::Test
                                            mem::DramConfig{});
         l2 = std::make_unique<mem::L2Cache>("l2", eq,
                                             mem::L2Config{}, *dram,
-                                            store);
+                                            store, pool);
         dma = std::make_unique<mem::DmaEngine>("dma", eq,
                                                mem::DmaConfig{});
         cp = std::make_unique<cp::CommandProcessor>(
@@ -52,7 +52,7 @@ struct SyncMonFixture : public ::testing::Test
     mem::MemRequestPtr
     waitingLoad(mem::Addr addr, mem::MemValue expected, int wg)
     {
-        auto req = std::make_shared<mem::MemRequest>();
+        mem::MemRequestPtr req = pool.allocate();
         req->op = mem::MemOp::Atomic;
         req->aop = mem::AtomicOpcode::Load;
         req->addr = addr;
@@ -67,7 +67,7 @@ struct SyncMonFixture : public ::testing::Test
     void
     atomicStore(mem::Addr addr, mem::MemValue value)
     {
-        auto req = std::make_shared<mem::MemRequest>();
+        mem::MemRequestPtr req = pool.allocate();
         req->op = mem::MemOp::Atomic;
         req->aop = mem::AtomicOpcode::Store;
         req->addr = addr;
@@ -80,7 +80,7 @@ struct SyncMonFixture : public ::testing::Test
     void
     armWait(mem::Addr addr, mem::MemValue expected, int wg)
     {
-        auto req = std::make_shared<mem::MemRequest>();
+        mem::MemRequestPtr req = pool.allocate();
         req->op = mem::MemOp::ArmWait;
         req->addr = addr;
         req->expected = expected;
@@ -96,6 +96,7 @@ struct SyncMonFixture : public ::testing::Test
         eq.simulate(eq.curTick() + ticks);
     }
 
+    mem::MemRequestPool pool;
     sim::EventQueue eq;
     mem::BackingStore store;
     std::unique_ptr<mem::Dram> dram;
@@ -279,7 +280,7 @@ TEST_F(SyncMonFixture, MonitoredBitClearsLazilyAfterRetire)
     waitingLoad(0x1000, 7, 1);
     // Retire the condition, but only simulate a short distance so the
     // idle-cleanup timer has not fired yet.
-    auto req = std::make_shared<mem::MemRequest>();
+    mem::MemRequestPtr req = pool.allocate();
     req->op = mem::MemOp::Atomic;
     req->aop = mem::AtomicOpcode::Store;
     req->addr = 0x1000;

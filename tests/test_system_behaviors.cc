@@ -21,25 +21,26 @@ using isa::Label;
 
 TEST(L2Behaviour, DirtyVictimsWriteBackToDram)
 {
+    mem::MemRequestPool pool;
     sim::EventQueue eq;
     mem::BackingStore store;
     mem::Dram dram("dram", eq, mem::DramConfig{});
     mem::L2Config cfg;
     cfg.sizeBytes = 8 * 1024;  // tiny: 2 sets x 16 ways x 64 B... 8
     cfg.assoc = 4;
-    mem::L2Cache l2("l2", eq, cfg, dram, store);
+    mem::L2Cache l2("l2", eq, cfg, dram, store, pool);
 
     // Dirty many lines mapping across the tiny cache, then stream
     // reads through to force evictions.
     auto write = [&](mem::Addr addr) {
-        auto req = std::make_shared<mem::MemRequest>();
+        mem::MemRequestPtr req = pool.allocate();
         req->op = mem::MemOp::Write;
         req->addr = addr;
         req->operand = 1;
         l2.access(req);
     };
     auto read = [&](mem::Addr addr) {
-        auto req = std::make_shared<mem::MemRequest>();
+        mem::MemRequestPtr req = pool.allocate();
         req->op = mem::MemOp::Read;
         req->addr = addr;
         l2.access(req);
@@ -112,11 +113,12 @@ TEST(CuBehaviour, BarrierReleasesWhenOtherWavefrontsFinish)
 
 TEST(MonitorLogBehaviour, AppendsGenerateL2Traffic)
 {
+    mem::MemRequestPool pool;
     sim::EventQueue eq;
     mem::BackingStore store;
     mem::Dram dram("dram", eq, mem::DramConfig{});
-    mem::L2Cache l2("l2", eq, mem::L2Config{}, dram, store);
-    cp::MonitorLog log(0x9000, 16, store, &l2);
+    mem::L2Cache l2("l2", eq, mem::L2Config{}, dram, store, pool);
+    cp::MonitorLog log(0x9000, 16, store, &l2, &pool);
 
     double writes_before = l2.stats().scalar("hits").value() +
                            l2.stats().scalar("misses").value();

@@ -1,0 +1,235 @@
+/**
+ * @file
+ * Perf-baseline gate: compare a freshly generated bench report
+ * against a committed baseline and fail on regression.
+ *
+ * Understands two formats:
+ *  - "ifp-bench-v1" documents written by the sweep benches when
+ *    IFP_BENCH_JSON_OUT is set (harness/bench_report.hh): the gated
+ *    metrics are the per-sweep and total events-per-second and
+ *    requests-per-second host rates.
+ *  - google-benchmark's native JSON (--benchmark_out_format=json):
+ *    the gated metric is items_per_second per benchmark.
+ *
+ * A metric passes when current >= (1 - tolerance) * baseline. The
+ * tolerance is deliberately generous (default 0.40): these are host
+ * rates on shared hardware, and the gate is meant to catch the
+ * 2x-slower structural regression, not 5% scheduling noise. Override
+ * with IFP_BENCH_CHECK_TOLERANCE or the third argument. Metrics that
+ * vanished from the current run fail; new metrics are reported and
+ * ignored.
+ *
+ * Usage: bench_check <baseline.json> <current.json> [tolerance]
+ * Exit:  0 all gated metrics hold, 1 regression or missing metric,
+ *        2 usage / IO / parse error.
+ */
+
+#include <cstdio>
+#include <cstdlib>
+#include <fstream>
+#include <optional>
+#include <sstream>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "harness/results_io.hh"
+
+namespace {
+
+using ifp::harness::json::Value;
+
+/** One gated metric: higher is better. */
+struct Metric
+{
+    std::string name;
+    double value = 0.0;
+};
+
+std::optional<Value>
+loadJson(const std::string &path)
+{
+    std::ifstream in(path);
+    if (!in) {
+        std::fprintf(stderr, "bench_check: cannot read '%s'\n",
+                     path.c_str());
+        return std::nullopt;
+    }
+    std::ostringstream text;
+    text << in.rdbuf();
+    std::optional<Value> doc =
+        ifp::harness::json::tryParse(text.str());
+    if (!doc) {
+        std::fprintf(stderr, "bench_check: '%s' is not valid JSON\n",
+                     path.c_str());
+    }
+    return doc;
+}
+
+double
+numberOf(const Value &obj, const std::string &key)
+{
+    const Value *v = obj.find(key);
+    return (v != nullptr && v->isNumber()) ? v->number : 0.0;
+}
+
+/** Rates gated from an ifp-bench-v1 document. */
+void
+collectIfpMetrics(const Value &doc, std::vector<Metric> &out)
+{
+    if (const Value *sweeps = doc.find("sweeps");
+        sweeps != nullptr && sweeps->isArray()) {
+        for (const Value &sweep : sweeps->array) {
+            const Value *label = sweep.find("label");
+            std::string name = label != nullptr && label->isString()
+                                   ? label->string
+                                   : "sweep";
+            out.push_back({"sweep:" + name + ":events/s",
+                           numberOf(sweep, "eventsPerSecond")});
+            out.push_back({"sweep:" + name + ":requests/s",
+                           numberOf(sweep, "requestsPerSecond")});
+        }
+    }
+    if (const Value *totals = doc.find("totals");
+        totals != nullptr && totals->isObject()) {
+        out.push_back({"totals:events/s",
+                       numberOf(*totals, "eventsPerSecond")});
+        out.push_back({"totals:requests/s",
+                       numberOf(*totals, "requestsPerSecond")});
+    }
+}
+
+/** items_per_second entries from a google-benchmark document. */
+void
+collectGoogleMetrics(const Value &doc, std::vector<Metric> &out)
+{
+    const Value *benches = doc.find("benchmarks");
+    if (benches == nullptr || !benches->isArray())
+        return;
+    for (const Value &bench : benches->array) {
+        const Value *name = bench.find("name");
+        const Value *items = bench.find("items_per_second");
+        if (name == nullptr || !name->isString() || items == nullptr ||
+            !items->isNumber())
+            continue;
+        out.push_back({name->string, items->number});
+    }
+}
+
+std::vector<Metric>
+collectMetrics(const Value &doc)
+{
+    std::vector<Metric> out;
+    const Value *schema = doc.find("schema");
+    if (schema != nullptr && schema->isString() &&
+        schema->string == "ifp-bench-v1") {
+        collectIfpMetrics(doc, out);
+    } else {
+        collectGoogleMetrics(doc, out);
+    }
+    return out;
+}
+
+const Metric *
+findMetric(const std::vector<Metric> &metrics, const std::string &name)
+{
+    for (const Metric &m : metrics)
+        if (m.name == name)
+            return &m;
+    return nullptr;
+}
+
+std::string
+human(double rate)
+{
+    char buf[64];
+    if (rate >= 1e6)
+        std::snprintf(buf, sizeof(buf), "%.2fM/s", rate / 1e6);
+    else if (rate >= 1e3)
+        std::snprintf(buf, sizeof(buf), "%.2fk/s", rate / 1e3);
+    else
+        std::snprintf(buf, sizeof(buf), "%.2f/s", rate);
+    return buf;
+}
+
+} // anonymous namespace
+
+int
+main(int argc, char **argv)
+{
+    if (argc < 3 || argc > 4) {
+        std::fprintf(stderr,
+                     "usage: bench_check <baseline.json> <current.json>"
+                     " [tolerance]\n");
+        return 2;
+    }
+
+    double tolerance = 0.40;
+    if (const char *env = std::getenv("IFP_BENCH_CHECK_TOLERANCE"))
+        tolerance = std::atof(env);
+    if (argc == 4)
+        tolerance = std::atof(argv[3]);
+    if (tolerance < 0.0 || tolerance >= 1.0) {
+        std::fprintf(stderr,
+                     "bench_check: tolerance %.2f out of [0, 1)\n",
+                     tolerance);
+        return 2;
+    }
+
+    std::optional<Value> baseline_doc = loadJson(argv[1]);
+    std::optional<Value> current_doc = loadJson(argv[2]);
+    if (!baseline_doc || !current_doc)
+        return 2;
+
+    std::vector<Metric> baseline = collectMetrics(*baseline_doc);
+    std::vector<Metric> current = collectMetrics(*current_doc);
+    if (baseline.empty()) {
+        std::fprintf(stderr,
+                     "bench_check: no gated metrics in baseline '%s'\n",
+                     argv[1]);
+        return 2;
+    }
+
+    int failures = 0;
+    for (const Metric &base : baseline) {
+        if (base.value <= 0.0)
+            continue;  // nothing to defend (empty or rate-less sweep)
+        const Metric *cur = findMetric(current, base.name);
+        if (cur == nullptr) {
+            std::printf("FAIL  %-48s missing from current run\n",
+                        base.name.c_str());
+            ++failures;
+            continue;
+        }
+        const double floor = (1.0 - tolerance) * base.value;
+        const double delta =
+            (cur->value - base.value) / base.value * 100.0;
+        if (cur->value < floor) {
+            std::printf("FAIL  %-48s %s vs baseline %s (%+.1f%%, "
+                        "floor %s)\n",
+                        base.name.c_str(), human(cur->value).c_str(),
+                        human(base.value).c_str(), delta,
+                        human(floor).c_str());
+            ++failures;
+        } else {
+            std::printf("ok    %-48s %s vs baseline %s (%+.1f%%)\n",
+                        base.name.c_str(), human(cur->value).c_str(),
+                        human(base.value).c_str(), delta);
+        }
+    }
+    for (const Metric &cur : current) {
+        if (findMetric(baseline, cur.name) == nullptr)
+            std::printf("note  %-48s new metric (%s), not gated\n",
+                        cur.name.c_str(), human(cur.value).c_str());
+    }
+
+    if (failures > 0) {
+        std::printf("bench_check: %d metric(s) regressed beyond "
+                    "%.0f%% tolerance\n",
+                    failures, tolerance * 100.0);
+        return 1;
+    }
+    std::printf("bench_check: %zu metric(s) within %.0f%% tolerance\n",
+                baseline.size(), tolerance * 100.0);
+    return 0;
+}
