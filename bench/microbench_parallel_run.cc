@@ -1,0 +1,167 @@
+/**
+ * @file
+ * Microbenchmarks of the parallel-in-run PDES core (--shards N).
+ *
+ * Two layers:
+ *
+ *  - BM_DomainCore: the DomainScheduler superstep machinery in
+ *    isolation — a root domain exchanging latency-stamped messages
+ *    with a set of stage-1 domains, at 1..N executor threads. This
+ *    quantifies the per-superstep synchronization cost the sharded
+ *    core pays over a bare EventQueue (BM_SingleQueue is that
+ *    reference point).
+ *
+ *  - BM_FullRun: a whole simulation (SPM_G under AWG, the evaluation
+ *    geometry scaled down) through harness::runExperiment at
+ *    shards = 1 / 2 / 4. The items/sec counter is simulated host
+ *    events, so serial-vs-sharded throughput is directly comparable;
+ *    the speedup EXPERIMENTS.md quotes is BM_FullRun/1 time divided
+ *    by BM_FullRun/4 time on a multi-core host.
+ *
+ * The full-run benches set IFP_SHARDS_NO_CLAMP so executor threads
+ * are real even when the harness would clamp them (single-core CI
+ * boxes): on such hosts the sharded numbers honestly show the
+ * synchronization overhead instead of silently degenerating to the
+ * serial core.
+ */
+
+#include <benchmark/benchmark.h>
+
+#include <cstdlib>
+
+#include "harness/runner.hh"
+#include "sim/event_domain.hh"
+
+namespace {
+
+using namespace ifp;
+
+constexpr sim::Tick kLookahead = 25'000;
+
+/**
+ * Root/bank message ping-pong through the conservative scheduler:
+ * every bank event sends an upward message one lookahead later, whose
+ * handler sends the next downward message. Workload per superstep is
+ * tiny on purpose — this stresses the barrier, not the payload.
+ */
+void
+BM_DomainCore(benchmark::State &state)
+{
+    const unsigned threads = static_cast<unsigned>(state.range(0));
+    const int banks = 4;
+    const int rounds = 64;
+    std::uint64_t executed = 0;
+    for (auto _ : state) {
+        sim::DomainScheduler sched(kLookahead, threads);
+        sim::EventDomain &root = sched.addDomain("root", 0);
+        std::vector<sim::EventDomain *> mems;
+        for (int b = 0; b < banks; ++b)
+            mems.push_back(&sched.addDomain("mem", 1));
+
+        // One round trip: root tick t -> bank (same tick) -> root at
+        // t + lookahead -> next trip.
+        struct Pump
+        {
+            sim::EventDomain *root;
+            sim::EventDomain *mem;
+            int left;
+            void
+            down()
+            {
+                root->send(*mem, root->queue().curTick(), [this] {
+                    mem->send(*root,
+                              mem->queue().curTick() + kLookahead,
+                              [this] {
+                                  if (--left > 0)
+                                      down();
+                              },
+                              "mb.up");
+                }, "mb.down");
+            }
+        };
+        std::vector<Pump> pumps;
+        pumps.reserve(mems.size());
+        for (sim::EventDomain *m : mems)
+            pumps.push_back(Pump{&root, m, rounds});
+        root.queue().schedule(1, [&] {
+            for (Pump &p : pumps)
+                p.down();
+        }, "mb.start");
+
+        sched.start();
+        sched.runUntil(sim::maxTick - 1);
+        executed += sched.numExecuted();
+    }
+    state.SetItemsProcessed(static_cast<std::int64_t>(executed));
+    state.counters["threads"] = static_cast<double>(state.range(0));
+}
+BENCHMARK(BM_DomainCore)->Arg(1)->Arg(2)->Arg(5)
+    ->Unit(benchmark::kMillisecond);
+
+/** The bare-EventQueue reference point for BM_DomainCore's payload. */
+void
+BM_SingleQueue(benchmark::State &state)
+{
+    const int banks = 4;
+    const int rounds = 64;
+    std::uint64_t executed = 0;
+    for (auto _ : state) {
+        sim::EventQueue eq;
+        struct Pump
+        {
+            sim::EventQueue *eq;
+            int left;
+            void
+            down()
+            {
+                eq->schedule(eq->curTick() + 1, [this] {
+                    eq->schedule(eq->curTick() + kLookahead, [this] {
+                        if (--left > 0)
+                            down();
+                    }, "mb.up");
+                }, "mb.down");
+            }
+        };
+        std::vector<Pump> pumps(banks, Pump{&eq, rounds});
+        for (Pump &p : pumps)
+            p.down();
+        eq.simulate();
+        executed += eq.numExecuted();
+    }
+    state.SetItemsProcessed(static_cast<std::int64_t>(executed));
+}
+BENCHMARK(BM_SingleQueue)->Unit(benchmark::kMillisecond);
+
+/**
+ * Whole-simulation throughput at a given shard count. items/sec is
+ * host events executed, identical work across shard settings (the
+ * parity suite proves the runs are byte-identical), so the ratio of
+ * the /1 and /4 timings is the in-run speedup.
+ */
+void
+BM_FullRun(benchmark::State &state)
+{
+    ::setenv("IFP_SHARDS_NO_CLAMP", "1", 1);
+    harness::Experiment exp;
+    exp.workload = "SPM_G";
+    exp.policy = core::Policy::Awg;
+    exp.params = harness::defaultEvalParams();
+    exp.params.iters = 4;
+    exp.runCfg.shards = static_cast<unsigned>(state.range(0));
+
+    std::uint64_t events = 0;
+    for (auto _ : state) {
+        core::RunResult r = harness::runExperiment(exp);
+        benchmark::DoNotOptimize(r.gpuCycles);
+        events += r.hostEvents;
+    }
+    ::unsetenv("IFP_SHARDS_NO_CLAMP");
+    state.SetItemsProcessed(static_cast<std::int64_t>(events));
+    state.counters["shards"] = static_cast<double>(state.range(0));
+}
+BENCHMARK(BM_FullRun)->Arg(1)->Arg(2)->Arg(4)
+    ->Unit(benchmark::kMillisecond);
+
+} // anonymous namespace
+
+BENCHMARK_MAIN();

@@ -1,9 +1,13 @@
 #include "core/gpu_system.hh"
 
 #include <algorithm>
+#include <atomic>
+#include <cstdio>
+#include <cstdlib>
 #include <ostream>
 #include <sstream>
 #include <stdexcept>
+#include <thread>
 
 #include "analysis/lint.hh"
 #include "sim/logging.hh"
@@ -133,6 +137,75 @@ GpuSystem::GpuSystem(const RunConfig &run_cfg)
         if (monitor)
             monitor->setTraceSink(sink.get());
     }
+
+    setupShardDomains();
+}
+
+void
+GpuSystem::setupShardDomains()
+{
+    if (cfg.shards <= 1)
+        return;
+
+    const mem::L2Config &l2 = cfg.gpu.l2;
+    const mem::DramConfig &dr = cfg.gpu.dram;
+    std::size_t sets =
+        l2.sizeBytes / (std::size_t{l2.assoc} * l2.lineBytes);
+    if (l2.banks != dr.channels || l2.lineBytes != dr.interleaveBytes ||
+        sets % l2.banks != 0) {
+        sim::warnImpl(
+            "shards=%u requested but the memory geometry does not "
+            "shard (L2 banks=%u DRAM channels=%u, lineBytes=%u "
+            "interleaveBytes=%u, sets=%zu): running the serial core",
+            cfg.shards, l2.banks, dr.channels, l2.lineBytes,
+            dr.interleaveBytes, sets);
+        return;
+    }
+
+    // Lookahead: every bank->root message is a finish edge carrying
+    // the L2 hit latency, so that latency (in ticks) is the minimum
+    // upward delay the conservative scheduler may rely on.
+    sim::Tick lookahead = l2.hitLatency * l2.clockPeriod;
+
+    // Executor threads: no more than one per domain, and never more
+    // than the hardware budget left after the sweep workers took
+    // their share. Thread count never changes simulated results, so
+    // clamping is purely a scheduling decision.
+    unsigned threads = std::min(cfg.shards, l2.banks + 1);
+    if (std::getenv("IFP_SHARDS_NO_CLAMP") == nullptr) {
+        unsigned hw = std::max(1u, std::thread::hardware_concurrency());
+        unsigned ext = std::max(1u, sim::externalConcurrency());
+        unsigned budget = std::max(1u, hw / ext);
+        if (threads > budget) {
+            static std::atomic<bool> noted{false};
+            if (!noted.exchange(true)) {
+                std::fprintf(stderr,
+                             "[shards] clamping in-run executors from "
+                             "%u to %u (%u hardware threads / %u "
+                             "sweep workers)\n",
+                             threads, budget, hw, ext);
+            }
+            threads = budget;
+        }
+    }
+
+    scheduler =
+        std::make_unique<sim::DomainScheduler>(lookahead, threads);
+    sim::EventDomain &root = scheduler->addDomain("root", 0, &eq);
+    std::vector<sim::EventDomain *> bank_domains;
+    std::vector<sim::EventQueue *> channel_queues;
+    std::vector<mem::MemRequestPool *> bank_pools;
+    for (unsigned b = 0; b < l2.banks; ++b) {
+        sim::EventDomain &d =
+            scheduler->addDomain("mem" + std::to_string(b), 1);
+        bank_domains.push_back(&d);
+        channel_queues.push_back(&d.queue());
+        shardPools.push_back(std::make_unique<mem::MemRequestPool>());
+        bank_pools.push_back(shardPools.back().get());
+    }
+    l2cache->bindShardDomains(root, bank_domains, bank_pools);
+    dram->bindShardQueues(channel_queues);
+    scheduler->start();
 }
 
 GpuSystem::~GpuSystem() = default;
@@ -197,14 +270,20 @@ GpuSystem::run(const isa::Kernel &kernel, const Validator &validator)
     std::uint64_t last_sig = progress_sig();
     sim::Tick next_check = window;
     while (!kernelDone) {
-        eq.simulate(next_check);
+        if (scheduler)
+            scheduler->runUntil(next_check);
+        else
+            eq.simulate(next_check);
         if (kernelDone)
             break;
         // Sample at the window boundary, not curTick(): the queue's
         // clock only advances when events execute, so a fully asleep
         // machine would otherwise freeze the oracle's held-clocks.
+        // In shard mode the executors are parked between runUntil()
+        // calls, so the probes read a quiescent, serial-consistent
+        // machine state.
         oracle.sample(next_check, waiterProbes(), retryActivity());
-        if (eq.empty()) {
+        if (scheduler ? scheduler->allIdle() : eq.empty()) {
             // Nothing can ever happen again: stranded WGs.
             result.deadlocked = true;
             result.verdict = oracle.finalizeStall(true);
@@ -242,6 +321,13 @@ GpuSystem::run(const isa::Kernel &kernel, const Validator &validator)
     // their completeTick; survivors are charged up to the run's end)
     // and publish the per-reason totals as dispatcher stats.
     dispatch->accumulateWgCycleStats(result.runTicks);
+
+    if (scheduler) {
+        // Executors are parked; fold the bank/channel-context stat
+        // shadows into the root Scalars before anyone reads them.
+        l2cache->foldShardStats();
+        dram->foldShardStats();
+    }
 
     harvest(result);
 
@@ -484,8 +570,11 @@ GpuSystem::harvest(RunResult &result) const
             s.scalar("delayedResumes").value());
     }
 
-    result.hostEvents = eq.numExecuted();
+    result.hostEvents =
+        scheduler ? scheduler->numExecuted() : eq.numExecuted();
     result.memRequests = pool.totalAllocations();
+    for (const auto &p : shardPools)
+        result.memRequests += p->totalAllocations();
 
     result.injectedFaults = faultsApplied;
     for (const auto &rec : dispatch->cuRecoveries()) {

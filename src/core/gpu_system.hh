@@ -36,6 +36,7 @@
 #include "mem/dram.hh"
 #include "mem/l1_cache.hh"
 #include "mem/l2_cache.hh"
+#include "sim/event_domain.hh"
 #include "sim/event_queue.hh"
 #include "sim/trace_sink.hh"
 #include "syncmon/sync_monitor.hh"
@@ -105,6 +106,20 @@ struct RunConfig
      * reduces to a null-pointer test, so untraced runs pay nothing.
      */
     bool traceEnabled = false;
+
+    /**
+     * In-run parallelism (sim/event_domain.hh). 0 means "unset": the
+     * harness resolves it from IFP_RUN_SHARDS (default 1). A value of
+     * 1 or less runs the classic serial core, byte-identical to the
+     * pre-shard simulator. 2 or more runs the conservative PDES core:
+     * the decomposition is fixed (the root domain plus one fused
+     * L2-bank/DRAM-channel domain each) and only the executor thread
+     * count varies with the value, so stats, traces and RunResults
+     * are byte-identical across every shards >= 2 setting. Executor
+     * threads are clamped to the hardware budget divided by the
+     * process's external concurrency (the sweep worker count).
+     */
+    unsigned shards = 0;
 };
 
 /** Checks the final memory image of a run. */
@@ -147,6 +162,9 @@ class GpuSystem
     syncmon::SyncMonController *syncMon() { return monitor.get(); }
     const RunConfig &config() const { return cfg; }
 
+    /** The PDES core, or nullptr when running the serial core. */
+    sim::DomainScheduler *domainScheduler() { return scheduler.get(); }
+
     /** The run's trace sink, or nullptr when tracing is disabled. */
     const sim::TraceSink *traceSink() const { return sink.get(); }
     /// @}
@@ -167,7 +185,21 @@ class GpuSystem
      * recycles into the pool. Its destructor asserts nothing leaked.
      */
     mem::MemRequestPool pool;
+    /**
+     * One pool per memory domain in shard mode (fills and writebacks
+     * born in bank context). Declared before the scheduler so the
+     * domain queues — which may hold events owning requests — are
+     * destroyed first.
+     */
+    std::vector<std::unique_ptr<mem::MemRequestPool>> shardPools;
     sim::EventQueue eq;
+    /**
+     * The PDES core (null in the classic serial mode). Declared after
+     * the queue and the pools it references, before the devices whose
+     * destructors must not outlive their event context; its own
+     * destructor joins the executor threads on this thread.
+     */
+    std::unique_ptr<sim::DomainScheduler> scheduler;
     mem::BackingStore store;
 
     std::unique_ptr<mem::Dram> dram;
@@ -188,6 +220,14 @@ class GpuSystem
 
     /** Resolve a plan CU id (-1 = last CU) to a concrete index. */
     unsigned resolveCuId(int cu_id) const;
+
+    /**
+     * Build the domain decomposition when cfg.shards >= 2: the root
+     * domain adopts eq; each L2 bank fuses with its DRAM channel into
+     * a stage-1 domain. Falls back to the serial core (with a
+     * warning) when the memory geometry cannot be sharded.
+     */
+    void setupShardDomains();
 
     /** Schedule the legacy scenario and cfg.faultPlan on the queue. */
     void scheduleFaults();

@@ -58,6 +58,14 @@ runExperimentWithSystem(const Experiment &exp,
 /** The default evaluation geometry used by all paper benches. */
 workloads::WorkloadParams defaultEvalParams();
 
+/**
+ * In-run shard count from IFP_RUN_SHARDS (default 1, the serial
+ * core). Experiments whose runCfg.shards is 0 ("unset") resolve
+ * through this, so a whole bench can be switched to the PDES core
+ * from the environment without touching every call site.
+ */
+unsigned runShardsFromEnv();
+
 } // namespace ifp::harness
 
 #endif // IFP_HARNESS_RUNNER_HH

@@ -7,6 +7,7 @@
 #include <cstdlib>
 #include <thread>
 
+#include "sim/event_domain.hh"
 #include "sim/logging.hh"
 
 namespace ifp::harness {
@@ -70,6 +71,12 @@ SweepRunner::run()
 
     const unsigned workers =
         static_cast<unsigned>(std::min<std::size_t>(numJobs, n));
+    // Publish the sweep's own parallelism so in-run shard executors
+    // divide the hardware budget by it: jobs x shards never
+    // oversubscribes the machine silently (the clamp prints one
+    // [shards] note). Reset after the join: later single runs may
+    // use the full machine again.
+    sim::setExternalConcurrency(workers);
     if (workers <= 1) {
         // Legacy serial path: no threads, no pool overhead.
         for (std::size_t i = 0; i < n; ++i)
@@ -92,6 +99,7 @@ SweepRunner::run()
         for (std::thread &t : pool)
             t.join();
     }
+    sim::setExternalConcurrency(1);
 
     wall = secondsSince(sweepStart);
     serial = 0.0;

@@ -44,7 +44,7 @@ class CacheTags
     CacheTags(std::size_t size_bytes, unsigned assoc, unsigned line_bytes)
         : lineBytes(line_bytes), associativity(assoc),
           numSets(size_bytes / (assoc * line_bytes)),
-          lines(numSets * assoc)
+          lines(numSets * assoc), useCounters(numSets, 0)
     {
         ifp_assert(numSets > 0, "cache too small for its associativity");
         ifp_assert((numSets & (numSets - 1)) == 0,
@@ -68,8 +68,18 @@ class CacheTags
         return nullptr;
     }
 
-    /** Mark @p line most recently used. */
-    void touch(Line &line) { line.lastUsed = ++useCounter; }
+    /**
+     * Mark @p line most recently used. The recency counter is
+     * per-set: replacement only ever compares lines within one set,
+     * and per-set counters keep banked callers (the sharded L2 runs
+     * one bank per thread, sets partitioned by bank) free of any
+     * shared mutable state in the tag array.
+     */
+    void
+    touch(Line &line)
+    {
+        line.lastUsed = ++useCounters[setOf(line.lineAddr)];
+    }
 
     /**
      * Allocate a way for the line containing @p addr, evicting the LRU
@@ -154,7 +164,7 @@ class CacheTags
     unsigned associativity;
     std::size_t numSets;
     std::vector<Line> lines;
-    std::uint64_t useCounter = 0;
+    std::vector<std::uint64_t> useCounters;
 };
 
 } // namespace ifp::mem

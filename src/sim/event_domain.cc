@@ -1,0 +1,330 @@
+#include "sim/event_domain.hh"
+
+#include <algorithm>
+#include <tuple>
+
+#include "sim/logging.hh"
+
+namespace ifp::sim {
+
+EventDomain::EventDomain(unsigned id, unsigned stage, std::string name,
+                         EventQueue *external, Tick lookahead)
+    : _id(id), _stage(stage), _name(std::move(name)),
+      ownedQueue(external ? nullptr : std::make_unique<EventQueue>()),
+      q(external ? external : ownedQueue.get()), lookahead(lookahead)
+{
+}
+
+EventDomain::~EventDomain()
+{
+    InboxNode *node = inboxHead.exchange(nullptr,
+                                         std::memory_order_acquire);
+    while (node) {
+        InboxNode *next = node->next;
+        delete node;
+        node = next;
+    }
+}
+
+void
+EventDomain::send(EventDomain &dst, Tick when, SmallFunc fn,
+                  const char *desc)
+{
+    ifp_assert(&dst != this,
+               "domain '%s' sending '%s' to itself; schedule locally",
+               _name.c_str(), desc);
+    ifp_assert(dst._stage != _stage,
+               "same-stage message '%s' (%s -> %s) is unsupported",
+               desc, _name.c_str(), dst._name.c_str());
+    if (dst._stage < _stage) {
+        ifp_assert(when >= q->curTick() + lookahead,
+                   "upward message '%s' (%s -> %s) violates lookahead: "
+                   "when=%llu < now=%llu + L=%llu",
+                   desc, _name.c_str(), dst._name.c_str(),
+                   static_cast<unsigned long long>(when),
+                   static_cast<unsigned long long>(q->curTick()),
+                   static_cast<unsigned long long>(lookahead));
+    } else {
+        ifp_assert(when >= q->curTick(),
+                   "downward message '%s' (%s -> %s) in the sender's "
+                   "past: when=%llu < now=%llu",
+                   desc, _name.c_str(), dst._name.c_str(),
+                   static_cast<unsigned long long>(when),
+                   static_cast<unsigned long long>(q->curTick()));
+    }
+
+    if (outSeq.size() <= dst._id)
+        outSeq.resize(dst._id + 1, 0);
+
+    auto *node = new InboxNode;
+    node->msg.when = when;
+    node->msg.src = _id;
+    node->msg.seq = outSeq[dst._id]++;
+    node->msg.fn = std::move(fn);
+    node->msg.desc = desc;
+
+    InboxNode *head = dst.inboxHead.load(std::memory_order_relaxed);
+    do {
+        node->next = head;
+    } while (!dst.inboxHead.compare_exchange_weak(
+        head, node, std::memory_order_release,
+        std::memory_order_relaxed));
+}
+
+void
+EventDomain::drainInbox()
+{
+    InboxNode *node = inboxHead.exchange(nullptr,
+                                         std::memory_order_acquire);
+    while (node) {
+        staging.push_back(std::move(node->msg));
+        InboxNode *next = node->next;
+        delete node;
+        node = next;
+    }
+}
+
+void
+EventDomain::applyStaged(Tick bound)
+{
+    if (staging.empty())
+        return;
+    // Deliverable messages (when < bound) move to the front; what
+    // remains stays staged for a later superstep.
+    auto mid = std::stable_partition(
+        staging.begin(), staging.end(),
+        [bound](const Msg &m) { return m.when < bound; });
+    if (mid == staging.begin())
+        return;
+    // Canonical merge order. The key (when, src, seq) is unique:
+    // per-edge sequence numbers break same-tick ties between messages
+    // of one sender, source ids between senders.
+    std::sort(staging.begin(), mid, [](const Msg &a, const Msg &b) {
+        return std::tie(a.when, a.src, a.seq) <
+               std::tie(b.when, b.src, b.seq);
+    });
+    for (auto it = staging.begin(); it != mid; ++it)
+        q->schedule(it->when, std::move(it->fn), it->desc);
+    staging.erase(staging.begin(), mid);
+}
+
+Tick
+EventDomain::nextPendingTick()
+{
+    Tick next = q->nextEventTick();
+    for (const Msg &m : staging)
+        next = std::min(next, m.when);
+    return next;
+}
+
+bool
+EventDomain::idle() const
+{
+    return q->size() == 0 && staging.empty() &&
+           inboxHead.load(std::memory_order_acquire) == nullptr;
+}
+
+DomainScheduler::DomainScheduler(Tick lookahead, unsigned threads)
+    : lookahead(lookahead), nThreads(std::max(1u, threads))
+{
+    ifp_assert(lookahead >= 1, "lookahead must be at least one tick");
+}
+
+DomainScheduler::~DomainScheduler()
+{
+    {
+        std::lock_guard<std::mutex> lock(mtx);
+        shutdown = true;
+    }
+    cvStart.notify_all();
+    for (std::thread &w : workers)
+        w.join();
+}
+
+EventDomain &
+DomainScheduler::addDomain(std::string name, unsigned stage,
+                           EventQueue *external)
+{
+    ifp_assert(!started, "addDomain() after start()");
+    auto id = static_cast<unsigned>(domains.size());
+    domains.emplace_back(new EventDomain(id, stage, std::move(name),
+                                         external, lookahead));
+    return *domains.back();
+}
+
+void
+DomainScheduler::start()
+{
+    ifp_assert(!started, "start() called twice");
+    ifp_assert(!domains.empty(), "start() with no domains");
+    started = true;
+    nThreads = std::min<unsigned>(
+        nThreads, static_cast<unsigned>(domains.size()));
+    for (unsigned i = 1; i < nThreads; ++i)
+        workers.emplace_back([this] { workerLoop(); });
+}
+
+Tick
+DomainScheduler::safeBound(const EventDomain &d) const
+{
+    Tick bound = maxTick;
+    for (const auto &e : domains) {
+        if (e.get() == &d || e->_stage == d._stage)
+            continue;
+        Tick c = e->_stage > d._stage
+                     ? (e->horizon > maxTick - lookahead
+                            ? maxTick
+                            : e->horizon + lookahead)
+                     : e->horizon;
+        bound = std::min(bound, c);
+    }
+    return bound;
+}
+
+void
+DomainScheduler::runUntil(Tick limit)
+{
+    ifp_assert(started, "runUntil() before start()");
+    for (;;) {
+        // Barrier phase: all executors are parked, so inboxes are
+        // complete and every domain's state is safe to touch.
+        Tick next = maxTick;
+        for (auto &d : domains) {
+            d->drainInbox();
+            next = std::min(next, d->nextPendingTick());
+        }
+        if (next == maxTick || next > limit)
+            break;
+
+        // Jump horizons across the globally idle region: next is the
+        // earliest pending work anywhere, and every future message is
+        // stamped at or after its sender's execution tick, so nothing
+        // can ever arrive below next. Idle gaps cost one superstep
+        // regardless of length instead of gap/lookahead supersteps.
+        for (auto &d : domains)
+            d->horizon = std::max(d->horizon, next);
+
+        // Targets from the jumped horizons: execution this superstep
+        // stays below what any concurrently-executing peer can send.
+        Tick cap = limit == maxTick ? maxTick : limit + 1;
+        for (auto &d : domains)
+            d->target = std::min(safeBound(*d), cap);
+
+        executeSuperstep();
+        ++stepCount;
+    }
+}
+
+void
+DomainScheduler::runDomain(EventDomain &d)
+{
+    Tick target = d.target;
+    if (target <= d.horizon)
+        return;
+    d.applyStaged(target);
+    d.q->simulate(target - 1);
+    d.horizon = target;
+}
+
+void
+DomainScheduler::executeSuperstep()
+{
+    if (workers.empty()) {
+        for (auto &d : domains)
+            runDomain(*d);
+        return;
+    }
+    {
+        std::lock_guard<std::mutex> lock(mtx);
+        // Ticket 0 is the root domain, reserved for this thread.
+        ticket.store(1, std::memory_order_relaxed);
+        domainsDone = 0;
+        ++epoch;
+    }
+    cvStart.notify_all();
+
+    runDomain(*domains[0]);
+    {
+        std::lock_guard<std::mutex> lock(mtx);
+        ++domainsDone;
+    }
+    // Steal remaining domains rather than idling at the barrier; the
+    // main thread can always finish the superstep alone, so a slow
+    // worker wake-up costs parallelism, never progress.
+    drainTickets();
+
+    std::unique_lock<std::mutex> lock(mtx);
+    cvDone.wait(lock, [this] { return domainsDone == domains.size(); });
+}
+
+void
+DomainScheduler::drainTickets()
+{
+    for (;;) {
+        std::size_t i = ticket.fetch_add(1, std::memory_order_relaxed);
+        if (i >= domains.size())
+            return;
+        runDomain(*domains[i]);
+        std::lock_guard<std::mutex> lock(mtx);
+        if (++domainsDone == domains.size())
+            cvDone.notify_one();
+    }
+}
+
+void
+DomainScheduler::workerLoop()
+{
+    std::uint64_t seen = 0;
+    for (;;) {
+        {
+            std::unique_lock<std::mutex> lock(mtx);
+            cvStart.wait(lock, [&] {
+                return shutdown || epoch != seen;
+            });
+            if (shutdown)
+                return;
+            seen = epoch;
+        }
+        drainTickets();
+    }
+}
+
+bool
+DomainScheduler::allIdle() const
+{
+    for (const auto &d : domains) {
+        if (!d->idle())
+            return false;
+    }
+    return true;
+}
+
+std::uint64_t
+DomainScheduler::numExecuted() const
+{
+    std::uint64_t total = 0;
+    for (const auto &d : domains)
+        total += d->q->numExecuted();
+    return total;
+}
+
+namespace {
+
+std::atomic<unsigned> externalWorkers{1};
+
+} // anonymous namespace
+
+void
+setExternalConcurrency(unsigned workers)
+{
+    externalWorkers.store(workers ? workers : 1,
+                          std::memory_order_relaxed);
+}
+
+unsigned
+externalConcurrency()
+{
+    return externalWorkers.load(std::memory_order_relaxed);
+}
+
+} // namespace ifp::sim

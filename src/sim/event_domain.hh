@@ -1,0 +1,289 @@
+/**
+ * @file
+ * Conservative parallel discrete-event simulation (PDES) layer.
+ *
+ * An EventDomain wraps one EventQueue plus a lock-free inbox for
+ * events sent from other domains; a DomainScheduler advances a set of
+ * domains in epoch-barrier supersteps. The decomposition used by the
+ * simulator is a two-stage pipeline:
+ *
+ *   stage 0: the root domain (CUs, CP, SyncMon, dispatcher — the
+ *            original monolithic queue), and
+ *   stage 1: one memory domain per fused L2-bank/DRAM-channel pair.
+ *
+ * Conservatism comes from the cross-domain latencies. A downward
+ * (root->mem) message is stamped at the sender's current tick or
+ * later; an upward (mem->root) message carries at least L ticks of
+ * latency (L = the scheduler's lookahead, the minimum mem->root
+ * delay — the L2 hit latency in ticks). At each barrier the scheduler
+ * derives every domain's execution target purely from the other
+ * domains' horizons (the tick below which they are fully executed):
+ *
+ *   target(root) = min over mem domains of (horizon(mem) + L)
+ *   target(mem)  = horizon(root)
+ *
+ * Any message a domain can still generate this superstep lies at or
+ * past these bounds, so no domain ever receives an event in its past
+ * and no rollback is needed. In steady state the two stages execute
+ * concurrently, one lookahead window apart; across a globally idle
+ * gap the scheduler jumps horizons directly to the next pending tick
+ * (capped by the same bounds) instead of stepping through empty
+ * windows.
+ *
+ * Determinism is non-negotiable: at each barrier the staged messages
+ * of a domain are merged in canonical (tick, source-domain-id,
+ * per-edge sequence) order before the window executes, so the
+ * destination queue's same-tick scheduling order — and with it every
+ * stat, trace and RunResult byte — is a pure function of the
+ * simulated history, independent of thread count and wall-clock
+ * interleaving. The parity test suite (ctest -L parity) enforces
+ * byte-identical stats-JSON across shard/thread configurations.
+ *
+ * Threading contract: EventDomain::send() may be called concurrently
+ * from any executing domain (the inbox is a lock-free Treiber stack);
+ * everything else — drainInbox(), applyStaged(), the queue itself —
+ * is scheduler-side and runs either on the main thread between
+ * supersteps or on the single executor that owns the domain for the
+ * current superstep. The mutex+condvar superstep barrier provides the
+ * happens-before edge that lets a domain migrate between executor
+ * threads across supersteps.
+ */
+
+#ifndef IFP_SIM_EVENT_DOMAIN_HH
+#define IFP_SIM_EVENT_DOMAIN_HH
+
+#include <atomic>
+#include <condition_variable>
+#include <cstdint>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "sim/event_queue.hh"
+#include "sim/small_func.hh"
+#include "sim/types.hh"
+
+namespace ifp::sim {
+
+class DomainScheduler;
+
+/**
+ * One shard of the simulation: an event queue plus the machinery to
+ * receive events from other domains deterministically.
+ */
+class EventDomain
+{
+  public:
+    EventDomain(const EventDomain &) = delete;
+    EventDomain &operator=(const EventDomain &) = delete;
+    ~EventDomain();
+
+    unsigned id() const { return _id; }
+    unsigned stage() const { return _stage; }
+    const std::string &name() const { return _name; }
+
+    /** The domain's event queue (root: the system's original queue). */
+    EventQueue &queue() { return *q; }
+    const EventQueue &queue() const { return *q; }
+
+    /**
+     * Deliver @p fn to @p dst at absolute tick @p when. Callable from
+     * the sender's executor thread while both domains are mid-
+     * superstep. Lookahead is asserted, not assumed: a message to an
+     * earlier pipeline stage (mem->root) must carry at least L ticks
+     * of latency, a message to a later stage (root->mem) must not be
+     * in the sender's past; same-stage messaging is unsupported.
+     * @p desc must point at storage that outlives the run (device
+     * description strings qualify).
+     */
+    void send(EventDomain &dst, Tick when, SmallFunc fn,
+              const char *desc);
+
+    /** No queued events, no staged messages, no in-flight messages. */
+    bool idle() const;
+
+  private:
+    friend class DomainScheduler;
+
+    EventDomain(unsigned id, unsigned stage, std::string name,
+                EventQueue *external, Tick lookahead);
+
+    /** One cross-domain message. */
+    struct Msg
+    {
+        Tick when = 0;
+        std::uint32_t src = 0;    //!< sender domain id
+        std::uint64_t seq = 0;    //!< per-(src,dst) sequence number
+        SmallFunc fn;
+        const char *desc = "";
+    };
+
+    /** Treiber-stack node; nodes are heap-allocated per message. */
+    struct InboxNode
+    {
+        Msg msg;
+        InboxNode *next = nullptr;
+    };
+
+    /**
+     * Move every pending inbox message into the consumer-side staging
+     * vector. Barrier-only: runs on the main thread while all
+     * executors are parked.
+     */
+    void drainInbox();
+
+    /**
+     * Schedule every staged message with when < @p bound into the
+     * queue, in canonical (when, src, seq) order. Messages at or past
+     * @p bound stay staged for a later superstep: conservatism
+     * guarantees any message that could still arrive concurrently is
+     * also at or past @p bound, so the scheduled set — and its order
+     * — is deterministic.
+     */
+    void applyStaged(Tick bound);
+
+    /** Earliest pending tick across queue and staged messages. */
+    Tick nextPendingTick();
+
+    unsigned _id;
+    unsigned _stage;
+    std::string _name;
+    std::unique_ptr<EventQueue> ownedQueue;  //!< null for the root
+    EventQueue *q;
+    Tick lookahead;
+
+    std::atomic<InboxNode *> inboxHead{nullptr};
+    std::vector<Msg> staging;
+
+    /** Per-destination-domain sequence counters (sender-side). */
+    std::vector<std::uint64_t> outSeq;
+
+    /**
+     * Everything below horizon is fully executed, and no event or
+     * message below it can ever appear again. Maintained by the
+     * scheduler (advanced to target after each superstep, jumped
+     * directly across globally idle regions).
+     */
+    Tick horizon = 0;
+    /** Execution bound for the in-flight superstep. */
+    Tick target = 0;
+};
+
+/**
+ * Epoch-barrier executor for a set of EventDomains.
+ *
+ * The lookahead L must be a lower bound on the latency of every
+ * upward (higher stage -> lower stage) message; EventDomain::send
+ * asserts it per message. Each superstep the scheduler drains all
+ * inboxes, derives per-domain targets from the other domains'
+ * horizons (see the file comment), merges staged messages in
+ * canonical order, and executes all domains concurrently up to their
+ * targets. Progress per superstep is bounded by L in total across the
+ * pipeline, so L also sets the barrier amortization.
+ */
+class DomainScheduler
+{
+  public:
+    /**
+     * @param lookahead  minimum upward cross-stage latency L (>= 1)
+     * @param threads    executor threads including the caller;
+     *                   clamped to the domain count at start().
+     *                   1 = serial execution on the caller.
+     */
+    DomainScheduler(Tick lookahead, unsigned threads);
+    ~DomainScheduler();
+
+    DomainScheduler(const DomainScheduler &) = delete;
+    DomainScheduler &operator=(const DomainScheduler &) = delete;
+
+    /**
+     * Add a domain before start(). Domain ids are assigned in call
+     * order (the root must be added first, id 0); ids double as the
+     * canonical same-tick merge key, so construction order is part of
+     * the determinism contract. @p external lets the root adopt a
+     * pre-existing queue; other domains own theirs.
+     */
+    EventDomain &addDomain(std::string name, unsigned stage,
+                           EventQueue *external = nullptr);
+
+    /** Freeze the domain set and launch the worker threads. */
+    void start();
+
+    /**
+     * Run all domains up to and including @p limit (the analogue of
+     * EventQueue::simulate(limit)): on return no domain holds an
+     * executable event or deliverable message at a tick <= @p limit.
+     * Caller must be the thread that constructed the scheduler; the
+     * root domain always executes on it.
+     */
+    void runUntil(Tick limit);
+
+    /** True when no queue holds events and no message is in flight. */
+    bool allIdle() const;
+
+    /** Total events executed across all domain queues. */
+    std::uint64_t numExecuted() const;
+
+    /** Superstep barriers crossed so far. */
+    std::uint64_t supersteps() const { return stepCount; }
+
+    /** Executor threads actually in use (>= 1, set at start()). */
+    unsigned threads() const { return nThreads; }
+
+    Tick lookaheadTicks() const { return lookahead; }
+
+    std::size_t numDomains() const { return domains.size(); }
+    EventDomain &domain(std::size_t i) { return *domains[i]; }
+
+  private:
+    /**
+     * Latest tick domain @p d may safely execute to, given every
+     * other domain's current horizon: lower-stage peers bound it by
+     * their horizon (downward messages arrive at sender-now or
+     * later), higher-stage peers by horizon + L (upward messages
+     * carry >= L of latency).
+     */
+    Tick safeBound(const EventDomain &d) const;
+
+    void runDomain(EventDomain &d);
+    void workerLoop();
+    /** Claim and execute ticketed domains until none remain. */
+    void drainTickets();
+    void executeSuperstep();
+
+    Tick lookahead;
+    unsigned nThreads;
+    bool started = false;
+
+    std::vector<std::unique_ptr<EventDomain>> domains;
+    std::vector<std::thread> workers;
+
+    std::uint64_t stepCount = 0;
+
+    // Superstep barrier. Workers wait for epoch to advance, claim
+    // domains through the ticket counter (index 0 is reserved for the
+    // main thread: the root domain must run there so traces stay
+    // main-thread-confined), and the last finisher signals cvDone.
+    std::mutex mtx;
+    std::condition_variable cvStart;
+    std::condition_variable cvDone;
+    std::uint64_t epoch = 0;
+    std::size_t domainsDone = 0;
+    bool shutdown = false;
+    std::atomic<std::size_t> ticket{0};
+};
+
+/**
+ * Cross-cutting concurrency hint: how many simulator instances the
+ * process is already running in parallel (the SweepRunner worker
+ * count). In-run shard executors divide the hardware budget by this
+ * so sweep x shards never oversubscribes the machine silently.
+ */
+void setExternalConcurrency(unsigned workers);
+unsigned externalConcurrency();
+
+} // namespace ifp::sim
+
+#endif // IFP_SIM_EVENT_DOMAIN_HH

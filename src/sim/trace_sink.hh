@@ -30,8 +30,10 @@
 
 #include <cstdint>
 #include <ostream>
+#include <thread>
 #include <vector>
 
+#include "sim/logging.hh"
 #include "sim/types.hh"
 
 namespace ifp::sim {
@@ -101,14 +103,28 @@ struct TraceEvent
 };
 
 /**
- * Per-run collector of TraceEvents. One sink per GpuSystem; runs are
- * single-threaded, so no locking. Events arrive in tick order because
- * emission happens inside event processing.
+ * Per-run collector of TraceEvents. One sink per GpuSystem. Every
+ * emitter (dispatcher, CUs, CP, SyncMon) lives in the root event
+ * domain, which the PDES core always executes on the thread that
+ * built the system — so the sink needs no locking even under
+ * --shards N, and events arrive in tick order because root events
+ * execute in tick order. record() asserts that confinement: an
+ * emitter migrating into a bank domain would corrupt the stream
+ * silently otherwise.
  */
 class TraceSink
 {
   public:
-    void record(const TraceEvent &event) { eventsVec.push_back(event); }
+    TraceSink() : owner(std::this_thread::get_id()) {}
+
+    void
+    record(const TraceEvent &event)
+    {
+        ifp_assert(std::this_thread::get_id() == owner,
+                   "TraceEvent recorded off the owning thread "
+                   "(emitter outside the root domain?)");
+        eventsVec.push_back(event);
+    }
 
     const std::vector<TraceEvent> &events() const { return eventsVec; }
     std::size_t size() const { return eventsVec.size(); }
@@ -125,6 +141,8 @@ class TraceSink
 
   private:
     std::vector<TraceEvent> eventsVec;
+    /** The thread that built the run; the only one allowed to emit. */
+    std::thread::id owner;
 };
 
 /**

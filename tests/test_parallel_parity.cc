@@ -1,0 +1,333 @@
+/**
+ * @file
+ * Serial/sharded parity suite (ctest -L parity).
+ *
+ * The PDES core's determinism contract, enforced end-to-end: for any
+ * shards >= 2 setting the domain decomposition is fixed, so every
+ * RunResult field, every stats-JSON byte and every trace byte must be
+ * identical across shard counts and executor thread counts — thread
+ * scheduling may never leak into simulated results. Against the
+ * legacy single-queue core the domain core is macro-equivalent
+ * (completion, verdict, validation): the canonical (tick, domain,
+ * sequence) merge is a valid same-tick event order but not always the
+ * seed's insertion order, so byte-level equality is only guaranteed
+ * within the domain core (see DESIGN.md §9).
+ *
+ * The matrix covers the full 12-workload suite under the policies the
+ * paper centers on ({Baseline, Timeout, AWG}) crossed with two fault
+ * presets, so cross-domain traffic is exercised under CU churn and
+ * under combined pressure.
+ */
+
+#include <gtest/gtest.h>
+
+#include <cctype>
+#include <cstdio>
+#include <cstdlib>
+#include <fstream>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "core/fault_plan.hh"
+#include "harness/runner.hh"
+#include "test_helpers.hh"
+
+namespace ifp {
+namespace {
+
+using core::Policy;
+
+std::string
+slurp(const std::string &path)
+{
+    std::ifstream in(path, std::ios::binary);
+    EXPECT_TRUE(in.good()) << "missing artifact " << path;
+    std::ostringstream ss;
+    ss << in.rdbuf();
+    return ss.str();
+}
+
+struct Artifacts
+{
+    core::RunResult result;
+    std::string statsJson;
+    std::string trace;
+    bool usedDomainCore = false;
+    unsigned executorThreads = 0;
+};
+
+/** Run one (workload, policy, preset) point at a given shard count. */
+Artifacts
+runPoint(const std::string &workload, Policy policy,
+         const std::string &preset, unsigned shards,
+         bool want_trace = false)
+{
+    static int unique = 0;
+    std::string base = ::testing::TempDir() + "parity_" +
+                       std::to_string(++unique) + "_s" +
+                       std::to_string(shards);
+
+    harness::Experiment exp;
+    exp.workload = workload;
+    exp.policy = policy;
+    exp.params = test::smallParams();
+    exp.runCfg.faultPlan = core::faultPlanPreset(preset);
+    exp.runCfg.shards = shards;
+    exp.observe.statsJsonPath = base + ".stats.json";
+    if (want_trace)
+        exp.observe.traceOutPath = base + ".trace.json";
+
+    Artifacts a;
+    a.result = harness::runExperimentWithSystem(
+        exp, [&](core::GpuSystem &system) {
+            if (sim::DomainScheduler *s = system.domainScheduler()) {
+                a.usedDomainCore = true;
+                a.executorThreads = s->threads();
+            }
+        });
+    a.statsJson = slurp(exp.observe.statsJsonPath);
+    if (want_trace)
+        a.trace = slurp(exp.observe.traceOutPath);
+    std::remove(exp.observe.statsJsonPath.c_str());
+    if (want_trace)
+        std::remove(exp.observe.traceOutPath.c_str());
+    return a;
+}
+
+/** Every RunResult field that simulation determinism covers. */
+void
+expectIdenticalResults(const core::RunResult &a,
+                       const core::RunResult &b, const std::string &what)
+{
+    SCOPED_TRACE(what);
+    EXPECT_EQ(a.completed, b.completed);
+    EXPECT_EQ(a.deadlocked, b.deadlocked);
+    EXPECT_EQ(a.verdict, b.verdict);
+    EXPECT_EQ(a.runTicks, b.runTicks);
+    EXPECT_EQ(a.gpuCycles, b.gpuCycles);
+    EXPECT_EQ(a.instructions, b.instructions);
+    EXPECT_EQ(a.atomicInstructions, b.atomicInstructions);
+    EXPECT_EQ(a.waitingAtomics, b.waitingAtomics);
+    EXPECT_EQ(a.armWaits, b.armWaits);
+    EXPECT_EQ(a.sleeps, b.sleeps);
+    EXPECT_EQ(a.totalWgExecCycles, b.totalWgExecCycles);
+    EXPECT_EQ(a.totalWgWaitCycles, b.totalWgWaitCycles);
+    EXPECT_EQ(a.wgLifetimeCycles, b.wgLifetimeCycles);
+    EXPECT_EQ(a.contextSaves, b.contextSaves);
+    EXPECT_EQ(a.contextRestores, b.contextRestores);
+    EXPECT_EQ(a.condResumesAll, b.condResumesAll);
+    EXPECT_EQ(a.condResumesOne, b.condResumesOne);
+    EXPECT_EQ(a.cpRescues, b.cpRescues);
+    EXPECT_EQ(a.forcedPreemptions, b.forcedPreemptions);
+    EXPECT_EQ(a.maxConditions, b.maxConditions);
+    EXPECT_EQ(a.maxWaiters, b.maxWaiters);
+    EXPECT_EQ(a.maxMonitoredLines, b.maxMonitoredLines);
+    EXPECT_EQ(a.maxLogEntries, b.maxLogEntries);
+    EXPECT_EQ(a.maxSpilledConds, b.maxSpilledConds);
+    EXPECT_EQ(a.maxContextStoreBytes, b.maxContextStoreBytes);
+    EXPECT_EQ(a.spills, b.spills);
+    EXPECT_EQ(a.logFullRetries, b.logFullRetries);
+    EXPECT_EQ(a.droppedResumes, b.droppedResumes);
+    EXPECT_EQ(a.delayedResumes, b.delayedResumes);
+    EXPECT_EQ(a.lostWakeups.size(), b.lostWakeups.size());
+    EXPECT_EQ(a.faultRecoveries.size(), b.faultRecoveries.size());
+    EXPECT_EQ(a.injectedFaults, b.injectedFaults);
+    EXPECT_EQ(a.wgCompletionSpreadCycles, b.wgCompletionSpreadCycles);
+    EXPECT_EQ(a.maxWgWaitCycles, b.maxWgWaitCycles);
+    EXPECT_EQ(a.hostEvents, b.hostEvents);
+    EXPECT_EQ(a.memRequests, b.memRequests);
+    EXPECT_EQ(a.validated, b.validated);
+    EXPECT_EQ(a.validationError, b.validationError);
+    for (std::size_t r = 0; r < sim::numStallReasons; ++r)
+        EXPECT_EQ(a.wgCycleBreakdown[r], b.wgCycleBreakdown[r]);
+}
+
+struct ParityCase
+{
+    std::string workload;
+    Policy policy;
+    std::string preset;
+};
+
+std::string
+parityName(const ::testing::TestParamInfo<ParityCase> &info)
+{
+    std::string name = info.param.workload + "_" +
+                       core::policyName(info.param.policy) + "_" +
+                       info.param.preset;
+    for (char &c : name) {
+        if (!std::isalnum(static_cast<unsigned char>(c)))
+            c = '_';
+    }
+    return name;
+}
+
+class ShardParity : public ::testing::TestWithParam<ParityCase>
+{
+};
+
+TEST_P(ShardParity, ShardCountsAreByteIdenticalAndLegacyMacroEquivalent)
+{
+    const ParityCase &c = GetParam();
+
+    Artifacts legacy = runPoint(c.workload, c.policy, c.preset, 1);
+    Artifacts s2 = runPoint(c.workload, c.policy, c.preset, 2);
+    Artifacts s4 = runPoint(c.workload, c.policy, c.preset, 4);
+
+    EXPECT_FALSE(legacy.usedDomainCore);
+    EXPECT_TRUE(s2.usedDomainCore);
+    EXPECT_TRUE(s4.usedDomainCore);
+
+    // The hard guarantee: shard count never changes a single byte.
+    expectIdenticalResults(s2.result, s4.result, "shards 2 vs 4");
+    EXPECT_EQ(s2.statsJson, s4.statsJson)
+        << "stats-JSON bytes diverge between shard counts";
+
+    // Against the legacy core: same outcome, same validation.
+    EXPECT_EQ(legacy.result.completed, s4.result.completed);
+    EXPECT_EQ(legacy.result.deadlocked, s4.result.deadlocked);
+    EXPECT_EQ(legacy.result.verdict, s4.result.verdict);
+    EXPECT_EQ(legacy.result.validated, s4.result.validated);
+    EXPECT_EQ(legacy.result.injectedFaults, s4.result.injectedFaults);
+}
+
+std::vector<ParityCase>
+parityMatrix()
+{
+    std::vector<ParityCase> cases;
+    for (const std::string &w : workloads::heteroSyncAbbrevs()) {
+        for (Policy p : {Policy::Baseline, Policy::Timeout, Policy::Awg})
+            for (const char *f : {"cu-churn", "kitchen-sink"})
+                cases.push_back({w, p, f});
+    }
+    return cases;
+}
+
+INSTANTIATE_TEST_SUITE_P(FullSuite, ShardParity,
+                         ::testing::ValuesIn(parityMatrix()),
+                         parityName);
+
+/** Scoped environment override that restores the old value. */
+class ScopedEnv
+{
+  public:
+    ScopedEnv(const char *name, const char *value) : varName(name)
+    {
+        if (const char *old = std::getenv(name)) {
+            hadOld = true;
+            oldValue = old;
+        }
+        if (value)
+            ::setenv(name, value, 1);
+        else
+            ::unsetenv(name);
+    }
+
+    ~ScopedEnv()
+    {
+        if (hadOld)
+            ::setenv(varName.c_str(), oldValue.c_str(), 1);
+        else
+            ::unsetenv(varName.c_str());
+    }
+
+  private:
+    std::string varName;
+    bool hadOld = false;
+    std::string oldValue;
+};
+
+// Forcing real executor threads (bypassing the hardware-budget clamp)
+// must not change a byte either: on a small CI box the clamp would
+// otherwise reduce every run to one executor and the test would prove
+// nothing about cross-thread determinism.
+TEST(ShardParityThreads, ForcedExecutorThreadsAreByteIdentical)
+{
+    Artifacts clamped =
+        runPoint("TB_LG", Policy::Awg, "kitchen-sink", 4, true);
+
+    ScopedEnv no_clamp("IFP_SHARDS_NO_CLAMP", "1");
+    Artifacts threaded =
+        runPoint("TB_LG", Policy::Awg, "kitchen-sink", 5, true);
+
+    EXPECT_TRUE(threaded.usedDomainCore);
+    EXPECT_EQ(threaded.executorThreads, 5u);
+    expectIdenticalResults(clamped.result, threaded.result,
+                           "clamped vs forced threads");
+    EXPECT_EQ(clamped.statsJson, threaded.statsJson);
+    EXPECT_EQ(clamped.trace, threaded.trace)
+        << "Chrome-trace bytes diverge under forced threads";
+}
+
+// The merged Chrome trace must be byte-identical across shard counts
+// (the TraceSink is root-confined; see sim/trace_sink.hh).
+TEST(ShardParityTrace, TraceBytesIdenticalAcrossShardCounts)
+{
+    Artifacts s2 = runPoint("SPM_G", Policy::Awg, "cu-churn", 2, true);
+    Artifacts s4 = runPoint("SPM_G", Policy::Awg, "cu-churn", 4, true);
+    EXPECT_FALSE(s2.trace.empty());
+    EXPECT_EQ(s2.trace, s4.trace);
+}
+
+// RunConfig::shards == 0 resolves through IFP_RUN_SHARDS (default 1),
+// mirroring the IFP_BENCH_JOBS pattern of the sweep runner.
+TEST(ShardEnvResolution, DefaultsToSerialCore)
+{
+    ScopedEnv unset("IFP_RUN_SHARDS", nullptr);
+    EXPECT_EQ(harness::runShardsFromEnv(), 1u);
+
+    harness::Experiment exp;
+    exp.workload = "SPM_G";
+    exp.policy = Policy::Awg;
+    exp.params = test::smallParams();
+    bool domain_core = false;
+    harness::runExperimentWithSystem(exp, [&](core::GpuSystem &system) {
+        domain_core = system.domainScheduler() != nullptr;
+        EXPECT_EQ(system.config().shards, 1u);
+    });
+    EXPECT_FALSE(domain_core);
+}
+
+TEST(ShardEnvResolution, EnvEnablesDomainCore)
+{
+    ScopedEnv four("IFP_RUN_SHARDS", "4");
+    EXPECT_EQ(harness::runShardsFromEnv(), 4u);
+
+    harness::Experiment exp;
+    exp.workload = "SPM_G";
+    exp.policy = Policy::Awg;
+    exp.params = test::smallParams();
+    bool domain_core = false;
+    harness::runExperimentWithSystem(exp, [&](core::GpuSystem &system) {
+        domain_core = system.domainScheduler() != nullptr;
+        EXPECT_EQ(system.config().shards, 4u);
+    });
+    EXPECT_TRUE(domain_core);
+}
+
+TEST(ShardEnvResolution, InvalidValuesFallBackToSerial)
+{
+    ScopedEnv bogus("IFP_RUN_SHARDS", "zero");
+    EXPECT_EQ(harness::runShardsFromEnv(), 1u);
+    ScopedEnv negative("IFP_RUN_SHARDS", "-2");
+    EXPECT_EQ(harness::runShardsFromEnv(), 1u);
+}
+
+// An explicit Experiment-level shard count wins over the environment.
+TEST(ShardEnvResolution, ExplicitConfigBeatsEnv)
+{
+    ScopedEnv four("IFP_RUN_SHARDS", "4");
+    harness::Experiment exp;
+    exp.workload = "SPM_G";
+    exp.policy = Policy::Awg;
+    exp.params = test::smallParams();
+    exp.runCfg.shards = 1;
+    harness::runExperimentWithSystem(exp, [&](core::GpuSystem &system) {
+        EXPECT_EQ(system.domainScheduler(), nullptr);
+        EXPECT_EQ(system.config().shards, 1u);
+    });
+}
+
+} // anonymous namespace
+} // namespace ifp

@@ -111,6 +111,11 @@ usage()
         "  --trace-out FILE       write a Chrome-trace JSON timeline\n"
         "                         (open in Perfetto / chrome://tracing)\n"
         "  --stats-json FILE      write all statistics as JSON\n"
+        "  --shards N             parallel-in-run PDES core: N >= 2\n"
+        "                         shards the memory system into event\n"
+        "                         domains (results byte-identical to\n"
+        "                         any other N >= 2; 1 = serial core;\n"
+        "                         default: IFP_RUN_SHARDS or 1)\n"
         "  --debug FLAG           enable a trace flag (repeatable)\n";
 }
 
@@ -191,6 +196,9 @@ main(int argc, char **argv)
             opt.traceOutPath = need(i);
         } else if (!std::strcmp(a, "--stats-json")) {
             opt.statsJsonPath = need(i);
+        } else if (!std::strcmp(a, "--shards")) {
+            opt.runCfg.shards =
+                static_cast<unsigned>(std::atoi(need(i)));
         } else if (!std::strcmp(a, "--debug")) {
             sim::setDebugFlag(need(i));
         } else {

@@ -157,6 +157,9 @@ if [ "${1:-}" = "--verify" ]; then
     echo "== sanitized tests (ASan + UBSan)"
     "$SRC_DIR/tools/run_sanitized_tests.sh" "$BUILD_DIR-sanitize" "$JOBS"
 
+    echo "== sanitized tests (TSan, sharded parity suite)"
+    "$SRC_DIR/tools/run_sanitized_tests.sh" --tsan "$BUILD_DIR-tsan" "$JOBS"
+
     echo "== perf gate (bench_check vs committed baselines)"
     if ls "$SRC_DIR/bench/baselines"/BENCH_*.json > /dev/null 2>&1; then
         "$0" --check "$BUILD_DIR/bench"
