@@ -54,6 +54,21 @@ FaultPlan::maxCuId() const
 }
 
 FaultPlan
+FaultPlan::cuLoss(std::uint64_t loss_us, std::uint64_t restore_us,
+                  int cu_id)
+{
+    FaultPlan plan;
+    plan.name = "cuLoss";
+    plan.events.push_back(
+        FaultEvent{FaultKind::CuOffline, loss_us, 0, cu_id, 0});
+    if (restore_us > loss_us) {
+        plan.events.push_back(
+            FaultEvent{FaultKind::CuOnline, restore_us, 0, cu_id, 0});
+    }
+    return plan;
+}
+
+FaultPlan
 generateChaosPlan(const ChaosSpec &spec, std::uint64_t seed)
 {
     ifp_assert(spec.numCus > 0, "chaos plan for a zero-CU machine");

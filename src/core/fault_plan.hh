@@ -82,6 +82,19 @@ struct FaultPlan
     int maxCuId() const;
 
     bool operator==(const FaultPlan &) const = default;
+
+    /**
+     * The §VI oversubscription scenario as a plan: CU @p cu_id (-1 =
+     * last) goes offline @p loss_us microseconds after launch and,
+     * when @p restore_us > @p loss_us, comes back at @p restore_us.
+     * This factory replaces the legacy RunConfig quartet
+     * (oversubscribed / cuLossMicroseconds / cuRestoreMicroseconds /
+     * offlineCuId); the old fields still work as a deprecated
+     * forwarding shim built on this factory.
+     */
+    static FaultPlan cuLoss(std::uint64_t loss_us,
+                            std::uint64_t restore_us = 0,
+                            int cu_id = -1);
 };
 
 /** Knobs of the seeded chaos generator. */

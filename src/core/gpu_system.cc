@@ -97,6 +97,9 @@ GpuSystem::GpuSystem(const RunConfig &run_cfg)
     dispatch->setCus(std::move(cu_ptrs));
     dispatch->setContextSwitcher(cp.get());
     cp->setScheduler(dispatch.get());
+    dispatch->setKernelListener(this);
+    cp->admissionScheduler().setDispatcher(dispatch.get());
+    dispatch->setAdmissionPolicy(&cp->admissionScheduler());
 
     Policy policy = cfg.policy.policy;
     dispatch->setSwapInCapable(!deadlockProne(policy));
@@ -221,12 +224,9 @@ GpuSystem::allocate(std::uint64_t bytes, std::uint64_t align)
     return base;
 }
 
-RunResult
-GpuSystem::run(const isa::Kernel &kernel, const Validator &validator)
+void
+GpuSystem::lintKernel(const isa::Kernel &kernel) const
 {
-    RunResult result;
-    kernelDone = false;
-
     if (cfg.dispatch.lintBeforeDispatch) {
         analysis::LaunchContext launch = analysis::makeLaunchContext(
             kernel, cfg.gpu.numCus, cfg.gpu.simdsPerCu,
@@ -244,24 +244,122 @@ GpuSystem::run(const isa::Kernel &kernel, const Validator &validator)
                 "' failed pre-dispatch lint (see warnings above)");
         }
     }
+}
 
-    dispatch->setOnComplete([this] {
+void
+GpuSystem::kernelEnqueued(const gpu::DispatchContext &)
+{
+    ++arrivedContexts;
+}
+
+void
+GpuSystem::kernelCompleted(const gpu::DispatchContext &)
+{
+    if (dispatch->allContextsComplete()) {
         kernelDone = true;
         completionTick = eq.curTick();
-    });
-    dispatch->launch(kernel);
+    }
+}
+
+int
+GpuSystem::enqueueKernel(const isa::Kernel &kernel,
+                         const gpu::LaunchOptions &opts)
+{
+    lintKernel(kernel);
+    int ctx_id = dispatch->createContext(kernel, opts, eq.curTick());
+    dispatch->contextArrived(ctx_id);
+    return ctx_id;
+}
+
+int
+GpuSystem::enqueueKernelAt(const isa::Kernel &kernel,
+                           const gpu::LaunchOptions &opts, sim::Tick at)
+{
+    ifp_assert(at >= eq.curTick(),
+               "kernel arrival scheduled in the past");
+    lintKernel(kernel);
+    int ctx_id = dispatch->createContext(kernel, opts, at);
+    eq.schedule(at, [this, ctx_id] {
+        dispatch->contextArrived(ctx_id);
+    }, "kernel.arrival");
+    return ctx_id;
+}
+
+RunResult
+GpuSystem::run(const isa::Kernel &kernel, const Validator &validator)
+{
+    enqueueKernel(kernel);
+    return finishRun(validator);
+}
+
+ServeResult
+GpuSystem::serve(const Validator &validator)
+{
+    ServeResult serve_result;
+    serve_result.run = finishRun(validator);
+
+    sim::Tick period = cfg.gpu.clockPeriod;
+    for (const auto &ctx : dispatch->dispatchContexts()) {
+        KernelRunStat ks;
+        ks.ctxId = ctx->id;
+        ks.kernelName = ctx->kernel.name;
+        ks.tenant = ctx->opts.tenant;
+        ks.priority = ctx->opts.priority;
+        ks.completed = ctx->state == gpu::ContextState::Complete;
+        ks.enqueueCycle = ctx->enqueueTick / period;
+        ks.admitCycle = ctx->admitTick / period;
+        if (ctx->firstDispatchTick != sim::maxTick)
+            ks.firstDispatchCycle = ctx->firstDispatchTick / period;
+        if (ks.completed) {
+            ks.completeCycle = ctx->completeTick / period;
+            ks.turnaroundCycles =
+                (ctx->completeTick - ctx->enqueueTick) / period;
+        }
+        if (ctx->admitTick >= ctx->enqueueTick &&
+            ctx->state != gpu::ContextState::Created &&
+            ctx->state != gpu::ContextState::Queued) {
+            ks.queueCycles =
+                (ctx->admitTick - ctx->enqueueTick) / period;
+        }
+        if (ctx->opts.deadlineCycles > 0) {
+            ks.sloMissed = !ks.completed ||
+                           ks.turnaroundCycles > ctx->opts.deadlineCycles;
+        }
+        ks.dispatches = ctx->dispatches;
+        ks.swapOuts = ctx->swapOuts;
+        ks.swapIns = ctx->swapIns;
+        ks.preemptions = ctx->preemptions;
+        ks.cusGained = ctx->cusGained;
+        ks.cusLost = ctx->cusLost;
+        ks.wgsCompleted = ctx->completed;
+        ks.numWgs = ctx->numWgs;
+        serve_result.kernels.push_back(std::move(ks));
+    }
+    return serve_result;
+}
+
+RunResult
+GpuSystem::finishRun(const Validator &validator)
+{
+    RunResult result;
+    kernelDone = dispatch->allContextsComplete();
     scheduleFaults();
 
     const sim::Tick window =
         cfg.deadlockWindowCycles * cfg.gpu.clockPeriod;
     const sim::Tick budget = cfg.maxCycles * cfg.gpu.clockPeriod;
 
+    // arrivedContexts keeps serving runs with sparse arrivals from
+    // tripping the deadlock detector: a kernel arriving inside a
+    // window is progress. Constant (one) in single-kernel runs, so
+    // legacy deltas are unchanged.
     auto progress_sig = [this] {
         return store.mutations() + dispatch->numCompleted() +
                static_cast<std::uint64_t>(
                    dispatch->stats().scalar("swapOuts").value()) +
                static_cast<std::uint64_t>(
-                   dispatch->stats().scalar("swapIns").value());
+                   dispatch->stats().scalar("swapIns").value()) +
+               arrivedContexts;
     };
 
     LivenessOracle oracle(cfg.liveness, cfg.gpu.clockPeriod,
@@ -351,20 +449,33 @@ GpuSystem::scheduleFaults()
 {
     faultsApplied = 0;
     if (cfg.oversubscribed) {
-        // The legacy §VI scenario, scheduled exactly as before the
-        // fault engine existed so historic runs stay byte-identical.
-        unsigned victim = resolveCuId(cfg.offlineCuId);
-        sim::Tick when =
-            sim::ticksFromMicroseconds(cfg.cuLossMicroseconds);
-        eq.schedule(when, [this, victim] {
-            dispatch->offlineCu(victim);
-        }, "cuLoss");
-        if (cfg.cuRestoreMicroseconds > cfg.cuLossMicroseconds) {
-            sim::Tick back = sim::ticksFromMicroseconds(
-                cfg.cuRestoreMicroseconds);
-            eq.schedule(back, [this, victim] {
-                dispatch->onlineCu(victim);
-            }, "cuRestore");
+        static std::atomic<bool> deprecationWarned{false};
+        if (!deprecationWarned.exchange(true)) {
+            sim::warnImpl(
+                "RunConfig::oversubscribed / cuLossMicroseconds / "
+                "cuRestoreMicroseconds / offlineCuId are deprecated; "
+                "use RunConfig::faultPlan = FaultPlan::cuLoss(lossUs, "
+                "restoreUs, cuId)");
+        }
+        // Forwarding shim: the quartet folds into the cuLoss()
+        // factory, but the events are scheduled exactly as before the
+        // fault engine existed (same descriptions, no fault counting,
+        // no FaultInjected trace) so historic runs stay byte-identical.
+        FaultPlan legacy = FaultPlan::cuLoss(cfg.cuLossMicroseconds,
+                                             cfg.cuRestoreMicroseconds,
+                                             cfg.offlineCuId);
+        for (const FaultEvent &ev : legacy.events) {
+            unsigned victim = resolveCuId(ev.cuId);
+            sim::Tick when = sim::ticksFromMicroseconds(ev.atUs);
+            if (ev.kind == FaultKind::CuOffline) {
+                eq.schedule(when, [this, victim] {
+                    dispatch->offlineCu(victim);
+                }, "cuLoss");
+            } else {
+                eq.schedule(when, [this, victim] {
+                    dispatch->onlineCu(victim);
+                }, "cuRestore");
+            }
         }
     }
     for (const FaultEvent &ev : cfg.faultPlan.events) {

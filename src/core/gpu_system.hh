@@ -69,20 +69,30 @@ struct RunConfig
     PolicyConfig policy;
     DispatchOptions dispatch;
 
-    /** Run the §VI oversubscribed experiment. */
+    /**
+     * @name Deprecated §VI oversubscription quartet
+     *
+     * Superseded by `faultPlan = FaultPlan::cuLoss(lossUs, restoreUs,
+     * cuId)`. The fields keep working as a forwarding shim (built on
+     * that factory, scheduled exactly as the historic scenario so old
+     * runs stay byte-identical) and emit a single deprecation warn()
+     * per process.
+     * @{
+     */
+    /** Deprecated: run the §VI oversubscribed experiment. */
     bool oversubscribed = false;
-    /** When the CU is lost, in microseconds after launch (paper: 50). */
+    /** Deprecated: when the CU is lost, in µs after launch (paper: 50). */
     std::uint64_t cuLossMicroseconds = 50;
     /**
-     * When the lost CU becomes schedulable again (0 = never): the
-     * paper's "resource availability varies across kernel scheduling
-     * time slices". Baseline machines still cannot recover their
-     * pre-empted WGs — restoring the CU only helps machines with WG
-     * swap-in firmware.
+     * Deprecated: when the lost CU becomes schedulable again (0 =
+     * never). Baseline machines still cannot recover their pre-empted
+     * WGs — restoring the CU only helps machines with WG swap-in
+     * firmware.
      */
     std::uint64_t cuRestoreMicroseconds = 0;
-    /** Which CU goes offline (default: the last one). */
+    /** Deprecated: which CU goes offline (default: the last one). */
     int offlineCuId = -1;
+    /// @}
 
     /**
      * Scripted fault-injection campaign (core/fault_plan.hh), applied
@@ -126,8 +136,53 @@ struct RunConfig
 using Validator =
     std::function<bool(const mem::BackingStore &, std::string &)>;
 
+/** Per-kernel outcome of a multi-kernel serve() run. */
+struct KernelRunStat
+{
+    int ctxId = -1;
+    std::string kernelName;
+    std::string tenant;
+    int priority = 0;
+    bool completed = false;
+
+    /// @name Lifecycle, in GPU cycles from simulation start
+    /// @{
+    sim::Cycles enqueueCycle = 0;
+    sim::Cycles admitCycle = 0;
+    sim::Cycles firstDispatchCycle = 0;   //!< 0 when never dispatched
+    sim::Cycles completeCycle = 0;        //!< 0 when not completed
+    /** Admission queueing delay (admit - enqueue). */
+    sim::Cycles queueCycles = 0;
+    /** Turnaround (complete - enqueue); 0 when not completed. */
+    sim::Cycles turnaroundCycles = 0;
+    /** Deadline given and missed (or the kernel never completed). */
+    bool sloMissed = false;
+    /// @}
+
+    /// @name Per-kernel scheduling activity
+    /// @{
+    std::uint64_t dispatches = 0;
+    std::uint64_t swapOuts = 0;
+    std::uint64_t swapIns = 0;
+    std::uint64_t preemptions = 0;
+    std::uint64_t cusGained = 0;
+    std::uint64_t cusLost = 0;
+    /// @}
+
+    unsigned wgsCompleted = 0;
+    unsigned numWgs = 0;
+};
+
+/** Result of a multi-kernel serve() run. */
+struct ServeResult
+{
+    RunResult run;
+    /** One entry per enqueued kernel, in ctx-id (creation) order. */
+    std::vector<KernelRunStat> kernels;
+};
+
 /** The composed simulated APU. */
-class GpuSystem
+class GpuSystem : private gpu::KernelListener
 {
   public:
     /**
@@ -149,9 +204,40 @@ class GpuSystem
     /** Functional memory (workload initialization / validation). */
     mem::BackingStore &memory() { return store; }
 
-    /** Run @p kernel to completion, deadlock or budget exhaustion. */
+    /**
+     * Run @p kernel to completion, deadlock or budget exhaustion.
+     * Thin wrapper over enqueueKernel() + the shared run loop; a
+     * single-kernel run is byte-identical to the pre-multi-tenant
+     * simulator.
+     */
     RunResult run(const isa::Kernel &kernel,
                   const Validator &validator = nullptr);
+
+    /// @name Multi-kernel serving
+    /// @{
+
+    /**
+     * Enqueue @p kernel at the current tick (before serve(): time 0).
+     * The context arrives synchronously. @return the context id.
+     */
+    int enqueueKernel(const isa::Kernel &kernel,
+                      const gpu::LaunchOptions &opts = {});
+
+    /**
+     * Enqueue @p kernel arriving at absolute tick @p at (>= now). The
+     * context is pre-created so the id is available immediately; the
+     * arrival fires as an ordinary event, keeping runs deterministic.
+     */
+    int enqueueKernelAt(const isa::Kernel &kernel,
+                        const gpu::LaunchOptions &opts, sim::Tick at);
+
+    /**
+     * Run every enqueued kernel to completion, deadlock or budget
+     * exhaustion, and report per-kernel turnaround/preemption stats
+     * alongside the machine-level RunResult.
+     */
+    ServeResult serve(const Validator &validator = nullptr);
+    /// @}
 
     /// @name Introspection (tests, examples)
     /// @{
@@ -217,6 +303,24 @@ class GpuSystem
     bool kernelDone = false;
     sim::Tick completionTick = 0;
     std::uint64_t faultsApplied = 0;
+    /** Contexts whose arrival fired (progress-signature component). */
+    std::uint64_t arrivedContexts = 0;
+
+    /// @name gpu::KernelListener (the run loop's completion hook)
+    /// @{
+    void kernelEnqueued(const gpu::DispatchContext &ctx) override;
+    void kernelCompleted(const gpu::DispatchContext &ctx) override;
+    /// @}
+
+    /** Pre-dispatch lint gate (DispatchOptions). */
+    void lintKernel(const isa::Kernel &kernel) const;
+
+    /**
+     * The shared run loop: schedule faults, simulate until every
+     * enqueued context completes (or deadlock / budget), close the
+     * books and harvest. run() and serve() both end here.
+     */
+    RunResult finishRun(const Validator &validator);
 
     /** Resolve a plan CU id (-1 = last CU) to a concrete index. */
     unsigned resolveCuId(int cu_id) const;

@@ -1,0 +1,181 @@
+#include "cp/admission.hh"
+
+#include <algorithm>
+#include <vector>
+
+namespace ifp::cp {
+
+namespace {
+
+/**
+ * Admission/carving rank: priority desc, arrival asc, ctx id asc.
+ * Total order over distinct contexts (ids are unique), so every pass
+ * is deterministic.
+ */
+bool
+ranksBefore(const gpu::DispatchContext &a, const gpu::DispatchContext &b)
+{
+    if (a.opts.priority != b.opts.priority)
+        return a.opts.priority > b.opts.priority;
+    if (a.enqueueTick != b.enqueueTick)
+        return a.enqueueTick < b.enqueueTick;
+    return a.id < b.id;
+}
+
+} // anonymous namespace
+
+void
+AdmissionScheduler::contextEnqueued(int)
+{
+    recompute();
+}
+
+void
+AdmissionScheduler::contextCompleted(int)
+{
+    recompute();
+}
+
+void
+AdmissionScheduler::cuAvailabilityChanged()
+{
+    recompute();
+}
+
+void
+AdmissionScheduler::recompute()
+{
+    if (!dispatcher)
+        return;
+    ++passes;
+
+    const auto &contexts = dispatcher->dispatchContexts();
+    const unsigned online = dispatcher->numOnlineCus();
+
+    // Phase 1: admission. Queued contexts in rank order, while the
+    // residency cap and (with a floor) the per-kernel CU guarantee
+    // still hold. admitContext() runs synchronously, so the resident
+    // count grows as we go.
+    std::vector<gpu::DispatchContext *> queued;
+    unsigned resident = 0;
+    for (const auto &ctx : contexts) {
+        if (ctx->state == gpu::ContextState::Queued)
+            queued.push_back(ctx.get());
+        else if (ctx->state == gpu::ContextState::Resident)
+            ++resident;
+    }
+    std::sort(queued.begin(), queued.end(),
+              [](const gpu::DispatchContext *a,
+                 const gpu::DispatchContext *b) {
+                  return ranksBefore(*a, *b);
+              });
+    for (gpu::DispatchContext *ctx : queued) {
+        if (resident >= config.maxResidentKernels)
+            break;
+        if (config.cuShareFloor > 0 &&
+            (resident + 1) * config.cuShareFloor > online)
+            break;
+        dispatcher->admitContext(ctx->id);
+        ++resident;
+    }
+
+    // Phase 2: quotas for the resident contexts, in rank order.
+    // Demand is the context's live (not-yet-completed) WG count, so a
+    // nearly-finished kernel never hoards CUs it cannot fill.
+    std::vector<gpu::DispatchContext *> ranked;
+    for (const auto &ctx : contexts) {
+        if (ctx->state == gpu::ContextState::Resident)
+            ranked.push_back(ctx.get());
+    }
+    std::sort(ranked.begin(), ranked.end(),
+              [](const gpu::DispatchContext *a,
+                 const gpu::DispatchContext *b) {
+                  return ranksBefore(*a, *b);
+              });
+
+    std::vector<unsigned> quota(ranked.size(), 0);
+    unsigned granted = 0;
+    // Floor pass: every resident kernel gets its guaranteed share
+    // (capped by demand) before anyone gets more.
+    for (std::size_t i = 0; i < ranked.size(); ++i) {
+        unsigned demand = ranked[i]->liveWgs();
+        unsigned give = std::min({config.cuShareFloor, demand,
+                                  online - granted});
+        quota[i] = give;
+        granted += give;
+    }
+    // Cascade pass: leftover CUs flow to the highest-ranked contexts
+    // up to their demand.
+    for (std::size_t i = 0; i < ranked.size() && granted < online; ++i) {
+        unsigned demand = ranked[i]->liveWgs();
+        if (demand <= quota[i])
+            continue;
+        unsigned give = std::min(demand - quota[i], online - granted);
+        quota[i] += give;
+        granted += give;
+    }
+    // Surplus pass: when total demand is below the machine size, the
+    // remaining CUs still get an owner (top rank). Leaving them
+    // unowned would evict running WGs from a winding-down kernel for
+    // nobody's benefit.
+    if (!ranked.empty() && granted < online) {
+        quota[0] += online - granted;
+        granted = online;
+    }
+
+    // Phase 3: stable mapping. Offline CUs keep their owner while it
+    // is resident (nothing can run there, and the owner reclaims the
+    // CU on restoration without a reassignment). Each context first
+    // keeps CUs it already owns, in CU id order, up to its quota;
+    // then free online CUs fill the remainder in rank order.
+    const std::vector<int> &current = dispatcher->cuAssignment();
+    const unsigned num_cus = dispatcher->numCus();
+    std::vector<int> owner(num_cus, -1);
+    std::vector<bool> cuFree(num_cus, false);
+    for (unsigned cu = 0; cu < num_cus; ++cu) {
+        int cur = current[cu];
+        bool cur_resident =
+            cur >= 0 &&
+            dispatcher->context(cur)->state ==
+                gpu::ContextState::Resident;
+        if (dispatcher->cuOnline(cu)) {
+            cuFree[cu] = true;
+        } else if (cur_resident) {
+            owner[cu] = cur;
+        }
+    }
+    for (std::size_t i = 0; i < ranked.size(); ++i) {
+        gpu::DispatchContext *ctx = ranked[i];
+        unsigned kept = 0;
+        // Among the CUs a shrinking context keeps, prefer the ones
+        // hosting its work-groups: keeping an idle CU while evicting a
+        // running WG would trade a free CU for a context save.
+        for (int hosted = 1; hosted >= 0; --hosted) {
+            for (unsigned cu = 0; cu < num_cus && kept < quota[i];
+                 ++cu) {
+                if (cuFree[cu] && current[cu] == ctx->id &&
+                    static_cast<int>(dispatcher->cuHostsContext(
+                        cu, ctx->id)) == hosted) {
+                    owner[cu] = ctx->id;
+                    cuFree[cu] = false;
+                    ++kept;
+                }
+            }
+        }
+        quota[i] -= kept;
+    }
+    for (std::size_t i = 0; i < ranked.size(); ++i) {
+        gpu::DispatchContext *ctx = ranked[i];
+        for (unsigned cu = 0; cu < num_cus && quota[i] > 0; ++cu) {
+            if (cuFree[cu]) {
+                owner[cu] = ctx->id;
+                cuFree[cu] = false;
+                --quota[i];
+            }
+        }
+    }
+
+    dispatcher->setCuAssignment(owner);
+}
+
+} // namespace ifp::cp

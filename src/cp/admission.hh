@@ -1,0 +1,88 @@
+/**
+ * @file
+ * CP admission/preemption scheduler for multi-tenant kernel serving.
+ *
+ * The Command Processor firmware decides which enqueued kernels are
+ * resident and how the CUs are carved between them. The policy is
+ * priority-preemptive with a configurable CU-share floor:
+ *
+ *  - Admission: queued contexts are admitted in rank order (priority
+ *    desc, arrival asc, ctx id asc) while fewer than
+ *    `maxResidentKernels` are resident and, with a non-zero floor,
+ *    every resident kernel can still be guaranteed `cuShareFloor`
+ *    online CUs.
+ *  - CU carving: every resident context first receives its floor
+ *    (capped by its remaining WG demand), then the leftover CUs
+ *    cascade to the highest-ranked contexts up to their demand. The
+ *    mapping is stable: a context keeps the CUs it already owns up to
+ *    its new quota (in CU id order) before free CUs are granted, so
+ *    churn — and therefore preemption — is minimized.
+ *
+ * Every hook runs synchronously inside the dispatcher notification
+ * that triggered it; the scheduler never schedules events of its own,
+ * so admission decisions add nothing to the event queue and runs stay
+ * deterministic (and byte-identical for single-kernel legacy runs:
+ * one context is admitted immediately and granted every CU).
+ *
+ * Revoking a CU pre-empts the previous owner's WGs through the
+ * drain/context-save machinery of the §VI oversubscription scenario —
+ * multi-tenant CU churn is the organic, recurring form of that fault,
+ * and only swap-in-capable policies (the paper's point) survive it.
+ */
+
+#ifndef IFP_CP_ADMISSION_HH
+#define IFP_CP_ADMISSION_HH
+
+#include "gpu/dispatcher.hh"
+
+namespace ifp::cp {
+
+/** Admission policy knobs (part of CpConfig). */
+struct AdmissionConfig
+{
+    /** Max concurrently-resident kernels (1 = serial execution). */
+    unsigned maxResidentKernels = 4;
+    /**
+     * Guaranteed online CUs per resident kernel. 0 disables the
+     * guarantee: low-priority kernels may hold zero CUs while
+     * higher-priority work runs (pure priority cascade).
+     */
+    unsigned cuShareFloor = 1;
+};
+
+/** The CP's admission/preemption scheduler. */
+class AdmissionScheduler : public gpu::AdmissionPolicy
+{
+  public:
+    explicit AdmissionScheduler(const AdmissionConfig &cfg)
+        : config(cfg)
+    {
+    }
+
+    void setDispatcher(gpu::Dispatcher *d) { dispatcher = d; }
+
+    /// @name gpu::AdmissionPolicy
+    /// @{
+    void contextEnqueued(int ctx_id) override;
+    void contextCompleted(int ctx_id) override;
+    void cuAvailabilityChanged() override;
+    /// @}
+
+    /** Number of full admission/carving passes run. */
+    std::uint64_t recomputePasses() const { return passes; }
+
+  private:
+    /**
+     * One full pass: admit what fits, recompute quotas, install the
+     * stable CU assignment. Idempotent — safe to run on any trigger.
+     */
+    void recompute();
+
+    AdmissionConfig config;
+    gpu::Dispatcher *dispatcher = nullptr;
+    std::uint64_t passes = 0;
+};
+
+} // namespace ifp::cp
+
+#endif // IFP_CP_ADMISSION_HH

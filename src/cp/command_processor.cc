@@ -18,6 +18,7 @@ CommandProcessor::CommandProcessor(std::string name, sim::EventQueue &eq,
       store(backing),
       log(cfg.monitorLogBase, cfg.monitorLogCapacity, backing, l2,
           request_pool),
+      admScheduler(cfg.admission),
       statGroup(this->name()),
       contextSavesStat(statGroup.addScalar("contextSaves",
                                            "WG contexts saved")),

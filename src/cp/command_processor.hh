@@ -26,6 +26,7 @@
 #include <unordered_map>
 #include <vector>
 
+#include "cp/admission.hh"
 #include "cp/monitor_log.hh"
 #include "gpu/sched_iface.hh"
 #include "gpu/workgroup.hh"
@@ -51,6 +52,8 @@ struct CpConfig
     /** Context store base address in global memory. */
     mem::Addr contextStoreBase = 0x5000'0000ULL;
     sim::Tick clockPeriod = sim::periodFromFrequency(2'000'000'000ULL);
+    /** Multi-kernel admission/preemption policy knobs. */
+    AdmissionConfig admission;
 };
 
 /** The Command Processor. */
@@ -66,6 +69,17 @@ class CommandProcessor : public sim::Clocked,
 
     void setScheduler(gpu::WgScheduler *s) { scheduler = s; }
     void setTraceSink(sim::TraceSink *sink) { trace = sink; }
+
+    /**
+     * The firmware's kernel admission/preemption scheduler. The
+     * GpuSystem wires it to the dispatcher; it runs synchronously
+     * inside dispatcher notifications (no events of its own).
+     */
+    AdmissionScheduler &admissionScheduler() { return admScheduler; }
+    const AdmissionScheduler &admissionScheduler() const
+    {
+        return admScheduler;
+    }
 
     /// @name ContextSwitcher
     /// @{
@@ -144,6 +158,7 @@ class CommandProcessor : public sim::Clocked,
     sim::TraceSink *trace = nullptr;
 
     MonitorLog log;
+    AdmissionScheduler admScheduler;
     /** The "monitor table": drained, lookup-efficient conditions. */
     std::vector<SpilledCond> spilled;
     /** Rescue deadlines for waiting WGs, keyed by WG id. */

@@ -23,6 +23,7 @@
 #include <vector>
 
 #include "gpu/gpu_config.hh"
+#include "gpu/sched_iface.hh"
 #include "gpu/workgroup.hh"
 #include "mem/backing_store.hh"
 #include "mem/request.hh"
@@ -31,23 +32,6 @@
 #include "sim/stats.hh"
 
 namespace ifp::gpu {
-
-/** Events a CU reports to the dispatcher. */
-class CuListener
-{
-  public:
-    virtual ~CuListener() = default;
-
-    /** All wavefronts of @p wg executed halt. */
-    virtual void wgCompleted(WorkGroup *wg) = 0;
-
-    /**
-     * The waiting policy asked @p wg to yield its resources.
-     * @p rescue_cycles is the backstop timeout to arm at the CP.
-     */
-    virtual void wgWantsSwitch(WorkGroup *wg,
-                               sim::Cycles rescue_cycles) = 0;
-};
 
 /** One compute unit. */
 class ComputeUnit : public sim::Clocked, public mem::MemResponder

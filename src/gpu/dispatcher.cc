@@ -4,6 +4,18 @@
 
 namespace ifp::gpu {
 
+const char *
+contextStateName(ContextState state)
+{
+    switch (state) {
+      case ContextState::Created: return "created";
+      case ContextState::Queued: return "queued";
+      case ContextState::Resident: return "resident";
+      case ContextState::Complete: return "complete";
+    }
+    return "?";
+}
+
 Dispatcher::Dispatcher(std::string name, sim::EventQueue &eq,
                        const GpuConfig &cfg)
     : Clocked(std::move(name), eq, cfg.clockPeriod),
@@ -22,6 +34,10 @@ Dispatcher::Dispatcher(std::string name, sim::EventQueue &eq,
           "condition-met resumes of switched-out WGs")),
       forcedPreemptions(statGroup.addScalar(
           "forcedPreemptions", "WGs pre-empted by kernel scheduling")),
+      contextsAdmitted(statGroup.addScalar(
+          "contextsAdmitted", "dispatch contexts made resident")),
+      cuReassignments(statGroup.addScalar(
+          "cuReassignments", "CU ownership changes")),
       wgCycles(statGroup.addVector(
           "wgCycles", sim::numStallReasons,
           "WG lifetime cycles by stall reason"))
@@ -32,23 +48,97 @@ void
 Dispatcher::setCus(std::vector<ComputeUnit *> cu_list)
 {
     cus = std::move(cu_list);
+    cuOwner.assign(cus.size(), -1);
     for (ComputeUnit *cu : cus)
         cu->setListener(this);
+}
+
+int
+Dispatcher::createContext(const isa::Kernel &k,
+                          const LaunchOptions &opts,
+                          sim::Tick enqueue_tick)
+{
+    ifp_assert(k.numWgs > 0, "kernel with zero work-groups");
+    int ctx_id = static_cast<int>(contexts.size());
+    contexts.push_back(std::make_unique<DispatchContext>(
+        ctx_id, k, opts, enqueue_tick));
+    DispatchContext &ctx = *contexts.back();
+    ctx.firstWg = static_cast<int>(wgs.size());
+    ctx.numWgs = ctx.kernel.numWgs;
+    wgs.reserve(wgs.size() + ctx.numWgs);
+    for (unsigned i = 0; i < ctx.numWgs; ++i) {
+        int wg_id = ctx.firstWg + static_cast<int>(i);
+        // WGs point into the context's own kernel copy: serving
+        // enqueues outlive the caller's kernel object. The ABI wg id
+        // is the context-local index — kernels address their buffers
+        // with it and must not see the global id.
+        wgs.push_back(std::make_unique<WorkGroup>(
+            wg_id, ctx.kernel, enqueue_tick, static_cast<int>(i)));
+        wgs.back()->ctxId = ctx_id;
+        ctx.pendingFresh.push_back(wg_id);
+    }
+    return ctx_id;
+}
+
+void
+Dispatcher::contextArrived(int ctx_id)
+{
+    DispatchContext &ctx = *context(ctx_id);
+    ifp_assert(ctx.state == ContextState::Created,
+               "ctx%d arrived in state %s", ctx_id,
+               contextStateName(ctx.state));
+    ctx.state = ContextState::Queued;
+    sim::emitTrace(trace, curTick(),
+                   sim::TraceEventKind::KernelEnqueued, -1, -1,
+                   sim::StallReason::Running, 0, ctx_id);
+    if (ctx.opts.listener)
+        ctx.opts.listener->kernelEnqueued(ctx);
+    if (listener)
+        listener->kernelEnqueued(ctx);
+
+    if (admission) {
+        admission->contextEnqueued(ctx_id);
+        return;
+    }
+    // Standalone fallback (no admission scheduler installed): admit
+    // immediately and take every unowned CU.
+    admitContext(ctx_id);
+    std::vector<int> owner = cuOwner;
+    for (int &o : owner) {
+        if (o < 0)
+            o = ctx_id;
+    }
+    setCuAssignment(owner);
+}
+
+void
+Dispatcher::admitContext(int ctx_id)
+{
+    DispatchContext &ctx = *context(ctx_id);
+    ifp_assert(ctx.state == ContextState::Queued,
+               "ctx%d admitted in state %s", ctx_id,
+               contextStateName(ctx.state));
+    ctx.state = ContextState::Resident;
+    ctx.admitTick = curTick();
+    residentOrder.push_back(ctx_id);
+    ++contextsAdmitted;
+    sim::emitTrace(trace, curTick(),
+                   sim::TraceEventKind::KernelAdmitted, -1, -1,
+                   sim::StallReason::Running, 0, ctx_id);
+    if (ctx.opts.listener)
+        ctx.opts.listener->kernelAdmitted(ctx);
+    if (listener)
+        listener->kernelAdmitted(ctx);
 }
 
 void
 Dispatcher::launch(const isa::Kernel &k)
 {
-    ifp_assert(kernel == nullptr, "dispatcher supports one launch");
-    ifp_assert(k.numWgs > 0, "kernel with zero work-groups");
-    kernel = &k;
-    wgs.reserve(k.numWgs);
-    for (unsigned i = 0; i < k.numWgs; ++i) {
-        wgs.push_back(std::make_unique<WorkGroup>(static_cast<int>(i),
-                                                  k));
-        pendingFresh.push_back(static_cast<int>(i));
-    }
-    tryDispatch();
+    ifp_assert(contexts.empty(),
+               "launch() supports one kernel; use createContext()/"
+               "contextArrived() for multi-kernel runs");
+    int ctx_id = createContext(k, LaunchOptions{}, curTick());
+    contextArrived(ctx_id);
 }
 
 WorkGroup *
@@ -60,10 +150,51 @@ Dispatcher::wg(int wg_id)
     return wgs[wg_id].get();
 }
 
+DispatchContext *
+Dispatcher::context(int ctx_id)
+{
+    ifp_assert(ctx_id >= 0 &&
+               static_cast<std::size_t>(ctx_id) < contexts.size(),
+               "bad ctx id %d", ctx_id);
+    return contexts[ctx_id].get();
+}
+
+const DispatchContext *
+Dispatcher::context(int ctx_id) const
+{
+    ifp_assert(ctx_id >= 0 &&
+               static_cast<std::size_t>(ctx_id) < contexts.size(),
+               "bad ctx id %d", ctx_id);
+    return contexts[ctx_id].get();
+}
+
+DispatchContext &
+Dispatcher::ctxOf(const WorkGroup *w)
+{
+    return *contexts[w->ctxId];
+}
+
+bool
+Dispatcher::cuHostsContext(unsigned cu_id, int ctx_id) const
+{
+    const DispatchContext &ctx = *contexts[ctx_id];
+    for (unsigned i = 0; i < ctx.numWgs; ++i) {
+        const WorkGroup *w = wgs[ctx.firstWg + static_cast<int>(i)].get();
+        if (w->cuId == static_cast<int>(cu_id))
+            return true;
+    }
+    return false;
+}
+
 bool
 Dispatcher::hasStarvedWork() const
 {
-    return !pendingFresh.empty() || !readySwapIn.empty();
+    for (int ctx_id : residentOrder) {
+        const DispatchContext &ctx = *contexts[ctx_id];
+        if (!ctx.pendingFresh.empty() || !ctx.readySwapIn.empty())
+            return true;
+    }
+    return false;
 }
 
 unsigned
@@ -77,12 +208,26 @@ Dispatcher::numWaitingWgs() const
     return n;
 }
 
+unsigned
+Dispatcher::numOnlineCus() const
+{
+    unsigned n = 0;
+    for (const ComputeUnit *cu : cus) {
+        if (!cu->offline())
+            ++n;
+    }
+    return n;
+}
+
 ComputeUnit *
-Dispatcher::findHost(const isa::Kernel &k)
+Dispatcher::findHost(const DispatchContext &ctx)
 {
     ComputeUnit *best = nullptr;
-    for (ComputeUnit *cu : cus) {
-        if (!cu->canHost(k))
+    for (std::size_t i = 0; i < cus.size(); ++i) {
+        if (cuOwner[i] != ctx.id)
+            continue;
+        ComputeUnit *cu = cus[i];
+        if (!cu->canHost(ctx.kernel))
             continue;
         if (!best || cu->numResidentWgs() < best->numResidentWgs())
             best = cu;
@@ -96,22 +241,25 @@ Dispatcher::tryDispatch()
     bool progress = true;
     while (progress) {
         progress = false;
-
-        if (swapInCapable && !readySwapIn.empty()) {
-            WorkGroup *w = wg(readySwapIn.front());
-            if (ComputeUnit *cu = findHost(*w->kernel)) {
-                readySwapIn.pop_front();
-                startSwapIn(w, cu);
-                progress = true;
-                continue;
+        for (int ctx_id : residentOrder) {
+            DispatchContext &ctx = *contexts[ctx_id];
+            if (swapInCapable && !ctx.readySwapIn.empty()) {
+                WorkGroup *w = wg(ctx.readySwapIn.front());
+                if (ComputeUnit *cu = findHost(ctx)) {
+                    ctx.readySwapIn.pop_front();
+                    startSwapIn(w, cu);
+                    progress = true;
+                    break;
+                }
             }
-        }
-        if (!pendingFresh.empty()) {
-            WorkGroup *w = wg(pendingFresh.front());
-            if (ComputeUnit *cu = findHost(*w->kernel)) {
-                pendingFresh.pop_front();
-                startFresh(w, cu);
-                progress = true;
+            if (!ctx.pendingFresh.empty()) {
+                WorkGroup *w = wg(ctx.pendingFresh.front());
+                if (ComputeUnit *cu = findHost(ctx)) {
+                    ctx.pendingFresh.pop_front();
+                    startFresh(w, cu);
+                    progress = true;
+                    break;
+                }
             }
         }
     }
@@ -124,6 +272,10 @@ Dispatcher::startFresh(WorkGroup *w, ComputeUnit *cu)
                "fresh dispatch of wg%d in state %s", w->id,
                wgStateName(w->state));
     ++dispatches;
+    DispatchContext &ctx = ctxOf(w);
+    ++ctx.dispatches;
+    if (curTick() < ctx.firstDispatchTick)
+        ctx.firstDispatchTick = curTick();
     cu->placeWg(w);
     w->setState(WgState::Dispatching, curTick());
     w->dispatchTick = curTick();
@@ -148,6 +300,7 @@ Dispatcher::startSwapIn(WorkGroup *w, ComputeUnit *cu)
                wgStateName(w->state));
     ifp_assert(switcher, "no context switcher installed");
     ++swapIns;
+    ++ctxOf(w).swapIns;
 
     // Close out recovery accounting: the first swap-in after a CU
     // restoration marks the machine using the returned resources.
@@ -162,6 +315,15 @@ Dispatcher::startSwapIn(WorkGroup *w, ComputeUnit *cu)
     switcher->restoreContext(w, [this, w, cu] {
         ++w->contextRestores;
         cu->activateWg(w);
+        DispatchContext &ctx = ctxOf(w);
+        if (ctx.opts.listener) {
+            ctx.opts.listener->kernelResumed(
+                ctx, w->id, static_cast<int>(cu->cuId()));
+        }
+        if (listener) {
+            listener->kernelResumed(ctx, w->id,
+                                    static_cast<int>(cu->cuId()));
+        }
         // The CU may have churned offline while the restore DMA was
         // in flight; evict the WG right back out.
         if (cu->offline())
@@ -186,6 +348,7 @@ Dispatcher::beginSwapOut(WorkGroup *w)
 {
     ifp_assert(w->cuId >= 0, "swap-out of non-resident wg%d", w->id);
     ++swapOuts;
+    ++ctxOf(w).swapOuts;
     sim::emitTrace(trace, curTick(), sim::TraceEventKind::WgSwitchOut,
                    w->id, w->cuId);
     w->setState(WgState::SwitchingOut, curTick());
@@ -211,7 +374,7 @@ Dispatcher::finishSwapOut(WorkGroup *w)
                        sim::TraceEventKind::WgSwitchedOut, w->id, -1,
                        sim::StallReason::DispatchQueue);
         w->resumePending = false;
-        readySwapIn.push_back(w->id);
+        ctxOf(w).readySwapIn.push_back(w->id);
     } else {
         w->setState(WgState::SwappedOut, curTick());
         sim::emitTrace(trace, curTick(),
@@ -252,7 +415,7 @@ Dispatcher::resumeWg(int wg_id)
         sim::emitTrace(trace, curTick(),
                        sim::TraceEventKind::WgResumed, wg_id, -1);
         w->hasWaitCond = false;
-        readySwapIn.push_back(wg_id);
+        ctxOf(w).readySwapIn.push_back(wg_id);
         tryDispatch();
         return;
       }
@@ -262,6 +425,40 @@ Dispatcher::resumeWg(int wg_id)
       case WgState::SwitchingIn:
       case WgState::Done:
         return;  // nothing to do / already on its way
+    }
+}
+
+void
+Dispatcher::contextCompleted(DispatchContext &ctx)
+{
+    ctx.state = ContextState::Complete;
+    ctx.completeTick = curTick();
+    ++completedContexts;
+    for (std::size_t i = 0; i < residentOrder.size(); ++i) {
+        if (residentOrder[i] == ctx.id) {
+            residentOrder.erase(residentOrder.begin() +
+                                static_cast<std::ptrdiff_t>(i));
+            break;
+        }
+    }
+    sim::emitTrace(trace, curTick(),
+                   sim::TraceEventKind::KernelCompleted, -1, -1,
+                   sim::StallReason::Running, 0, ctx.id);
+    if (ctx.opts.listener)
+        ctx.opts.listener->kernelCompleted(ctx);
+    if (listener)
+        listener->kernelCompleted(ctx);
+
+    if (admission) {
+        // Reclaims the context's CUs and admits queued work.
+        admission->contextCompleted(ctx.id);
+    } else {
+        std::vector<int> owner = cuOwner;
+        for (int &o : owner) {
+            if (o == ctx.id)
+                o = -1;
+        }
+        setCuAssignment(owner);
     }
 }
 
@@ -280,9 +477,10 @@ Dispatcher::wgCompleted(WorkGroup *w)
     if (switcher)
         switcher->cancelRescue(w->id);
     ++completed;
-    if (completed == wgs.size()) {
-        if (onComplete)
-            onComplete();
+    DispatchContext &ctx = ctxOf(w);
+    ++ctx.completed;
+    if (ctx.complete()) {
+        contextCompleted(ctx);
     } else {
         tryDispatch();
     }
@@ -299,12 +497,29 @@ Dispatcher::onlineCu(unsigned cu_id)
     sim::emitTrace(trace, curTick(), sim::TraceEventKind::CuOnline, -1,
                    static_cast<int>(cu_id));
     tryDispatch();
+    if (admission)
+        admission->cuAvailabilityChanged();
+}
+
+void
+Dispatcher::notifyPreempted(WorkGroup *w, int cu_id)
+{
+    DispatchContext &ctx = ctxOf(w);
+    ++ctx.preemptions;
+    sim::emitTrace(trace, curTick(),
+                   sim::TraceEventKind::KernelPreempted, w->id, cu_id,
+                   sim::StallReason::Running, 0, ctx.id);
+    if (ctx.opts.listener)
+        ctx.opts.listener->kernelPreempted(ctx, w->id, cu_id);
+    if (listener)
+        listener->kernelPreempted(ctx, w->id, cu_id);
 }
 
 void
 Dispatcher::preemptRunning(WorkGroup *w)
 {
     ++forcedPreemptions;
+    notifyPreempted(w, w->cuId);
     sim::emitTrace(trace, curTick(), sim::TraceEventKind::WgPreempted,
                    w->id, w->cuId);
     w->setState(WgState::SwitchingOut, curTick());
@@ -316,6 +531,23 @@ Dispatcher::preemptRunning(WorkGroup *w)
             finishSwapOut(w);
         }
     });
+}
+
+int
+Dispatcher::requeueDispatching(WorkGroup *w, unsigned cu_id)
+{
+    // Caught inside the launch latency: cancel the pending
+    // activation (epoch guard) and put the WG back in the fresh
+    // queue — it never ran, so there is no context to save.
+    ++w->dispatchEpoch;
+    ++forcedPreemptions;
+    notifyPreempted(w, static_cast<int>(cu_id));
+    sim::emitTrace(trace, curTick(),
+                   sim::TraceEventKind::WgPreempted, w->id,
+                   static_cast<int>(cu_id));
+    cus[cu_id]->removeWg(w);
+    w->setState(WgState::Pending, curTick());
+    return w->id;
 }
 
 void
@@ -334,18 +566,7 @@ Dispatcher::offlineCu(unsigned cu_id)
     std::vector<int> requeued;
     for (WorkGroup *w : victims) {
         if (w->state == WgState::Dispatching) {
-            // Caught inside the launch latency: cancel the pending
-            // activation (epoch guard) and put the WG back in the
-            // fresh queue — it never ran, so there is no context to
-            // save.
-            ++w->dispatchEpoch;
-            ++forcedPreemptions;
-            sim::emitTrace(trace, curTick(),
-                           sim::TraceEventKind::WgPreempted, w->id,
-                           static_cast<int>(cu_id));
-            cu->removeWg(w);
-            w->setState(WgState::Pending, curTick());
-            requeued.push_back(w->id);
+            requeued.push_back(requeueDispatching(w, cu_id));
             continue;
         }
         if (w->state != WgState::Running)
@@ -354,11 +575,65 @@ Dispatcher::offlineCu(unsigned cu_id)
     }
     if (!requeued.empty()) {
         // Front of the queue, original order: they were dispatched
-        // first, so they go back out first.
-        pendingFresh.insert(pendingFresh.begin(), requeued.begin(),
-                            requeued.end());
+        // first, so they go back out first. All victims of one CU
+        // belong to its owning context.
+        std::deque<int> &queue = ctxOf(wg(requeued.front())).pendingFresh;
+        queue.insert(queue.begin(), requeued.begin(), requeued.end());
         tryDispatch();
     }
+    if (admission)
+        admission->cuAvailabilityChanged();
+}
+
+void
+Dispatcher::setCuAssignment(const std::vector<int> &owner)
+{
+    ifp_assert(owner.size() == cus.size(),
+               "CU assignment size %zu != %zu CUs", owner.size(),
+               cus.size());
+    // Per-context requeue batches, front-inserted in original order.
+    std::vector<std::vector<int>> requeued(contexts.size());
+    bool changed = false;
+    for (std::size_t i = 0; i < cus.size(); ++i) {
+        int next = owner[i];
+        int prev = cuOwner[i];
+        if (next == prev)
+            continue;
+        ifp_assert(next < static_cast<int>(contexts.size()),
+                   "CU %zu assigned to unknown ctx %d", i, next);
+        changed = true;
+        ++cuReassignments;
+        if (prev >= 0)
+            ++contexts[prev]->cusLost;
+        if (next >= 0)
+            ++contexts[next]->cusGained;
+
+        // Revocation pre-empts the previous owner's WGs through the
+        // same drain/save machinery the offline-CU scenario uses.
+        std::vector<WorkGroup *> victims = cus[i]->residentWgs();
+        for (WorkGroup *w : victims) {
+            if (w->ctxId == next)
+                continue;
+            if (w->state == WgState::Dispatching) {
+                requeued[w->ctxId].push_back(
+                    requeueDispatching(w, static_cast<unsigned>(i)));
+                continue;
+            }
+            if (w->state != WgState::Running)
+                continue;  // already switching out or restoring
+            preemptRunning(w);
+        }
+        cuOwner[i] = next;
+    }
+    for (std::size_t c = 0; c < requeued.size(); ++c) {
+        if (requeued[c].empty())
+            continue;
+        std::deque<int> &queue = contexts[c]->pendingFresh;
+        queue.insert(queue.begin(), requeued[c].begin(),
+                     requeued[c].end());
+    }
+    if (changed)
+        tryDispatch();
 }
 
 void

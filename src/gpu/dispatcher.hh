@@ -1,13 +1,24 @@
 /**
  * @file
  * Work-group dispatcher: WG ids, placement, completion tracking and
- * the resume paths of the paper's cooperative scheduling.
+ * the resume paths of the paper's cooperative scheduling — for a set
+ * of concurrently-resident kernels.
  *
- * The dispatcher owns all WG instances of a kernel launch. Fresh WGs
- * dispatch in id order as resources permit. When a waiting-policy
- * controller asks a WG to yield (Switch decision) the dispatcher
- * orchestrates the drain / context-save / resource-free sequence with
- * the CU and the Command Processor; resumes go the other way.
+ * The dispatcher owns one DispatchContext per enqueued kernel. WG ids
+ * are globally unique and dense across contexts; each context keeps
+ * its own fresh/swap-in queues and stat shadows. CU ownership is an
+ * explicit map (`cuOwner`): the AdmissionPolicy (the CP's admission
+ * scheduler) carves the CUs between resident contexts, and findHost()
+ * only considers CUs the WG's context owns. Revoking a CU from a
+ * context pre-empts its Running/Dispatching WGs through exactly the
+ * drain/context-save machinery the §VI offline-CU scenario uses —
+ * multi-tenant CU churn is the organic form of that fault.
+ *
+ * Fresh WGs dispatch in id order as resources permit. When a
+ * waiting-policy controller asks a WG to yield (Switch decision) the
+ * dispatcher orchestrates the drain / context-save / resource-free
+ * sequence with the CU and the Command Processor; resumes go the
+ * other way.
  *
  * `swapInCapable` distinguishes the paper's Baseline from everything
  * else: current GPUs can pre-empt WGs (kernel-level scheduling) but
@@ -19,12 +30,11 @@
 #ifndef IFP_GPU_DISPATCHER_HH
 #define IFP_GPU_DISPATCHER_HH
 
-#include <deque>
-#include <functional>
 #include <memory>
 #include <vector>
 
 #include "gpu/compute_unit.hh"
+#include "gpu/dispatch_context.hh"
 #include "gpu/sched_iface.hh"
 #include "gpu/workgroup.hh"
 #include "sim/clocked.hh"
@@ -58,18 +68,69 @@ class Dispatcher : public sim::Clocked,
     {
         defaultRescueCycles = cycles;
     }
-    void setOnComplete(std::function<void()> fn)
-    {
-        onComplete = std::move(fn);
-    }
+
+    /** Global lifecycle hooks (GpuSystem's run loop). */
+    void setKernelListener(KernelListener *l) { listener = l; }
+
+    /** The admission/preemption scheduler (the CP's). */
+    void setAdmissionPolicy(AdmissionPolicy *p) { admission = p; }
     /// @}
 
-    /** Create all WGs of @p kernel and start dispatching. */
+    /// @name Context lifecycle
+    /// @{
+
+    /**
+     * Create the context and all its WGs (ids continue the global
+     * dense range) without making it schedulable. @p enqueue_tick is
+     * its arrival time — contextArrived() must fire at that tick.
+     * @return the new context id.
+     */
+    int createContext(const isa::Kernel &kernel,
+                      const LaunchOptions &opts,
+                      sim::Tick enqueue_tick);
+
+    /**
+     * The context's arrival time came: enter the admission queue and
+     * notify the AdmissionPolicy (which may admit it synchronously).
+     */
+    void contextArrived(int ctx_id);
+
+    /**
+     * Admission decision: make the context resident. WGs dispatch as
+     * soon as the admission policy grants CUs via setCuAssignment().
+     */
+    void admitContext(int ctx_id);
+
+    /**
+     * Install a new CU-ownership map (`owner[cu]` = ctx id, -1 =
+     * unowned). Revoked CUs pre-empt their Running/Dispatching WGs;
+     * granted CUs pick up pending work immediately. Offline CUs keep
+     * their owner (nothing can run there anyway).
+     */
+    void setCuAssignment(const std::vector<int> &owner);
+
+    const std::vector<int> &cuAssignment() const { return cuOwner; }
+
+    /**
+     * Legacy single-kernel entry: create, arrive and admit one
+     * context at the current tick. Without an AdmissionPolicy the
+     * dispatcher self-admits and takes every CU (standalone use in
+     * unit tests); with one installed the policy decides, exactly as
+     * enqueueKernel does.
+     */
     void launch(const isa::Kernel &kernel);
+    /// @}
 
     bool kernelComplete() const
     {
         return !wgs.empty() && completed == wgs.size();
+    }
+
+    /** Every created context reached Complete (and one exists). */
+    bool allContextsComplete() const
+    {
+        return !contexts.empty() &&
+               completedContexts == contexts.size();
     }
 
     /// @name WgScheduler (used by waiting-policy controllers)
@@ -100,6 +161,26 @@ class Dispatcher : public sim::Clocked,
      */
     void onlineCu(unsigned cu_id);
 
+    /** Number of CUs currently online. */
+    unsigned numOnlineCus() const;
+
+    /** Whether CU @p cu_id is online. */
+    bool cuOnline(unsigned cu_id) const
+    {
+        return cu_id < cus.size() && !cus[cu_id]->offline();
+    }
+
+    /**
+     * Whether any work-group of context @p ctx_id currently occupies
+     * CU @p cu_id (dispatching, running or draining there).
+     */
+    bool cuHostsContext(unsigned cu_id, int ctx_id) const;
+
+    unsigned numCus() const
+    {
+        return static_cast<unsigned>(cus.size());
+    }
+
     /**
      * Per-fault recovery accounting: one record per CU restoration
      * that was followed by a swap-in, measuring how long the machine
@@ -124,6 +205,14 @@ class Dispatcher : public sim::Clocked,
         return wgs;
     }
     unsigned numCompleted() const { return completed; }
+
+    DispatchContext *context(int ctx_id);
+    const DispatchContext *context(int ctx_id) const;
+    const std::vector<std::unique_ptr<DispatchContext>> &
+    dispatchContexts() const
+    {
+        return contexts;
+    }
     /// @}
 
     sim::StatGroup &stats() { return statGroup; }
@@ -139,25 +228,44 @@ class Dispatcher : public sim::Clocked,
 
   private:
     void tryDispatch();
-    ComputeUnit *findHost(const isa::Kernel &kernel);
+    ComputeUnit *findHost(const DispatchContext &ctx);
     void startFresh(WorkGroup *wg, ComputeUnit *cu);
     void startSwapIn(WorkGroup *wg, ComputeUnit *cu);
     void preemptRunning(WorkGroup *wg);
     void beginSwapOut(WorkGroup *wg);
     void finishSwapOut(WorkGroup *wg);
 
+    /**
+     * Pre-empt @p w while it is still inside the launch latency: the
+     * epoch guard cancels the pending activation and the WG returns
+     * to the front of its context's fresh queue (it never ran, so
+     * there is no context to save). @return the requeued WG id.
+     */
+    int requeueDispatching(WorkGroup *w, unsigned cu_id);
+
+    /** The context owning @p w (by its ctxId). */
+    DispatchContext &ctxOf(const WorkGroup *w);
+
+    void notifyPreempted(WorkGroup *w, int cu_id);
+    void contextCompleted(DispatchContext &ctx);
+
     const GpuConfig &config;
     std::vector<ComputeUnit *> cus;
     ContextSwitcher *switcher = nullptr;
     sim::TraceSink *trace = nullptr;
+    KernelListener *listener = nullptr;
+    AdmissionPolicy *admission = nullptr;
     bool swapInCapable = true;
     sim::Cycles defaultRescueCycles = 0;
-    std::function<void()> onComplete;
 
-    const isa::Kernel *kernel = nullptr;
+    std::vector<std::unique_ptr<DispatchContext>> contexts;
+    /** Resident contexts in admission order (tryDispatch priority). */
+    std::vector<int> residentOrder;
+    /** CU ownership: ctx id per CU, -1 = unowned. */
+    std::vector<int> cuOwner;
+    unsigned completedContexts = 0;
+
     std::vector<std::unique_ptr<WorkGroup>> wgs;
-    std::deque<int> pendingFresh;
-    std::deque<int> readySwapIn;
     unsigned completed = 0;
 
     /** Restorations whose first swap-in has not happened yet. */
@@ -171,6 +279,8 @@ class Dispatcher : public sim::Clocked,
     sim::Scalar &resumesStalled;
     sim::Scalar &resumesSwapped;
     sim::Scalar &forcedPreemptions;
+    sim::Scalar &contextsAdmitted;
+    sim::Scalar &cuReassignments;
     sim::Vector &wgCycles;
 };
 

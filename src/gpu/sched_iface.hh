@@ -1,7 +1,8 @@
 /**
  * @file
  * Narrow interfaces that decouple the GPU core from the Command
- * Processor and the waiting-policy controllers.
+ * Processor, the waiting-policy controllers and the multi-kernel
+ * serving layer.
  */
 
 #ifndef IFP_GPU_SCHED_IFACE_HH
@@ -14,6 +15,7 @@
 namespace ifp::gpu {
 
 class WorkGroup;
+class DispatchContext;
 
 /**
  * View of the WG scheduler exposed to waiting-policy controllers
@@ -66,6 +68,87 @@ class ContextSwitcher
 
     /** Cancel a previously armed rescue (the WG resumed). */
     virtual void cancelRescue(int wg_id) = 0;
+};
+
+/** Events a CU reports to the dispatcher. */
+class CuListener
+{
+  public:
+    virtual ~CuListener() = default;
+
+    /** All wavefronts of @p wg executed halt. */
+    virtual void wgCompleted(WorkGroup *wg) = 0;
+
+    /**
+     * The waiting policy asked @p wg to yield its resources.
+     * @p rescue_cycles is the backstop timeout to arm at the CP.
+     */
+    virtual void wgWantsSwitch(WorkGroup *wg,
+                               sim::Cycles rescue_cycles) = 0;
+};
+
+/**
+ * Typed per-kernel lifecycle hooks. The dispatcher pushes these both
+ * to a global listener (GpuSystem's run loop) and to the per-context
+ * listener from LaunchOptions, so serving-layer statistics are
+ * event-driven — nothing polls dispatcher state. This replaces the
+ * old untyped Dispatcher::setOnComplete(std::function) completion
+ * back-channel.
+ */
+class KernelListener
+{
+  public:
+    virtual ~KernelListener() = default;
+
+    /** The context entered the admission queue (arrival time). */
+    virtual void kernelEnqueued(const DispatchContext &) {}
+
+    /** The admission scheduler made the context resident. */
+    virtual void kernelAdmitted(const DispatchContext &) {}
+
+    /**
+     * One of the context's WGs was forcibly pre-empted (CU lost to a
+     * higher-priority kernel or to a fault).
+     */
+    virtual void kernelPreempted(const DispatchContext &, int wg_id,
+                                 int cu_id)
+    {
+        (void)wg_id;
+        (void)cu_id;
+    }
+
+    /** A previously pre-empted/swapped WG was swapped back in. */
+    virtual void kernelResumed(const DispatchContext &, int wg_id,
+                               int cu_id)
+    {
+        (void)wg_id;
+        (void)cu_id;
+    }
+
+    /** Every WG of the context completed. */
+    virtual void kernelCompleted(const DispatchContext &) {}
+};
+
+/**
+ * The admission/preemption policy the dispatcher notifies about
+ * context and CU availability changes. Implemented by the Command
+ * Processor's AdmissionScheduler (cp/admission.hh); every hook runs
+ * synchronously inside the notifying call, so admission decisions
+ * never schedule events of their own and runs stay deterministic.
+ */
+class AdmissionPolicy
+{
+  public:
+    virtual ~AdmissionPolicy() = default;
+
+    /** @p ctx_id arrived (entered the Queued state). */
+    virtual void contextEnqueued(int ctx_id) = 0;
+
+    /** @p ctx_id completed; its CUs are reclaimable. */
+    virtual void contextCompleted(int ctx_id) = 0;
+
+    /** A CU went offline or came back (fault/churn). */
+    virtual void cuAvailabilityChanged() = 0;
 };
 
 } // namespace ifp::gpu

@@ -20,14 +20,18 @@ wgStateName(WgState state)
     return "?";
 }
 
-WorkGroup::WorkGroup(int wg_id, const isa::Kernel &k)
-    : id(wg_id), kernel(&k), lds(k.ldsBytes, 0)
+WorkGroup::WorkGroup(int wg_id, const isa::Kernel &k,
+                     sim::Tick create_tick, int abi_wg_id)
+    : id(wg_id), kernel(&k), lds(k.ldsBytes, 0),
+      bucketSince(create_tick)
 {
+    if (abi_wg_id < 0)
+        abi_wg_id = wg_id;
     unsigned num_wfs = k.wavefrontsPerWg();
     wavefronts.reserve(num_wfs);
     for (unsigned i = 0; i < num_wfs; ++i) {
         wavefronts.push_back(std::make_unique<Wavefront>(this, i));
-        wavefronts.back()->initRegs(k, wg_id);
+        wavefronts.back()->initRegs(k, abi_wg_id);
     }
 }
 

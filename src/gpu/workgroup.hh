@@ -44,12 +44,25 @@ const char *wgStateName(WgState state);
 class WorkGroup
 {
   public:
-    WorkGroup(int id, const isa::Kernel &kernel);
+    /**
+     * @p create_tick is when the WG's stall-reason clock starts:
+     * launch time for the legacy single-kernel path (tick 0), the
+     * arrival tick for kernels enqueued mid-run by the serving layer.
+     *
+     * @p abi_wg_id is the work-group index the kernel sees in rWgId:
+     * the *context-local* index in [0, kernel.numWgs), while @p id is
+     * globally unique across every concurrently-resident kernel.
+     * Defaults to @p id (the legacy single-kernel case, where the two
+     * coincide).
+     */
+    WorkGroup(int id, const isa::Kernel &kernel,
+              sim::Tick create_tick = 0, int abi_wg_id = -1);
 
     /// @name Identity and placement
     /// @{
     int id;
     const isa::Kernel *kernel;
+    int ctxId = 0;               //!< owning DispatchContext
     int cuId = -1;               //!< resident CU, -1 otherwise
     /// @}
 
@@ -162,7 +175,7 @@ class WorkGroup
     sim::StallReason runBucketNow() const;
 
     sim::StallReason bucket = sim::StallReason::DispatchQueue;
-    sim::Tick bucketSince = 0;    //!< WGs are created at tick 0
+    sim::Tick bucketSince = 0;    //!< clock starts at the create tick
     bool booksClosed = false;
 };
 

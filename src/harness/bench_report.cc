@@ -117,6 +117,33 @@ BenchReport::addSweep(const std::string &label, const SweepRunner &sweep)
 }
 
 void
+BenchReport::addExternalSweep(const std::string &label,
+                              const std::vector<ExternalPoint> &points)
+{
+    if (!enabled())
+        return;
+
+    Sweep record;
+    record.label = label;
+    record.jobs = 1;
+    for (const ExternalPoint &ep : points) {
+        Point p;
+        p.workload = ep.workload;
+        p.policy = ep.policy;
+        p.completed = ep.completed;
+        p.seconds = ep.seconds;
+        p.gpuCycles = ep.gpuCycles;
+        p.hostEvents = ep.hostEvents;
+        p.memRequests = ep.memRequests;
+        record.points.push_back(std::move(p));
+        record.wallSeconds += ep.seconds;
+        record.serialSeconds += ep.seconds;
+    }
+    sweeps.push_back(std::move(record));
+    writeFile();
+}
+
+void
 BenchReport::writeFile() const
 {
     std::ofstream os(outPath, std::ios::trunc);

@@ -42,6 +42,32 @@ class BenchReport
      */
     void addSweep(const std::string &label, const SweepRunner &sweep);
 
+    /**
+     * One externally-timed run for addExternalSweep() — used by bench
+     * binaries whose evaluation does not go through a SweepRunner
+     * (e.g. the multi-kernel serving scenarios, which are one
+     * GpuSystem serving many kernels rather than many experiments).
+     */
+    struct ExternalPoint
+    {
+        std::string workload;
+        std::string policy;
+        bool completed = false;
+        double seconds = 0.0;
+        std::uint64_t gpuCycles = 0;
+        std::uint64_t hostEvents = 0;
+        std::uint64_t memRequests = 0;
+    };
+
+    /**
+     * Record a set of externally-timed points as one sweep under
+     * @p label and rewrite the report file. The sweep's wall and
+     * serial seconds are both the sum of the point timings (external
+     * runs are serial by construction). No-op when not enabled().
+     */
+    void addExternalSweep(const std::string &label,
+                          const std::vector<ExternalPoint> &points);
+
     BenchReport(const BenchReport &) = delete;
     BenchReport &operator=(const BenchReport &) = delete;
 

@@ -47,6 +47,10 @@ traceEventKindName(TraceEventKind kind)
       case TraceEventKind::CuOffline: return "cu-offline";
       case TraceEventKind::CuOnline: return "cu-online";
       case TraceEventKind::FaultInjected: return "fault-injected";
+      case TraceEventKind::KernelEnqueued: return "kernel-enqueued";
+      case TraceEventKind::KernelAdmitted: return "kernel-admitted";
+      case TraceEventKind::KernelPreempted: return "kernel-preempted";
+      case TraceEventKind::KernelCompleted: return "kernel-completed";
     }
     return "?";
 }
@@ -58,6 +62,7 @@ namespace {
 constexpr int pidGpu = 0;
 constexpr int pidSyncMon = 1;
 constexpr int pidCp = 2;
+constexpr int pidKernels = 3;
 
 // Ticks are picoseconds; Chrome-trace "ts" is microseconds. Format
 // with fixed precision so exports are byte-stable across platforms.
@@ -85,6 +90,15 @@ isCpKind(TraceEventKind kind)
            kind == TraceEventKind::LogDrain;
 }
 
+bool
+isKernelKind(TraceEventKind kind)
+{
+    return kind == TraceEventKind::KernelEnqueued ||
+           kind == TraceEventKind::KernelAdmitted ||
+           kind == TraceEventKind::KernelPreempted ||
+           kind == TraceEventKind::KernelCompleted;
+}
+
 void
 writeMeta(std::ostream &os, int pid, int tid, const char *what,
           const std::string &name, bool &first)
@@ -107,16 +121,23 @@ struct PhaseTracker
 };
 
 void
-writeAsync(std::ostream &os, const char *ph, const char *cat, int id,
-           const std::string &name, Tick tick, bool &first)
+writeAsyncAt(std::ostream &os, const char *ph, const char *cat, int id,
+             int pid, const std::string &name, Tick tick, bool &first)
 {
     if (!first)
         os << ",\n";
     first = false;
     os << "{\"ph\":\"" << ph << "\",\"cat\":\"" << cat
-       << "\",\"id\":" << id << ",\"pid\":" << pidGpu
+       << "\",\"id\":" << id << ",\"pid\":" << pid
        << ",\"tid\":0,\"ts\":" << ticksToUs(tick) << ",\"name\":\""
        << name << "\"}";
+}
+
+void
+writeAsync(std::ostream &os, const char *ph, const char *cat, int id,
+           const std::string &name, Tick tick, bool &first)
+{
+    writeAsyncAt(os, ph, cat, id, pidGpu, name, tick, first);
 }
 
 } // anonymous namespace
@@ -140,7 +161,25 @@ TraceSink::writeChromeTrace(std::ostream &os, unsigned num_cus) const
     writeMeta(os, pidCp, 0, "process_name", "CommandProcessor", first);
     writeMeta(os, pidCp, 0, "thread_name", "monitor-log", first);
 
+    // One track per dispatch context under a "Kernels" process; ctx
+    // ids are carried in the event value field.
+    bool any_kernel_events = false;
+    int max_ctx = -1;
+    for (const TraceEvent &ev : eventsVec) {
+        if (isKernelKind(ev.kind)) {
+            any_kernel_events = true;
+            max_ctx = std::max(max_ctx, static_cast<int>(ev.value));
+        }
+    }
+    if (any_kernel_events) {
+        writeMeta(os, pidKernels, 0, "process_name", "Kernels", first);
+        for (int c = 0; c <= max_ctx; ++c)
+            writeMeta(os, pidKernels, c, "thread_name",
+                      "kernel" + std::to_string(c), first);
+    }
+
     std::map<int, PhaseTracker> wgPhase;
+    std::map<int, std::string> kernelPhase;  // ctx -> open span name
     Tick last_tick = 0;
 
     auto openPhase = [&](int wg, const std::string &phase, Tick tick) {
@@ -166,6 +205,9 @@ TraceSink::writeChromeTrace(std::ostream &os, unsigned num_cus) const
         } else if (isCpKind(ev.kind)) {
             pid = pidCp;
             tid = 0;
+        } else if (isKernelKind(ev.kind)) {
+            pid = pidKernels;
+            tid = static_cast<int>(ev.value);
         }
         if (!first)
             os << ",\n";
@@ -184,6 +226,29 @@ TraceSink::writeChromeTrace(std::ostream &os, unsigned num_cus) const
         if (ev.value != 0)
             os << ",\"value\":" << ev.value;
         os << "}}";
+
+        // Kernel async spans: queued (arrival to admission) and
+        // resident (admission to completion) segments per context.
+        if (isKernelKind(ev.kind)) {
+            int ctx = static_cast<int>(ev.value);
+            std::string &open = kernelPhase[ctx];
+            auto switchSpan = [&](const char *next) {
+                if (!open.empty())
+                    writeAsyncAt(os, "e", "kernel", ctx, pidKernels,
+                                 open, ev.tick, first);
+                open = next;
+                if (!open.empty())
+                    writeAsyncAt(os, "b", "kernel", ctx, pidKernels,
+                                 open, ev.tick, first);
+            };
+            if (ev.kind == TraceEventKind::KernelEnqueued)
+                switchSpan("queued");
+            else if (ev.kind == TraceEventKind::KernelAdmitted)
+                switchSpan("resident");
+            else if (ev.kind == TraceEventKind::KernelCompleted)
+                switchSpan("");
+            continue;
+        }
 
         // WG async spans: lifetime plus lifecycle phase segments.
         if (ev.wg < 0)
@@ -241,6 +306,11 @@ TraceSink::writeChromeTrace(std::ostream &os, unsigned num_cus) const
         if (t.alive)
             writeAsync(os, "e", "wg", wg, "wg" + std::to_string(wg),
                        last_tick, first);
+    }
+    for (auto &[ctx, open] : kernelPhase) {
+        if (!open.empty())
+            writeAsyncAt(os, "e", "kernel", ctx, pidKernels, open,
+                         last_tick, first);
     }
 
     os << "\n]}\n";

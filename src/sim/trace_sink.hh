@@ -85,6 +85,10 @@ enum class TraceEventKind : std::uint8_t
     CuOffline,      //!< CU lost to kernel-level scheduling
     CuOnline,       //!< CU restored to the schedulable pool
     FaultInjected,  //!< fault-plan event fired (value = FaultKind)
+    KernelEnqueued,   //!< dispatch context arrived (value = ctx id)
+    KernelAdmitted,   //!< context made resident (value = ctx id)
+    KernelPreempted,  //!< a context's WG was evicted (value = ctx id)
+    KernelCompleted,  //!< every WG of the context done (value = ctx id)
 };
 
 /** Printable name of a TraceEventKind. */

@@ -21,6 +21,8 @@
 
 #include <gtest/gtest.h>
 
+#include <unistd.h>
+
 #include <cctype>
 #include <cstdio>
 #include <cstdlib>
@@ -63,8 +65,11 @@ runPoint(const std::string &workload, Policy policy,
          const std::string &preset, unsigned shards,
          bool want_trace = false)
 {
+    // ctest -j runs many filtered instances of this binary at once;
+    // the pid keeps their scratch artifacts from colliding in TempDir.
     static int unique = 0;
     std::string base = ::testing::TempDir() + "parity_" +
+                       std::to_string(static_cast<long>(::getpid())) + "_" +
                        std::to_string(++unique) + "_s" +
                        std::to_string(shards);
 
