@@ -1,0 +1,107 @@
+/**
+ * @file
+ * Microbenchmarks of the schedule-exploration engine: full litmus
+ * simulations per second under the stock schedule, a seeded random
+ * walk, and the bounded exhaustive DFS. Exploration throughput is
+ * the budget everything in `ifpexplore` spends — a litmus matrix is
+ * hundreds of restart-based runs, so schedules/sec decides how much
+ * schedule space a fixed wall-clock budget can cover. Also measures
+ * the oracle plumbing itself (a preferred-choice oracle vs the null
+ * fast path on identical runs).
+ */
+
+#include <benchmark/benchmark.h>
+
+#include "explore/explore.hh"
+#include "workloads/litmus.hh"
+
+namespace {
+
+using namespace ifp;
+
+/** The stock schedule of one completing litmus cell (null oracle). */
+void
+BM_StockSchedule(benchmark::State &state)
+{
+    auto litmus = workloads::makeLitmus("prod-cons");
+    std::uint64_t runs = 0;
+    for (auto _ : state) {
+        auto r = explore::runLitmusSchedule(
+            *litmus, core::Policy::Awg, nullptr);
+        benchmark::DoNotOptimize(r.verdict);
+        ++runs;
+    }
+    state.SetItemsProcessed(static_cast<std::int64_t>(runs));
+}
+BENCHMARK(BM_StockSchedule);
+
+/** Same cell through the oracle path taking every preferred pick. */
+void
+BM_PreferredOracleSchedule(benchmark::State &state)
+{
+    auto litmus = workloads::makeLitmus("prod-cons");
+    std::uint64_t runs = 0;
+    for (auto _ : state) {
+        explore::PreferredOracle oracle;
+        auto r = explore::runLitmusSchedule(
+            *litmus, core::Policy::Awg, &oracle);
+        benchmark::DoNotOptimize(r.verdict);
+        ++runs;
+    }
+    state.SetItemsProcessed(static_cast<std::int64_t>(runs));
+}
+BENCHMARK(BM_PreferredOracleSchedule);
+
+/** A deadlocking cell: verdict costs whole detection windows. */
+void
+BM_DeadlockSchedule(benchmark::State &state)
+{
+    auto litmus = workloads::makeLitmus("mutual-pair");
+    std::uint64_t runs = 0;
+    for (auto _ : state) {
+        auto r = explore::runLitmusSchedule(
+            *litmus, core::Policy::Baseline, nullptr);
+        benchmark::DoNotOptimize(r.verdict);
+        ++runs;
+    }
+    state.SetItemsProcessed(static_cast<std::int64_t>(runs));
+}
+BENCHMARK(BM_DeadlockSchedule);
+
+/** Seeded random walk, schedules/sec (items = schedules). */
+void
+BM_RandomWalk(benchmark::State &state)
+{
+    auto litmus = workloads::makeLitmus("prod-cons");
+    const unsigned schedules =
+        static_cast<unsigned>(state.range(0));
+    std::uint64_t total = 0;
+    for (auto _ : state) {
+        auto walk = explore::randomWalk(*litmus, core::Policy::Awg,
+                                        /*seed=*/1, schedules);
+        total += walk.schedules.size();
+    }
+    state.SetItemsProcessed(static_cast<std::int64_t>(total));
+}
+BENCHMARK(BM_RandomWalk)->Arg(8)->Arg(32);
+
+/** Bounded exhaustive DFS over one cell (items = schedules run). */
+void
+BM_ExhaustiveDfs(benchmark::State &state)
+{
+    auto litmus = workloads::makeLitmus("occ-barrier");
+    explore::ExhaustiveConfig cfg;
+    cfg.maxSchedules = 40;
+    cfg.maxPrefixDepth = 8;
+    std::uint64_t total = 0;
+    for (auto _ : state) {
+        auto r = explore::exhaustive(*litmus, core::Policy::Awg, cfg);
+        total += r.schedulesRun;
+    }
+    state.SetItemsProcessed(static_cast<std::int64_t>(total));
+}
+BENCHMARK(BM_ExhaustiveDfs);
+
+} // namespace
+
+BENCHMARK_MAIN();

@@ -141,6 +141,15 @@ GpuSystem::GpuSystem(const RunConfig &run_cfg)
             monitor->setTraceSink(sink.get());
     }
 
+    if (cfg.schedOracle) {
+        dispatch->setSchedOracle(cfg.schedOracle);
+        cp->setSchedOracle(cfg.schedOracle);
+        for (auto &cu : cus)
+            cu->setSchedOracle(cfg.schedOracle);
+        if (monitor)
+            monitor->setSchedOracle(cfg.schedOracle);
+    }
+
     setupShardDomains();
 }
 

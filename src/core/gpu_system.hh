@@ -38,6 +38,7 @@
 #include "mem/l2_cache.hh"
 #include "sim/event_domain.hh"
 #include "sim/event_queue.hh"
+#include "sim/sched_oracle.hh"
 #include "sim/trace_sink.hh"
 #include "syncmon/sync_monitor.hh"
 #include "syncmon/timeout_controller.hh"
@@ -104,6 +105,18 @@ struct RunConfig
 
     /** Liveness-oracle configuration (core/liveness.hh). */
     LivenessConfig liveness;
+
+    /**
+     * Schedule-choice oracle (sim/sched_oracle.hh), non-owning; must
+     * outlive the run. Null (the default) keeps the stock
+     * deterministic schedule with zero overhead — every decision
+     * site is byte-identical to the pre-oracle simulator. The
+     * explore drivers (src/explore) install random-walk / replay
+     * oracles here to steer the dispatcher, the CU wavefront
+     * arbiters, SyncMon resume ordering and CP housekeeping through
+     * alternative legal schedules.
+     */
+    sim::SchedOracle *schedOracle = nullptr;
 
     /** No-progress window that declares deadlock, in GPU cycles. */
     sim::Cycles deadlockWindowCycles = 1'000'000;

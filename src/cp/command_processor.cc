@@ -173,6 +173,7 @@ CommandProcessor::housekeeping()
         }
         return false;
     });
+    sim::oraclePermute(oracle, sim::ChoicePoint::SpillScan, to_resume);
     for (int wg_id : to_resume) {
         ++spilledResumes;
         if (scheduler)
@@ -184,6 +185,16 @@ CommandProcessor::housekeeping()
     for (const auto &[wg_id, deadline] : rescueDeadlines) {
         if (deadline <= now)
             rescued.push_back(wg_id);
+    }
+    if (oracle) {
+        // rescueDeadlines is an unordered_map: its iteration order is
+        // per-run deterministic but opaque. Canonicalize before the
+        // oracle permutes so a replayed choice sequence means the
+        // same thing in every run; the no-oracle path keeps the raw
+        // order byte-for-byte.
+        std::sort(rescued.begin(), rescued.end());
+        sim::oraclePermute(oracle, sim::ChoicePoint::RescueOrder,
+                           rescued);
     }
     for (int wg_id : rescued) {
         rescueDeadlines.erase(wg_id);

@@ -33,6 +33,7 @@
 #include "mem/backing_store.hh"
 #include "mem/dma.hh"
 #include "sim/clocked.hh"
+#include "sim/sched_oracle.hh"
 #include "sim/stats.hh"
 #include "sim/trace_sink.hh"
 
@@ -69,6 +70,8 @@ class CommandProcessor : public sim::Clocked,
 
     void setScheduler(gpu::WgScheduler *s) { scheduler = s; }
     void setTraceSink(sim::TraceSink *sink) { trace = sink; }
+    /** Schedule-choice oracle for housekeeping resume ordering. */
+    void setSchedOracle(sim::SchedOracle *o) { oracle = o; }
 
     /**
      * The firmware's kernel admission/preemption scheduler. The
@@ -156,6 +159,7 @@ class CommandProcessor : public sim::Clocked,
     mem::BackingStore &store;
     gpu::WgScheduler *scheduler = nullptr;
     sim::TraceSink *trace = nullptr;
+    sim::SchedOracle *oracle = nullptr;
 
     MonitorLog log;
     AdmissionScheduler admScheduler;

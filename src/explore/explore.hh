@@ -1,0 +1,276 @@
+/**
+ * @file
+ * Schedule-space exploration over the SchedOracle choice points.
+ *
+ * Two drivers turn the litmus workloads (workloads/litmus.hh) into a
+ * tested specification of each waiting policy's progress model:
+ *
+ *  - randomWalk(): N independent schedules, each steered by a
+ *    RandomOracle seeded from (litmus, policy, seed, i). Byte
+ *    reproducible from the triple.
+ *  - exhaustive(): bounded DFS over schedule prefixes. Every run
+ *    replays a prescription of explicit choices and takes the stock
+ *    pick beyond it; the frontier grows one alternative at a time
+ *    from the recorded branching, and a state-hash memo prunes
+ *    alternatives already taken from an identical machine state
+ *    (restart-based stateless exploration, GPUMC-style).
+ *
+ * crossValidate() drives every (litmus, policy) cell through both
+ * the stock schedule and a random walk and compares each observed
+ * core::Verdict with the litmus annotation; lintCrossCheck() does
+ * the static half, comparing ifplint's unsuppressed findings against
+ * the annotated expectations so the two analyses police each other.
+ */
+
+#ifndef IFP_EXPLORE_EXPLORE_HH
+#define IFP_EXPLORE_EXPLORE_HH
+
+#include <array>
+#include <cstdint>
+#include <functional>
+#include <string>
+#include <vector>
+
+#include "core/gpu_system.hh"
+#include "sim/rng.hh"
+#include "sim/sched_oracle.hh"
+#include "workloads/litmus.hh"
+
+namespace ifp::explore {
+
+/** Verdict histogram indexed by core::Verdict. */
+using VerdictCounts = std::array<std::uint64_t, 6>;
+
+/** Oracle that always takes the stock pick, through the oracle path. */
+class PreferredOracle : public sim::SchedOracle
+{
+  public:
+    unsigned
+    choose(sim::ChoicePoint site, unsigned n, unsigned preferred)
+        override
+    {
+        (void)site;
+        (void)n;
+        ++decisions;
+        return preferred;
+    }
+
+    std::uint64_t decisions = 0;
+};
+
+/** Uniformly random schedule choices from a seeded xoshiro stream. */
+class RandomOracle : public sim::SchedOracle
+{
+  public:
+    explicit RandomOracle(std::uint64_t seed) : rng(seed) {}
+
+    unsigned
+    choose(sim::ChoicePoint site, unsigned n, unsigned preferred)
+        override
+    {
+        (void)site;
+        (void)preferred;
+        ++decisions;
+        return static_cast<unsigned>(rng.uniform(n));
+    }
+
+    std::uint64_t decisions = 0;
+
+  private:
+    sim::Rng rng;
+};
+
+/**
+ * Replays a prescription of explicit choices, then takes the stock
+ * pick; records the branch structure (site, arity, taken choice and
+ * the state hash just before the decision) up to @p max_trace
+ * entries for the exhaustive driver's frontier expansion.
+ */
+class PrefixOracle : public sim::SchedOracle
+{
+  public:
+    struct Branch
+    {
+        sim::ChoicePoint site;
+        unsigned n = 0;
+        unsigned taken = 0;
+        std::uint64_t stateHash = 0;
+    };
+
+    PrefixOracle(std::vector<unsigned> prescription,
+                 std::size_t max_trace)
+        : prefix(std::move(prescription)), maxTrace(max_trace)
+    {}
+
+    /** Machine-state probe consulted before each recorded choice. */
+    void
+    setStateProbe(std::function<std::uint64_t()> probe)
+    {
+        stateProbe = std::move(probe);
+    }
+
+    unsigned
+    choose(sim::ChoicePoint site, unsigned n, unsigned preferred)
+        override
+    {
+        unsigned pick = preferred;
+        if (decisions < prefix.size() && prefix[decisions] < n)
+            pick = prefix[decisions];
+        if (trace.size() < maxTrace) {
+            Branch b;
+            b.site = site;
+            b.n = n;
+            b.taken = pick;
+            b.stateHash = stateProbe ? stateProbe() : 0;
+            trace.push_back(b);
+        }
+        ++decisions;
+        return pick;
+    }
+
+    const std::vector<Branch> &branches() const { return trace; }
+
+    std::uint64_t decisions = 0;
+
+  private:
+    std::vector<unsigned> prefix;
+    std::size_t maxTrace;
+    std::vector<Branch> trace;
+    std::function<std::uint64_t()> stateProbe;
+};
+
+/** Liveness-window sizing of one litmus run (small shapes, small
+ * windows: verdicts arrive in well under a second of host time). */
+struct LitmusRunConfig
+{
+    sim::Cycles deadlockWindowCycles = 200'000;
+    sim::Cycles maxCycles = 30'000'000;
+};
+
+/** Outcome of one schedule. */
+struct ScheduleResult
+{
+    core::Verdict verdict = core::Verdict::Unknown;
+    sim::Cycles gpuCycles = 0;
+    /** Oracle decisions made during the run (0 for the stock run). */
+    std::uint64_t choicePoints = 0;
+    /** Memory image valid (checked on Complete runs only). */
+    bool validated = false;
+};
+
+/**
+ * Deterministic FNV-1a-based seed for schedule @p index of the
+ * (litmus, policy, seed) walk — the reproducibility contract.
+ */
+std::uint64_t scheduleSeed(const std::string &litmus,
+                           core::Policy policy, std::uint64_t seed,
+                           std::uint64_t index);
+
+/**
+ * Hash of the scheduling-relevant machine state: every WG's
+ * lifecycle state, residency and wait condition, plus the progress
+ * counters. Two runs in identical hashed states that make the same
+ * choice continue identically (the machine is deterministic), which
+ * is what makes the exhaustive memo sound.
+ */
+std::uint64_t machineStateHash(core::GpuSystem &system);
+
+/**
+ * Run one litmus schedule under @p policy steered by @p oracle
+ * (null = the stock schedule). @p on_system, when set, runs after
+ * machine construction and before the kernel launches — the hook
+ * the exhaustive driver uses to bind its state probe.
+ */
+ScheduleResult
+runLitmusSchedule(const workloads::LitmusWorkload &litmus,
+                  core::Policy policy, sim::SchedOracle *oracle,
+                  const LitmusRunConfig &cfg = {},
+                  const std::function<void(core::GpuSystem &)>
+                      &on_system = nullptr);
+
+/** Result of a random walk over one (litmus, policy) cell. */
+struct WalkResult
+{
+    /** Index 0 is the stock schedule; 1..N the random schedules. */
+    std::vector<ScheduleResult> schedules;
+    VerdictCounts counts{};
+};
+
+WalkResult randomWalk(const workloads::LitmusWorkload &litmus,
+                      core::Policy policy, std::uint64_t seed,
+                      unsigned num_schedules,
+                      const LitmusRunConfig &cfg = {});
+
+/** Caps of the bounded exhaustive driver. */
+struct ExhaustiveConfig
+{
+    /** Stop after this many schedules even if the frontier remains. */
+    unsigned maxSchedules = 200;
+    /** Only branch within the first this-many choice points. */
+    unsigned maxPrefixDepth = 12;
+    LitmusRunConfig run;
+};
+
+struct ExhaustiveResult
+{
+    std::uint64_t schedulesRun = 0;
+    /** Frontier entries skipped by the state-hash memo. */
+    std::uint64_t pruned = 0;
+    /** The frontier emptied before the schedule cap was hit. */
+    bool frontierExhausted = false;
+    VerdictCounts counts{};
+    /** Longest prescription explored. */
+    std::size_t maxPrefixSeen = 0;
+};
+
+ExhaustiveResult exhaustive(const workloads::LitmusWorkload &litmus,
+                            core::Policy policy,
+                            const ExhaustiveConfig &cfg = {});
+
+/** One (litmus, policy) cell of the dynamic cross-validation. */
+struct CellReport
+{
+    std::string litmus;
+    core::Policy policy = core::Policy::Baseline;
+    core::Verdict expected = core::Verdict::Unknown;
+    VerdictCounts observed{};
+    std::uint64_t schedules = 0;
+    /** Complete runs whose memory image failed validation. */
+    std::uint64_t invalid = 0;
+    /** Every observed verdict matched the annotation (and no
+     * Complete run failed validation). */
+    bool ok = false;
+};
+
+/**
+ * Drive @p litmus through the stock schedule plus @p schedules
+ * random ones under every annotated policy.
+ */
+std::vector<CellReport>
+crossValidate(const workloads::LitmusWorkload &litmus,
+              std::uint64_t seed, unsigned schedules,
+              const LitmusRunConfig &cfg = {});
+
+/** One (litmus, style) cell of the static cross-check. */
+struct LintCellReport
+{
+    std::string litmus;
+    core::SyncStyle style = core::SyncStyle::Busy;
+    /** Unsuppressed findings not annotated in the spec. */
+    std::vector<std::string> unexpected;
+    /** Annotated findings that did not fire. */
+    std::vector<std::string> missing;
+    bool ok = false;
+};
+
+/**
+ * Lint @p litmus in all four codegen styles on its own machine
+ * geometry and compare the unsuppressed findings against the spec's
+ * annotated expectations.
+ */
+std::vector<LintCellReport>
+lintCrossCheck(const workloads::LitmusWorkload &litmus);
+
+} // namespace ifp::explore
+
+#endif // IFP_EXPLORE_EXPLORE_HH

@@ -221,6 +221,31 @@ ComputeUnit::tick()
         if (simd.empty())
             continue;
         unsigned n = simd.size();
+        if (oracle) {
+            // Enumerate the issuable wavefronts in round-robin scan
+            // order so preferred index 0 is the stock pick; the
+            // oracle may issue any of them (SIMT arbitration order
+            // is unspecified).
+            std::vector<unsigned> cands;
+            for (unsigned k = 0; k < n; ++k) {
+                unsigned idx = (rrIndex[s] + k) % n;
+                if (issuable(*simd[idx]))
+                    cands.push_back(idx);
+            }
+            if (cands.empty())
+                continue;
+            unsigned pick = 0;
+            if (cands.size() > 1) {
+                pick = oracle->choose(
+                    sim::ChoicePoint::WavefrontIssue,
+                    static_cast<unsigned>(cands.size()), 0);
+            }
+            unsigned idx = cands[pick];
+            rrIndex[s] = (idx + 1) % n;
+            executeInstr(*simd[idx]);
+            issued = true;
+            continue;
+        }
         for (unsigned k = 0; k < n; ++k) {
             unsigned idx = (rrIndex[s] + k) % n;
             Wavefront *wf = simd[idx];

@@ -29,6 +29,7 @@
 #include "mem/request.hh"
 #include "mem/sync_hooks.hh"
 #include "sim/clocked.hh"
+#include "sim/sched_oracle.hh"
 #include "sim/stats.hh"
 
 namespace ifp::gpu {
@@ -54,6 +55,8 @@ class ComputeUnit : public sim::Clocked, public mem::MemResponder
     void setListener(CuListener *l) { listener = l; }
     void setSyncObserver(mem::SyncObserver *obs) { observer = obs; }
     void setTraceSink(sim::TraceSink *sink) { trace = sink; }
+    /** Schedule-choice oracle for SIMD wavefront arbitration. */
+    void setSchedOracle(sim::SchedOracle *o) { oracle = o; }
     /// @}
 
     /// @name Residency
@@ -125,6 +128,7 @@ class ComputeUnit : public sim::Clocked, public mem::MemResponder
     CuListener *listener = nullptr;
     mem::SyncObserver *observer = nullptr;
     sim::TraceSink *trace = nullptr;
+    sim::SchedOracle *oracle = nullptr;
 
     std::vector<std::vector<Wavefront *>> simdWfs;
     std::vector<unsigned> rrIndex;

@@ -220,17 +220,30 @@ Dispatcher::numOnlineCus() const
 }
 
 ComputeUnit *
-Dispatcher::findHost(const DispatchContext &ctx)
+Dispatcher::findHost(const DispatchContext &ctx, bool consult_oracle)
 {
     ComputeUnit *best = nullptr;
+    std::size_t best_pos = 0;
+    std::vector<ComputeUnit *> capable;
     for (std::size_t i = 0; i < cus.size(); ++i) {
         if (cuOwner[i] != ctx.id)
             continue;
         ComputeUnit *cu = cus[i];
         if (!cu->canHost(ctx.kernel))
             continue;
-        if (!best || cu->numResidentWgs() < best->numResidentWgs())
+        if (oracle && consult_oracle)
+            capable.push_back(cu);
+        if (!best || cu->numResidentWgs() < best->numResidentWgs()) {
             best = cu;
+            best_pos = capable.empty() ? 0 : capable.size() - 1;
+        }
+    }
+    if (oracle && consult_oracle && capable.size() > 1) {
+        unsigned pick =
+            oracle->choose(sim::ChoicePoint::HostCu,
+                           static_cast<unsigned>(capable.size()),
+                           static_cast<unsigned>(best_pos));
+        return capable[pick];
     }
     return best;
 }
@@ -238,6 +251,10 @@ Dispatcher::findHost(const DispatchContext &ctx)
 void
 Dispatcher::tryDispatch()
 {
+    if (oracle) {
+        oracleDispatch();
+        return;
+    }
     bool progress = true;
     while (progress) {
         progress = false;
@@ -261,6 +278,62 @@ Dispatcher::tryDispatch()
                     break;
                 }
             }
+        }
+    }
+}
+
+void
+Dispatcher::oracleDispatch()
+{
+    // Rebuilt after every placement: placing a WG changes hostability
+    // for everyone. Candidates are enumerated in the stock scan order
+    // (residentOrder, swap-ins before fresh, queue order within) so
+    // preferred index 0 is exactly the WG tryDispatch() would place.
+    // Unlike the stock path, any queued WG — not just the queue
+    // fronts — is a legal pick: dispatch order within a kernel is
+    // unspecified by the programming model, which is precisely what
+    // occupancy litmus tests probe.
+    for (;;) {
+        struct Cand
+        {
+            DispatchContext *ctx;
+            std::size_t pos;
+            bool swapIn;
+        };
+        std::vector<Cand> cands;
+        for (int ctx_id : residentOrder) {
+            DispatchContext &ctx = *contexts[ctx_id];
+            if (!findHost(ctx, /*consult_oracle=*/false))
+                continue;
+            if (swapInCapable) {
+                for (std::size_t i = 0; i < ctx.readySwapIn.size();
+                     ++i)
+                    cands.push_back(Cand{&ctx, i, true});
+            }
+            for (std::size_t i = 0; i < ctx.pendingFresh.size(); ++i)
+                cands.push_back(Cand{&ctx, i, false});
+        }
+        if (cands.empty())
+            return;
+        unsigned pick = 0;
+        if (cands.size() > 1) {
+            pick = oracle->choose(
+                sim::ChoicePoint::DispatchPick,
+                static_cast<unsigned>(cands.size()), 0);
+        }
+        const Cand &c = cands[pick];
+        ComputeUnit *cu = findHost(*c.ctx);
+        ifp_assert(cu, "oracle dispatch lost its host CU");
+        if (c.swapIn) {
+            WorkGroup *w = wg(c.ctx->readySwapIn[c.pos]);
+            c.ctx->readySwapIn.erase(c.ctx->readySwapIn.begin() +
+                                     static_cast<std::ptrdiff_t>(c.pos));
+            startSwapIn(w, cu);
+        } else {
+            WorkGroup *w = wg(c.ctx->pendingFresh[c.pos]);
+            c.ctx->pendingFresh.erase(c.ctx->pendingFresh.begin() +
+                                      static_cast<std::ptrdiff_t>(c.pos));
+            startFresh(w, cu);
         }
     }
 }

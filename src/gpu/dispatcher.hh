@@ -38,6 +38,7 @@
 #include "gpu/sched_iface.hh"
 #include "gpu/workgroup.hh"
 #include "sim/clocked.hh"
+#include "sim/sched_oracle.hh"
 #include "sim/stats.hh"
 
 namespace ifp::gpu {
@@ -57,6 +58,13 @@ class Dispatcher : public sim::Clocked,
     void setContextSwitcher(ContextSwitcher *cs) { switcher = cs; }
     void setSwapInCapable(bool capable) { swapInCapable = capable; }
     void setTraceSink(sim::TraceSink *sink) { trace = sink; }
+
+    /**
+     * Schedule-choice oracle (sim/sched_oracle.hh) consulted for the
+     * dispatch pick and CU placement. Null (the default) keeps the
+     * stock deterministic order without building candidate lists.
+     */
+    void setSchedOracle(sim::SchedOracle *o) { oracle = o; }
 
     /**
      * Backstop rescue interval armed at the CP for any WG that ends
@@ -228,7 +236,10 @@ class Dispatcher : public sim::Clocked,
 
   private:
     void tryDispatch();
-    ComputeUnit *findHost(const DispatchContext &ctx);
+    /** tryDispatch() with an oracle: explicit candidate enumeration. */
+    void oracleDispatch();
+    ComputeUnit *findHost(const DispatchContext &ctx,
+                          bool consult_oracle = true);
     void startFresh(WorkGroup *wg, ComputeUnit *cu);
     void startSwapIn(WorkGroup *wg, ComputeUnit *cu);
     void preemptRunning(WorkGroup *wg);
@@ -253,6 +264,7 @@ class Dispatcher : public sim::Clocked,
     std::vector<ComputeUnit *> cus;
     ContextSwitcher *switcher = nullptr;
     sim::TraceSink *trace = nullptr;
+    sim::SchedOracle *oracle = nullptr;
     KernelListener *listener = nullptr;
     AdmissionPolicy *admission = nullptr;
     bool swapInCapable = true;

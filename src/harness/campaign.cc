@@ -4,8 +4,61 @@
 
 #include "harness/sweep.hh"
 #include "harness/table.hh"
+#include "workloads/registry.hh"
 
 namespace ifp::harness {
+
+namespace {
+
+/**
+ * One serve() run of the two-kernel mix under @p plan: both kernels
+ * enqueued at tick 0, the CP admission scheduler shares the machine,
+ * and the plan's faults land on whichever contexts are resident.
+ */
+CampaignServingRun
+runServingMix(const CampaignConfig &cfg, const core::FaultPlan &plan,
+              core::Policy policy)
+{
+    CampaignServingRun cell;
+    cell.plan = &plan;
+    cell.policy = policy;
+
+    core::RunConfig run_cfg = cfg.runCfg;
+    run_cfg.policy.policy = policy;
+    run_cfg.faultPlan = plan;
+    if (run_cfg.shards == 0)
+        run_cfg.shards = runShardsFromEnv();
+
+    workloads::WorkloadParams params = cfg.params;
+    params.style = core::styleFor(policy);
+
+    core::GpuSystem system(run_cfg);
+    workloads::WorkloadPtr primary =
+        workloads::makeWorkload(cfg.workload);
+    workloads::WorkloadPtr mix =
+        workloads::makeWorkload(cfg.mixWorkload);
+    system.enqueueKernel(primary->build(system, params));
+    system.enqueueKernel(mix->build(system, params));
+
+    core::ServeResult serve = system.serve();
+    cell.verdict = serve.run.verdict;
+    cell.gpuCycles = serve.run.gpuCycles;
+    for (const core::KernelRunStat &k : serve.kernels) {
+        if (k.completed)
+            ++cell.kernelsCompleted;
+        cell.preemptions += k.preemptions;
+        cell.swapIns += k.swapIns;
+    }
+    if (cell.kernelsCompleted == serve.kernels.size()) {
+        std::string error;
+        cell.validated =
+            primary->validate(system.memory(), params, error) &&
+            mix->validate(system.memory(), params, error);
+    }
+    return cell;
+}
+
+} // namespace
 
 CampaignReport
 runChaosCampaign(const CampaignConfig &cfg)
@@ -42,6 +95,21 @@ runChaosCampaign(const CampaignConfig &cfg)
             report.runs.push_back(
                 CampaignRun{&plan, policy, results[idx]});
             ++idx;
+        }
+    }
+
+    // Serving-mix pass: serial on purpose — each serve() is one
+    // deterministic event-queue run, and submission order (plan-
+    // major, like `runs`) is the row order, so the CSV is
+    // byte-stable without any cross-run coordination.
+    if (cfg.servingMix) {
+        report.servingRuns.reserve(report.plans.size() *
+                                   cfg.policies.size());
+        for (const core::FaultPlan &plan : report.plans) {
+            for (core::Policy policy : cfg.policies) {
+                report.servingRuns.push_back(
+                    runServingMix(cfg, plan, policy));
+            }
         }
     }
     return report;
@@ -107,6 +175,24 @@ CampaignReport::writeCsv(std::ostream &os) const
                << r.lostWakeups.size() << ','
                << r.faultRecoveries.size() << '\n';
         }
+    }
+}
+
+void
+CampaignReport::writeServingCsv(std::ostream &os) const
+{
+    if (servingRuns.empty())
+        return;
+    os << "plan,seed,policy,verdict,kernelsCompleted,validated,"
+          "gpuCycles,preemptions,swapIns\n";
+    for (const CampaignServingRun &cell : servingRuns) {
+        os << cell.plan->name << ',' << cell.plan->seed << ','
+           << core::policyName(cell.policy) << ','
+           << core::verdictName(cell.verdict) << ','
+           << cell.kernelsCompleted << ','
+           << (cell.validated ? 1 : 0) << ',' << cell.gpuCycles
+           << ',' << cell.preemptions << ',' << cell.swapIns
+           << '\n';
     }
 }
 

@@ -43,6 +43,17 @@ struct CampaignConfig
 
     /** Sweep worker count (0 = IFP_BENCH_JOBS / hardware). */
     unsigned jobs = 0;
+
+    /**
+     * Also drive every plan through serve() with a two-kernel mix
+     * (`workload` + `mixWorkload` enqueued together), exercising the
+     * fault engine against the CP admission scheduler rather than
+     * the single-kernel run loop. Opt-in: with it off, campaign
+     * tables and CSV stay byte-identical to earlier releases.
+     */
+    bool servingMix = false;
+    /** Second kernel of the serving mix. */
+    std::string mixWorkload = "BA";
 };
 
 /** One (plan, policy) cell of the campaign matrix. */
@@ -53,6 +64,21 @@ struct CampaignRun
     core::RunResult result;
 };
 
+/** One (plan, policy) serve() cell of the serving-mix matrix. */
+struct CampaignServingRun
+{
+    const core::FaultPlan *plan = nullptr;
+    core::Policy policy{};
+    core::Verdict verdict = core::Verdict::Unknown;
+    /** Kernels of the mix that completed (0..2). */
+    unsigned kernelsCompleted = 0;
+    /** Both completed kernels' memory images validated. */
+    bool validated = false;
+    std::uint64_t gpuCycles = 0;
+    std::uint64_t preemptions = 0;
+    std::uint64_t swapIns = 0;
+};
+
 /** Everything a finished campaign produced. */
 struct CampaignReport
 {
@@ -60,6 +86,12 @@ struct CampaignReport
     std::vector<core::Policy> policies;
     /** Plan-major: runs[plan_idx * policies.size() + policy_idx]. */
     std::vector<CampaignRun> runs;
+
+    /**
+     * Serving-mix cells, plan-major like `runs`. Empty unless
+     * CampaignConfig::servingMix was set.
+     */
+    std::vector<CampaignServingRun> servingRuns;
 
     const CampaignRun &
     run(std::size_t plan_idx, std::size_t policy_idx) const
@@ -78,6 +110,9 @@ struct CampaignReport
     /** Verdicts per plan, one row per plan (aligned text + CSV). */
     void writeTable(std::ostream &os) const;
     void writeCsv(std::ostream &os) const;
+
+    /** Serving-mix cells as CSV (empty output without servingMix). */
+    void writeServingCsv(std::ostream &os) const;
 };
 
 /** Generate the plans and run the full matrix. */

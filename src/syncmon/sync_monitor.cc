@@ -252,10 +252,29 @@ SyncMonController::resumeOne(ConditionCache::Entry &entry)
     if (entry.numWaiters == 0)
         return;
     int node = entry.head;
+    if (oracle && entry.numWaiters > 1) {
+        // Any registered waiter is a legal victim; the FIFO head is
+        // merely the stock pick (preferred index 0).
+        std::vector<int> nodes;
+        for (int n = entry.head; n >= 0; n = waiters.next(n))
+            nodes.push_back(n);
+        unsigned pick =
+            oracle->choose(sim::ChoicePoint::ResumeVictim,
+                           static_cast<unsigned>(nodes.size()), 0);
+        node = nodes[pick];
+        if (pick > 0) {
+            int prev = nodes[pick - 1];
+            waiters.setNext(prev, waiters.next(node));
+            if (entry.tail == node)
+                entry.tail = prev;
+        }
+    }
     Waiter w = waiters.node(node);
-    entry.head = waiters.next(node);
-    if (entry.head < 0)
-        entry.tail = -1;
+    if (node == entry.head) {
+        entry.head = waiters.next(node);
+        if (entry.head < 0)
+            entry.tail = -1;
+    }
     waiters.release(node);
     --entry.numWaiters;
     ++resumesOneStat;
@@ -290,6 +309,7 @@ SyncMonController::resumeAll(ConditionCache::Entry &entry)
     entry.tail = -1;
     entry.numWaiters = 0;
     maybeRetire(entry);
+    sim::oraclePermute(oracle, sim::ChoicePoint::ResumeOrder, wg_ids);
     for (int wg_id : wg_ids)
         notifyResume(wg_id);
 }

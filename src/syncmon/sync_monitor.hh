@@ -37,6 +37,7 @@
 #include "mem/l2_cache.hh"
 #include "mem/sync_hooks.hh"
 #include "sim/clocked.hh"
+#include "sim/sched_oracle.hh"
 #include "sim/stats.hh"
 #include "sim/trace_sink.hh"
 #include "syncmon/bloom_filter.hh"
@@ -120,6 +121,8 @@ class SyncMonController : public sim::Clocked, public mem::SyncObserver
 
     void setScheduler(gpu::WgScheduler *s) { scheduler = s; }
     void setTraceSink(sim::TraceSink *sink) { trace = sink; }
+    /** Schedule-choice oracle for resume victim/order decisions. */
+    void setSchedOracle(sim::SchedOracle *o) { oracle = o; }
 
     /// @name mem::SyncObserver
     /// @{
@@ -230,6 +233,7 @@ class SyncMonController : public sim::Clocked, public mem::SyncObserver
     cp::CommandProcessor &cp;
     gpu::WgScheduler *scheduler = nullptr;
     sim::TraceSink *trace = nullptr;
+    sim::SchedOracle *oracle = nullptr;
 
     ConditionCache conds;
     WaitingWgList waiters;

@@ -1,0 +1,149 @@
+/**
+ * @file
+ * Progress-model litmus tests.
+ *
+ * Tiny kernels — two to four work-groups, one wavefront each — that
+ * isolate a single inter-WG progress question, in the spirit of
+ * "Specifying and Testing GPU Workgroup Progress Models" (Sorensen
+ * et al.): does this shape complete under a given waiting policy, or
+ * does it deadlock / livelock? Each litmus carries its machine
+ * geometry (CU count, occupancy bound) and an annotated verdict per
+ * policy; src/explore drives every litmus through many legal
+ * schedules and fails when an observed core::Verdict contradicts the
+ * annotation.
+ *
+ * The litmuses deliberately live in their own registry, NOT in
+ * makeFullSuite(): the benchmark registry feeds `ifplint --all`,
+ * the bench sweeps and the campaign, whose outputs are byte-stable
+ * contracts. `tools/ifpexplore` and `ctest -L litmus` are the
+ * litmus surfaces.
+ */
+
+#ifndef IFP_WORKLOADS_LITMUS_HH
+#define IFP_WORKLOADS_LITMUS_HH
+
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "core/run_result.hh"
+#include "workloads/workload.hh"
+
+namespace ifp::workloads {
+
+/** The litmus shapes (paper patterns ported to the mini ISA). */
+enum class LitmusShape
+{
+    /**
+     * Occupancy-bound mutual blocking pair: each WG publishes its
+     * flag, then waits for the other's — but only one WG fits on the
+     * machine. Completes exactly when the machine can context-switch
+     * a waiting WG out (the paper's central scenario, Figure 1).
+     */
+    MutualPair,
+    /**
+     * Occupancy-bound barrier: G WGs arrive at a counter barrier on
+     * a machine that hosts G-1. The resident WGs wait on a count the
+     * stranded WG can never contribute.
+     */
+    OccBarrier,
+    /**
+     * Producer/consumer flag handoff with both WGs resident: the
+     * consumer waits on a flag the producer release-publishes after
+     * writing the payload. Completes under every policy — the
+     * all-complete control cell.
+     */
+    ProdCons,
+    /**
+     * Spin-then-notify where the notifier uses a PLAIN store to the
+     * waited flag — the static lost-wakeup hazard (a monitor could
+     * miss a non-atomic update). The simulated L2 observes plain
+     * stores and the CP rescue backstop re-checks spilled waiters,
+     * so the shape completes dynamically; ifplint still flags it.
+     */
+    SpinNotify,
+    /**
+     * Circular wait: each WG waits for the other's flag BEFORE
+     * setting its own. No schedule completes it; policies differ
+     * only in how the failure manifests (silent deadlock vs. visible
+     * retry livelock).
+     */
+    CircularWait,
+};
+
+/** One expected unsuppressed ifplint finding, with its reason. */
+struct LitmusLintExpectation
+{
+    core::SyncStyle style;
+    std::string code;           //!< diagnostic code, e.g. "lost-wakeup"
+    std::string justification;  //!< why static and dynamic may differ
+};
+
+/** Full specification + annotation of one litmus. */
+struct LitmusSpec
+{
+    std::string name;         //!< registry key, e.g. "mutual-pair"
+    std::string description;
+    LitmusShape shape;
+    unsigned numWgs;
+    /** Occupancy bound (isa::Kernel::maxWgsPerCu). */
+    unsigned maxWgsPerCu;
+    /** Machine geometry the annotation assumes. */
+    unsigned numCus;
+    /**
+     * Annotated verdict per waiting policy. The harness drives every
+     * (litmus, policy) cell through N schedules and fails on any
+     * observed verdict not equal to the annotation.
+     */
+    std::vector<std::pair<core::Policy, core::Verdict>> expected;
+    /**
+     * Unsuppressed ifplint findings this shape is EXPECTED to raise
+     * (empirically validated). Any unexpected finding — or an
+     * expected one that stops firing — is a test failure: the static
+     * and dynamic analyses police each other.
+     */
+    std::vector<LitmusLintExpectation> lint;
+};
+
+/** A litmus as a Workload (buildable in every codegen style). */
+class LitmusWorkload : public Workload
+{
+  public:
+    explicit LitmusWorkload(LitmusSpec spec);
+
+    std::string name() const override;
+    std::string abbrev() const override;
+    Table2Row characteristics() const override;
+    isa::Kernel build(core::GpuSystem &system,
+                      const WorkloadParams &params) const override;
+    bool validate(const mem::BackingStore &store,
+                  const WorkloadParams &params,
+                  std::string &error) const override;
+
+    const LitmusSpec &spec() const { return litmus; }
+
+    /** The annotated verdict for @p policy (fatal when unannotated). */
+    core::Verdict expectedVerdict(core::Policy policy) const;
+
+  private:
+    LitmusSpec litmus;
+    /** Buffer layout chosen by build(), needed by validate(). */
+    mutable mem::Addr syncBase = 0;
+    mutable mem::Addr doneBase = 0;
+};
+
+/** The litmus registry, in fixed order. */
+const std::vector<LitmusSpec> &litmusSpecs();
+
+/** Names of every litmus, in registry order. */
+std::vector<std::string> litmusNames();
+
+/** One litmus by name (fatal on unknown names, listing the valid ones). */
+std::unique_ptr<LitmusWorkload> makeLitmus(const std::string &name);
+
+/** The policies every litmus annotates, in matrix order. */
+const std::vector<core::Policy> &litmusPolicies();
+
+} // namespace ifp::workloads
+
+#endif // IFP_WORKLOADS_LITMUS_HH

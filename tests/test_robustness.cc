@@ -13,6 +13,7 @@
 #include <stdexcept>
 
 #include "core/fault_plan.hh"
+#include "core/liveness.hh"
 #include "harness/campaign.hh"
 #include "test_helpers.hh"
 
@@ -516,6 +517,103 @@ TEST(ChaosCampaign, TwentyPlansDeterministicAcrossWorkerCounts)
     // completes.
     EXPECT_TRUE(
         serial.completesAllOf(Policy::Awg, Policy::Timeout));
+}
+
+TEST(ChaosCampaign, ServingMixRunsPlansThroughServe)
+{
+    harness::CampaignConfig cfg = testCampaignConfig(1);
+    cfg.numPlans = 3;
+    cfg.policies = {Policy::Timeout, Policy::Awg};
+    cfg.servingMix = true;
+
+    harness::CampaignReport report = runChaosCampaign(cfg);
+    ASSERT_EQ(report.servingRuns.size(),
+              cfg.numPlans * cfg.policies.size());
+    for (const harness::CampaignServingRun &cell :
+         report.servingRuns) {
+        EXPECT_NE(cell.verdict, Verdict::Unknown);
+        // The chaos generator only emits survivable plans: the
+        // swap-capable policies must finish both kernels of the mix
+        // with valid memory images.
+        EXPECT_EQ(cell.kernelsCompleted, 2u)
+            << cell.plan->name << "/"
+            << core::policyName(cell.policy);
+        EXPECT_TRUE(cell.validated)
+            << cell.plan->name << "/"
+            << core::policyName(cell.policy);
+    }
+
+    // Byte-stable rows: the same campaign produces the same CSV.
+    harness::CampaignReport again = runChaosCampaign(cfg);
+    std::ostringstream csv_a, csv_b;
+    report.writeServingCsv(csv_a);
+    again.writeServingCsv(csv_b);
+    ASSERT_FALSE(csv_a.str().empty());
+    EXPECT_EQ(csv_a.str(), csv_b.str());
+
+    // Opt-in contract: without the flag the section is absent and
+    // the classic CSV is unchanged by the new field.
+    harness::CampaignConfig off = testCampaignConfig(1);
+    off.numPlans = 3;
+    off.policies = cfg.policies;
+    harness::CampaignReport plain = runChaosCampaign(off);
+    EXPECT_TRUE(plain.servingRuns.empty());
+    std::ostringstream empty_csv;
+    plain.writeServingCsv(empty_csv);
+    EXPECT_TRUE(empty_csv.str().empty());
+}
+
+// ---------------------------------------------------------------
+// Liveness-oracle boundaries
+// ---------------------------------------------------------------
+
+TEST(LivenessOracleBounds, AutoLostWakeupBoundTracksWindowSize)
+{
+    // lostWakeupBoundCycles = 0 means "one deadlock window": a
+    // condition that held across exactly one full window is flagged,
+    // at any window size.
+    for (sim::Cycles window : {50'000ULL, 500'000ULL, 2'000'000ULL}) {
+        core::LivenessConfig cfg;
+        cfg.lostWakeupBoundCycles = 0;  // auto
+        core::LivenessOracle oracle(cfg, /*clock_period=*/1, window);
+
+        core::WaiterProbe probe;
+        probe.wgId = 3;
+        probe.addr = 0x40;
+        probe.expected = 1;
+        probe.conditionHolds = true;
+
+        oracle.sample(window, {probe}, 0);
+        EXPECT_TRUE(oracle.lostWakeups().empty())
+            << "window " << window
+            << ": flagged before the bound elapsed";
+        oracle.sample(2 * window, {probe}, 0);
+        ASSERT_EQ(oracle.lostWakeups().size(), 1u)
+            << "window " << window;
+        EXPECT_EQ(oracle.lostWakeups()[0].heldCycles, window);
+        EXPECT_EQ(oracle.finalizeStall(false),
+                  Verdict::LostWakeup);
+    }
+}
+
+TEST(LivenessOracleBounds, ExplicitBoundOverridesWindow)
+{
+    const sim::Cycles window = 100'000;
+    core::LivenessConfig cfg;
+    cfg.lostWakeupBoundCycles = 3 * window;
+    core::LivenessOracle oracle(cfg, /*clock_period=*/1, window);
+
+    core::WaiterProbe probe;
+    probe.wgId = 0;
+    probe.conditionHolds = true;
+    oracle.sample(1 * window, {probe}, 0);
+    oracle.sample(2 * window, {probe}, 0);
+    oracle.sample(3 * window, {probe}, 0);
+    EXPECT_TRUE(oracle.lostWakeups().empty());
+    // Held for 3 windows (since the first sample) only at t = 4w.
+    oracle.sample(4 * window, {probe}, 0);
+    ASSERT_EQ(oracle.lostWakeups().size(), 1u);
+    EXPECT_EQ(oracle.lostWakeups()[0].heldCycles, 3 * window);
 }
 
 } // anonymous namespace

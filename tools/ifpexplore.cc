@@ -1,0 +1,348 @@
+/**
+ * @file
+ * ifpexplore — schedule-space exploration over the litmus suite.
+ *
+ * Drives every litmus (workloads/litmus.hh) through many legal
+ * schedules per waiting policy (src/explore) and cross-validates the
+ * observed verdicts against the annotated progress model, plus the
+ * static ifplint expectations. Output is deterministic: the same
+ * command line produces byte-identical bytes.
+ *
+ * Examples:
+ *   ifpexplore --list
+ *   ifpexplore --litmus all --schedules 50 --json
+ *   ifpexplore --litmus mutual-pair --policy Timeout --schedules 100
+ *   ifpexplore --litmus circular-wait --exhaustive
+ *
+ * Exit status: 0 when every exercised cell agrees with its
+ * annotation (and no Complete run failed validation), 1 otherwise.
+ */
+
+#include <algorithm>
+#include <iostream>
+#include <string>
+#include <vector>
+
+#include "explore/explore.hh"
+#include "sim/logging.hh"
+#include "workloads/litmus.hh"
+
+namespace {
+
+using ifp::core::Policy;
+using ifp::core::SyncStyle;
+using ifp::core::Verdict;
+
+struct Options
+{
+    std::string litmus = "all";
+    std::string policy = "all";
+    unsigned schedules = 20;
+    std::uint64_t seed = 1;
+    bool exhaustive = false;
+    unsigned maxSchedules = 200;
+    unsigned maxDepth = 12;
+    bool json = false;
+    bool list = false;
+    bool noLint = false;
+};
+
+Policy
+parsePolicy(const std::string &name)
+{
+    for (Policy p : {Policy::Baseline, Policy::Sleep, Policy::Timeout,
+                     Policy::MonRSAll, Policy::MonRAll,
+                     Policy::MonNRAll, Policy::MonNROne, Policy::Awg,
+                     Policy::MinResume}) {
+        if (name == ifp::core::policyName(p))
+            return p;
+    }
+    ifp_fatal("unknown policy '%s' (try Baseline, Sleep, Timeout, "
+              "MonRS-All, MonR-All, MonNR-All, MonNR-One, MinResume, "
+              "AWG)", name.c_str());
+}
+
+const char *
+styleName(SyncStyle style)
+{
+    switch (style) {
+      case SyncStyle::Busy: return "Busy";
+      case SyncStyle::SleepBackoff: return "SleepBackoff";
+      case SyncStyle::WaitInstr: return "WaitInstr";
+      case SyncStyle::WaitAtomic: return "WaitAtomic";
+    }
+    return "?";
+}
+
+void
+usage()
+{
+    std::cout <<
+        "ifpexplore — litmus schedule-space exploration\n"
+        "\n"
+        "  --list                 list litmuses and exit\n"
+        "  --litmus NAME|all      litmus to explore (default: all)\n"
+        "  --policy NAME|all      policy filter (default: all\n"
+        "                         annotated policies)\n"
+        "  --schedules N          random schedules per cell, on top\n"
+        "                         of the stock one (default: 20)\n"
+        "  --seed S               random-walk seed (default: 1);\n"
+        "                         schedule i of a cell is derived\n"
+        "                         from (litmus, policy, S, i)\n"
+        "  --exhaustive           bounded exhaustive DFS per cell\n"
+        "                         instead of the random walk\n"
+        "  --max-schedules N      exhaustive schedule cap (200)\n"
+        "  --max-depth N          exhaustive branch depth cap (12)\n"
+        "  --no-lint              skip the static ifplint cross-check\n"
+        "  --json                 machine-readable (deterministic)\n";
+}
+
+void
+printVerdictCounts(std::ostream &os,
+                   const ifp::explore::VerdictCounts &counts,
+                   bool json)
+{
+    bool first = true;
+    for (std::size_t v = 0; v < counts.size(); ++v) {
+        if (counts[v] == 0)
+            continue;
+        const char *name =
+            ifp::core::verdictName(static_cast<Verdict>(v));
+        if (json) {
+            os << (first ? "" : ", ") << "\"" << name
+               << "\": " << counts[v];
+        } else {
+            os << (first ? "" : " ") << name << "x" << counts[v];
+        }
+        first = false;
+    }
+}
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    Options opt;
+    for (int i = 1; i < argc; ++i) {
+        const std::string arg = argv[i];
+        auto value = [&]() -> std::string {
+            if (i + 1 >= argc)
+                ifp_fatal("%s needs a value", arg.c_str());
+            return argv[++i];
+        };
+        if (arg == "--list") {
+            opt.list = true;
+        } else if (arg == "--litmus") {
+            opt.litmus = value();
+        } else if (arg == "--policy") {
+            opt.policy = value();
+        } else if (arg == "--schedules") {
+            opt.schedules =
+                static_cast<unsigned>(std::stoul(value()));
+        } else if (arg == "--seed") {
+            opt.seed = std::stoull(value());
+        } else if (arg == "--exhaustive") {
+            opt.exhaustive = true;
+        } else if (arg == "--max-schedules") {
+            opt.maxSchedules =
+                static_cast<unsigned>(std::stoul(value()));
+        } else if (arg == "--max-depth") {
+            opt.maxDepth = static_cast<unsigned>(std::stoul(value()));
+        } else if (arg == "--json") {
+            opt.json = true;
+        } else if (arg == "--no-lint") {
+            opt.noLint = true;
+        } else if (arg == "--help" || arg == "-h") {
+            usage();
+            return 0;
+        } else {
+            std::cerr << "unknown option " << arg << "\n";
+            usage();
+            return 2;
+        }
+    }
+
+    if (opt.list) {
+        for (const auto &spec : ifp::workloads::litmusSpecs()) {
+            std::cout << spec.name << "  (" << spec.numWgs
+                      << " WGs, " << spec.numCus << " CU"
+                      << (spec.numCus == 1 ? "" : "s")
+                      << ", occupancy " << spec.maxWgsPerCu
+                      << ")  " << spec.description << "\n";
+        }
+        return 0;
+    }
+
+    std::vector<std::string> names;
+    if (opt.litmus == "all")
+        names = ifp::workloads::litmusNames();
+    else
+        names.push_back(opt.litmus);
+
+    const bool allPolicies = opt.policy == "all";
+    const Policy onlyPolicy =
+        allPolicies ? Policy::Baseline : parsePolicy(opt.policy);
+
+    bool ok = true;
+    std::ostream &os = std::cout;
+    if (opt.json)
+        os << "{\n  \"litmuses\": [\n";
+
+    for (std::size_t li = 0; li < names.size(); ++li) {
+        auto litmus = ifp::workloads::makeLitmus(names[li]);
+        const auto &spec = litmus->spec();
+
+        if (opt.json) {
+            os << "    {\n      \"name\": \"" << spec.name
+               << "\",\n      \"cells\": [\n";
+        } else {
+            os << "== " << spec.name << " ==\n";
+        }
+
+        bool firstCell = true;
+        if (opt.exhaustive) {
+            ifp::explore::ExhaustiveConfig cfg;
+            cfg.maxSchedules = opt.maxSchedules;
+            cfg.maxPrefixDepth = opt.maxDepth;
+            for (const auto &[policy, expected] : spec.expected) {
+                if (!allPolicies && policy != onlyPolicy)
+                    continue;
+                ifp::explore::ExhaustiveResult r =
+                    ifp::explore::exhaustive(*litmus, policy, cfg);
+                bool cellOk = true;
+                for (std::size_t v = 0; v < r.counts.size(); ++v) {
+                    if (r.counts[v] != 0 &&
+                        v != static_cast<std::size_t>(expected))
+                        cellOk = false;
+                }
+                ok = ok && cellOk;
+                if (opt.json) {
+                    os << (firstCell ? "" : ",\n")
+                       << "        {\"policy\": \""
+                       << ifp::core::policyName(policy)
+                       << "\", \"expected\": \""
+                       << ifp::core::verdictName(expected)
+                       << "\", \"observed\": {";
+                    printVerdictCounts(os, r.counts, true);
+                    os << "}, \"schedules\": " << r.schedulesRun
+                       << ", \"pruned\": " << r.pruned
+                       << ", \"frontierExhausted\": "
+                       << (r.frontierExhausted ? "true" : "false")
+                       << ", \"ok\": " << (cellOk ? "true" : "false")
+                       << "}";
+                } else {
+                    os << "  " << ifp::core::policyName(policy)
+                       << ": expected "
+                       << ifp::core::verdictName(expected)
+                       << ", observed ";
+                    printVerdictCounts(os, r.counts, false);
+                    os << " over " << r.schedulesRun
+                       << " schedules (pruned " << r.pruned
+                       << (r.frontierExhausted
+                               ? ", frontier exhausted"
+                               : ", schedule cap hit")
+                       << ") -> "
+                       << (cellOk ? "OK" : "MISMATCH") << "\n";
+                }
+                firstCell = false;
+            }
+        } else {
+            auto cells = ifp::explore::crossValidate(
+                *litmus, opt.seed, opt.schedules);
+            for (const auto &cell : cells) {
+                if (!allPolicies && cell.policy != onlyPolicy)
+                    continue;
+                ok = ok && cell.ok;
+                if (opt.json) {
+                    os << (firstCell ? "" : ",\n")
+                       << "        {\"policy\": \""
+                       << ifp::core::policyName(cell.policy)
+                       << "\", \"expected\": \""
+                       << ifp::core::verdictName(cell.expected)
+                       << "\", \"observed\": {";
+                    printVerdictCounts(os, cell.observed, true);
+                    os << "}, \"schedules\": " << cell.schedules
+                       << ", \"invalid\": " << cell.invalid
+                       << ", \"ok\": "
+                       << (cell.ok ? "true" : "false") << "}";
+                } else {
+                    os << "  " << ifp::core::policyName(cell.policy)
+                       << ": expected "
+                       << ifp::core::verdictName(cell.expected)
+                       << ", observed ";
+                    printVerdictCounts(os, cell.observed, false);
+                    os << " over " << cell.schedules << " schedules"
+                       << " -> " << (cell.ok ? "OK" : "MISMATCH")
+                       << "\n";
+                }
+                firstCell = false;
+            }
+        }
+
+        if (opt.json)
+            os << "\n      ]";
+
+        if (!opt.noLint) {
+            auto lintCells = ifp::explore::lintCrossCheck(*litmus);
+            if (opt.json)
+                os << ",\n      \"lint\": [\n";
+            bool firstLint = true;
+            for (const auto &cell : lintCells) {
+                ok = ok && cell.ok;
+                if (opt.json) {
+                    os << (firstLint ? "" : ",\n")
+                       << "        {\"style\": \""
+                       << styleName(cell.style)
+                       << "\", \"unexpected\": [";
+                    for (std::size_t i = 0;
+                         i < cell.unexpected.size(); ++i) {
+                        os << (i ? ", " : "") << "\""
+                           << cell.unexpected[i] << "\"";
+                    }
+                    os << "], \"missing\": [";
+                    for (std::size_t i = 0; i < cell.missing.size();
+                         ++i) {
+                        os << (i ? ", " : "") << "\""
+                           << cell.missing[i] << "\"";
+                    }
+                    os << "], \"ok\": "
+                       << (cell.ok ? "true" : "false") << "}";
+                } else if (!cell.ok) {
+                    os << "  lint " << styleName(cell.style) << ":";
+                    for (const auto &c : cell.unexpected)
+                        os << " unexpected:" << c;
+                    for (const auto &c : cell.missing)
+                        os << " missing:" << c;
+                    os << " -> MISMATCH\n";
+                }
+                firstLint = false;
+            }
+            if (opt.json)
+                os << "\n      ]";
+            else
+                os << "  lint: "
+                   << (std::all_of(lintCells.begin(),
+                                   lintCells.end(),
+                                   [](const auto &c) {
+                                       return c.ok;
+                                   })
+                           ? "OK"
+                           : "MISMATCH")
+                   << " across 4 styles\n";
+        }
+
+        if (opt.json)
+            os << "\n    }" << (li + 1 < names.size() ? "," : "")
+               << "\n";
+    }
+
+    if (opt.json) {
+        os << "  ],\n  \"ok\": " << (ok ? "true" : "false")
+           << "\n}\n";
+    } else {
+        os << (ok ? "all cells agree with their annotations\n"
+                  : "ANNOTATION MISMATCH (see above)\n");
+    }
+    return ok ? 0 : 1;
+}

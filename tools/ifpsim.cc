@@ -233,9 +233,16 @@ main(int argc, char **argv)
         } else {
             std::ifstream in(opt.faultPlanArg);
             if (!in) {
-                ifp_fatal("cannot open fault plan '%s' (not a "
-                          "preset or readable file)",
-                          opt.faultPlanArg.c_str());
+                std::string known;
+                for (const std::string &n : presets) {
+                    if (!known.empty())
+                        known += ", ";
+                    known += n;
+                }
+                ifp_fatal("cannot open fault plan '%s': not a "
+                          "readable file, and not a preset "
+                          "(presets: %s)",
+                          opt.faultPlanArg.c_str(), known.c_str());
             }
             std::ostringstream text;
             text << in.rdbuf();

@@ -151,6 +151,23 @@ if [ "${1:-}" = "--verify" ]; then
     "$BUILD_DIR/tools/ifplint" --all --Werror > /dev/null
     echo "lint clean"
 
+    echo "== litmus suite (ctest -L litmus)"
+    ctest --test-dir "$BUILD_DIR" -L litmus --output-on-failure -j "$JOBS"
+
+    echo "== litmus exploration byte-identity (ifpexplore)"
+    explore_tmp="$(mktemp -d)"
+    "$BUILD_DIR/tools/ifpexplore" --litmus all --schedules 50 --json \
+        > "$explore_tmp/a.json"
+    "$BUILD_DIR/tools/ifpexplore" --litmus all --schedules 50 --json \
+        > "$explore_tmp/b.json"
+    if ! cmp "$explore_tmp/a.json" "$explore_tmp/b.json"; then
+        echo "FAIL: ifpexplore --json is not byte-identical" >&2
+        rm -rf "$explore_tmp"
+        exit 1
+    fi
+    rm -rf "$explore_tmp"
+    echo "exploration deterministic"
+
     echo "== clang-tidy"
     "$SRC_DIR/tools/run_clang_tidy.sh" "$BUILD_DIR" "$JOBS"
 
