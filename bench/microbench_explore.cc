@@ -102,6 +102,34 @@ BM_ExhaustiveDfs(benchmark::State &state)
 }
 BENCHMARK(BM_ExhaustiveDfs);
 
+/**
+ * POR on/off over the 6-WG pair grid, the cell the reduction was
+ * built for: range(0) selects the sleep-set/persistent-set layer.
+ * Items = schedules run, so the POR datapoint reports *fewer* items
+ * per iteration — the wall-clock ratio between the two rows is the
+ * price of exhausting the cell with vs without reduction.
+ */
+void
+BM_ExhaustivePairGrid(benchmark::State &state)
+{
+    auto litmus = workloads::makeLitmus("pair-grid-6");
+    explore::ExhaustiveConfig cfg;
+    cfg.maxSchedules = 200;
+    cfg.maxPrefixDepth = 12;
+    cfg.por = state.range(0) != 0;
+    cfg.run.maxCycles = 2'000'000;
+    std::uint64_t total = 0;
+    for (auto _ : state) {
+        auto r = explore::exhaustive(
+            *litmus, core::Policy::Baseline, cfg);
+        total += r.schedulesRun;
+    }
+    state.SetItemsProcessed(static_cast<std::int64_t>(total));
+}
+BENCHMARK(BM_ExhaustivePairGrid)
+    ->Arg(0)->Arg(1)
+    ->ArgName("por");
+
 } // namespace
 
 BENCHMARK_MAIN();

@@ -302,7 +302,9 @@ Dataflow::Dataflow(const Cfg &cfg, const LaunchContext &launch)
     for (Reg r = 0; r < isa::numRegs; ++r)
         entry.regs[r] = Interval::constant(0);
     entry.regs[isa::rWgId] =
-        Interval::range(0, std::int64_t(ctx.numWgs) - 1);
+        ctx.pinnedWg >= 0
+            ? Interval::constant(ctx.pinnedWg)
+            : Interval::range(0, std::int64_t(ctx.numWgs) - 1);
     entry.regs[isa::rWfId] =
         Interval::range(0, std::int64_t(ctx.wavefrontsPerWg) - 1);
     entry.regs[isa::rNumWgs] = Interval::constant(ctx.numWgs);

@@ -52,6 +52,16 @@ struct LaunchContext
      * progress check (paper Figure 1).
      */
     unsigned maxResidentWgs = 1;
+
+    /**
+     * When >= 0, analyze the kernel from the viewpoint of this one
+     * work-group: r1 becomes the constant pinnedWg instead of the
+     * whole [0, numWgs-1] range, so per-WG addresses (flag arrays
+     * indexed by wg id) materialize as exact constants. This is how
+     * the interference analysis gets per-WG footprints out of the
+     * shared interval dataflow.
+     */
+    int pinnedWg = -1;
 };
 
 /** A signed interval; INT64_MIN / INT64_MAX ends mean unbounded. */

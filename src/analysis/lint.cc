@@ -56,6 +56,7 @@ runLint(const isa::Kernel &kernel, const LaunchContext &launch)
     runWovPass(ctx, report.diagnostics);
     runLostWakeupPass(ctx, report.diagnostics);
     runProgressPass(ctx, report.diagnostics);
+    runInterferencePass(ctx, report.diagnostics);
 
     for (Diagnostic &d : report.diagnostics) {
         for (const isa::LintSuppression &s : kernel.lintSuppressions) {

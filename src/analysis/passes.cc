@@ -428,17 +428,6 @@ runLostWakeupPass(const PassContext &ctx, std::vector<Diagnostic> &out)
 // Static progress check
 // ---------------------------------------------------------------------
 
-namespace {
-
-/** A spin-wait: a loop whose exit consumes a global read's value. */
-struct SpinWait
-{
-    std::size_t readPc;
-    std::size_t branchPc;
-    Interval addr;
-    const Loop *loop;
-};
-
 std::vector<SpinWait>
 findSpinWaits(const PassContext &ctx)
 {
@@ -481,6 +470,8 @@ findSpinWaits(const PassContext &ctx)
     }
     return waits;
 }
+
+namespace {
 
 /**
  * Concurrent-residency requirement for some WG to reach @p notifyPc

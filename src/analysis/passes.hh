@@ -62,6 +62,31 @@ void runLostWakeupPass(const PassContext &ctx,
 void runProgressPass(const PassContext &ctx,
                      std::vector<Diagnostic> &out);
 
+/** A spin-wait: a loop whose exit consumes a global read's value. */
+struct SpinWait
+{
+    std::size_t readPc;
+    std::size_t branchPc;
+    Interval addr;
+    const Loop *loop;
+};
+
+/**
+ * Spin-wait sites of one kernel (shared between the progress pass and
+ * the interference analysis, which re-runs it per pinned WG).
+ */
+std::vector<SpinWait> findSpinWaits(const PassContext &ctx);
+
+/**
+ * The inter-WG interference pass ("interference" /
+ * static-circular-wait): builds per-WG footprints and the static
+ * wait-for graph (analysis/interference.hh) and reports wait sites
+ * provably stuck in a circular wait. Skipped (no diagnostics) when
+ * the launch exceeds the per-WG analysis cap.
+ */
+void runInterferencePass(const PassContext &ctx,
+                         std::vector<Diagnostic> &out);
+
 } // namespace ifp::analysis
 
 #endif // IFP_ANALYSIS_PASSES_HH

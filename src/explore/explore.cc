@@ -2,9 +2,11 @@
 
 #include <algorithm>
 #include <deque>
+#include <memory>
 #include <set>
 #include <tuple>
 
+#include "analysis/interference.hh"
 #include "analysis/lint.hh"
 #include "sim/logging.hh"
 
@@ -166,11 +168,57 @@ randomWalk(const workloads::LitmusWorkload &litmus,
     return walk;
 }
 
+namespace {
+
+/** One pending exploration: a prescription plus its sleep set. */
+struct PendingRun
+{
+    std::vector<unsigned> prescription;
+    std::vector<analysis::SchedAction> sleep;
+};
+
+/** The scheduling action behind alternative @p k of branch @p b. */
+analysis::SchedAction
+branchAction(const PrefixOracle::Branch &b, unsigned k)
+{
+    analysis::SchedAction a;
+    a.site = b.site;
+    if (b.actors.size() == b.n && k < b.n) {
+        a.wg = b.actors[k];
+        if (b.actorPcs.size() == b.n)
+            a.pc = b.actorPcs[k];
+    }
+    return a;
+}
+
+} // namespace
+
 ExhaustiveResult
 exhaustive(const workloads::LitmusWorkload &litmus,
            core::Policy policy, const ExhaustiveConfig &cfg)
 {
     ExhaustiveResult result;
+
+    // With POR on, build the static commutativity oracle once from
+    // the same kernel image every schedule of this cell executes
+    // (build() is deterministic for a fixed spec and style).
+    std::unique_ptr<analysis::CommutativityOracle> commut;
+    if (cfg.por) {
+        core::RunConfig run_cfg =
+            litmusRunConfig(litmus.spec(), policy, cfg.run);
+        core::GpuSystem scratch(run_cfg);
+        isa::Kernel kernel =
+            litmus.build(scratch, litmusParams(litmus.spec(), policy));
+        const gpu::GpuConfig &gpu = run_cfg.gpu;
+        commut = std::make_unique<analysis::CommutativityOracle>(
+            kernel, analysis::makeLaunchContext(
+                        kernel, gpu.numCus, gpu.simdsPerCu,
+                        gpu.wavefrontsPerSimd, gpu.ldsBytesPerCu));
+    }
+    auto independent = [&](const analysis::SchedAction &x,
+                           const analysis::SchedAction &y) {
+        return commut && commut->independent(x, y);
+    };
 
     // Restart-based DFS: each frontier entry is a prescription of
     // explicit choices; the run replays it and takes the stock pick
@@ -179,7 +227,7 @@ exhaustive(const workloads::LitmusWorkload &litmus,
     // alternative) identifies a subtree — the memo set prunes
     // re-entries from equivalent states reached along different
     // prefixes.
-    std::deque<std::vector<unsigned>> frontier;
+    std::deque<PendingRun> frontier;
     frontier.push_back({});
     std::set<std::tuple<std::uint64_t, sim::ChoicePoint, unsigned,
                         unsigned>>
@@ -187,9 +235,9 @@ exhaustive(const workloads::LitmusWorkload &litmus,
 
     while (!frontier.empty() &&
            result.schedulesRun < cfg.maxSchedules) {
-        std::vector<unsigned> prescription =
-            std::move(frontier.front());
+        PendingRun entry = std::move(frontier.front());
         frontier.pop_front();
+        const std::vector<unsigned> &prescription = entry.prescription;
         result.maxPrefixSeen =
             std::max(result.maxPrefixSeen, prescription.size());
 
@@ -199,6 +247,18 @@ exhaustive(const workloads::LitmusWorkload &litmus,
             [&](core::GpuSystem &system) {
                 oracle.setStateProbe(
                     [&system] { return machineStateHash(system); });
+                oracle.setActorPcProbe([&system](int wg_id) -> int {
+                    for (const auto &wg :
+                         system.dispatcher().workgroups()) {
+                        if (wg->id != wg_id)
+                            continue;
+                        if (wg->wavefronts.size() != 1)
+                            return -1;
+                        return static_cast<int>(
+                            wg->wavefronts[0]->pc);
+                    }
+                    return -1;
+                });
             });
         r.choicePoints = oracle.decisions;
         ++result.schedulesRun;
@@ -206,25 +266,104 @@ exhaustive(const workloads::LitmusWorkload &litmus,
 
         // Branch on every choice point past the prescription (the
         // replayed prefix was already expanded by its parent run).
+        // The sleep set inherited from the parent travels down the
+        // stock continuation, shedding members that conflict with
+        // each taken action.
+        std::vector<analysis::SchedAction> sleep =
+            std::move(entry.sleep);
         const auto &branches = oracle.branches();
         for (std::size_t i = prescription.size();
              i < branches.size(); ++i) {
             const PrefixOracle::Branch &b = branches[i];
+            const analysis::SchedAction taken_action =
+                branchAction(b, b.taken);
+
+            // Persistent-set closure of {taken} over this branch's
+            // candidates: start from the stock pick and add every
+            // candidate dependent with a member. Unknown actors are
+            // dependent with everything, so any identification gap
+            // degrades to the full (unreduced) set.
+            std::vector<char> in_closure(b.n, 0);
+            in_closure[b.taken] = 1;
+            if (cfg.por) {
+                std::vector<analysis::SchedAction> acts;
+                acts.reserve(b.n);
+                for (unsigned k = 0; k < b.n; ++k)
+                    acts.push_back(branchAction(b, k));
+                bool grown = true;
+                while (grown) {
+                    grown = false;
+                    for (unsigned k = 0; k < b.n; ++k) {
+                        if (in_closure[k])
+                            continue;
+                        for (unsigned j = 0; j < b.n; ++j) {
+                            if (in_closure[j] &&
+                                !independent(acts[k], acts[j])) {
+                                in_closure[k] = 1;
+                                grown = true;
+                                break;
+                            }
+                        }
+                    }
+                }
+            }
+
+            // Alternatives expanded earlier at this branch; later
+            // siblings need not re-explore orders that only commute
+            // with them.
+            std::vector<analysis::SchedAction> enqueued;
             for (unsigned alt = 0; alt < b.n; ++alt) {
                 if (alt == b.taken)
                     continue;
+                const analysis::SchedAction alt_action =
+                    branchAction(b, alt);
+                if (cfg.por) {
+                    bool asleep = alt_action.known() &&
+                        std::find(sleep.begin(), sleep.end(),
+                                  alt_action) != sleep.end();
+                    if (asleep || !in_closure[alt]) {
+                        ++result.porSkipped;
+                        continue;
+                    }
+                }
                 if (!visited
                          .emplace(b.stateHash, b.site, b.n, alt)
                          .second) {
                     ++result.pruned;
                     continue;
                 }
-                std::vector<unsigned> taken;
-                taken.reserve(i + 1);
+                PendingRun child;
+                child.prescription.reserve(i + 1);
                 for (std::size_t j = 0; j < i; ++j)
-                    taken.push_back(branches[j].taken);
-                taken.push_back(alt);
-                frontier.push_back(std::move(taken));
+                    child.prescription.push_back(branches[j].taken);
+                child.prescription.push_back(alt);
+                if (cfg.por) {
+                    for (const analysis::SchedAction &s : sleep) {
+                        if (independent(s, alt_action))
+                            child.sleep.push_back(s);
+                    }
+                    if (independent(taken_action, alt_action))
+                        child.sleep.push_back(taken_action);
+                    for (const analysis::SchedAction &s : enqueued) {
+                        if (independent(s, alt_action))
+                            child.sleep.push_back(s);
+                    }
+                    enqueued.push_back(alt_action);
+                }
+                frontier.push_back(std::move(child));
+            }
+
+            // Continue down the stock pick: sleep-set members that
+            // conflict with the action just taken wake up (are
+            // dropped). An unknown taken action conflicts with
+            // everything and clears the set.
+            if (cfg.por && !sleep.empty()) {
+                std::vector<analysis::SchedAction> kept;
+                for (const analysis::SchedAction &s : sleep) {
+                    if (independent(s, taken_action))
+                        kept.push_back(s);
+                }
+                sleep = std::move(kept);
             }
         }
     }

@@ -95,6 +95,11 @@ class PrefixOracle : public sim::SchedOracle
         unsigned n = 0;
         unsigned taken = 0;
         std::uint64_t stateHash = 0;
+        /** Candidate WG ids in choice order (empty: actors unknown,
+         * e.g. HostCu picks a CU). */
+        std::vector<int> actors;
+        /** Each actor's current pc at choice time (-1 unknown). */
+        std::vector<int> actorPcs;
     };
 
     PrefixOracle(std::vector<unsigned> prescription,
@@ -109,9 +114,35 @@ class PrefixOracle : public sim::SchedOracle
         stateProbe = std::move(probe);
     }
 
+    /** Actor-pc probe (wg id -> its current pc, -1 unknown). */
+    void
+    setActorPcProbe(std::function<int(int)> probe)
+    {
+        actorPcProbe = std::move(probe);
+    }
+
     unsigned
     choose(sim::ChoicePoint site, unsigned n, unsigned preferred)
         override
+    {
+        return record(site, n, preferred, nullptr);
+    }
+
+    unsigned
+    chooseWithActors(sim::ChoicePoint site, unsigned n,
+                     unsigned preferred, const int *actor_wgs) override
+    {
+        return record(site, n, preferred, actor_wgs);
+    }
+
+    const std::vector<Branch> &branches() const { return trace; }
+
+    std::uint64_t decisions = 0;
+
+  private:
+    unsigned
+    record(sim::ChoicePoint site, unsigned n, unsigned preferred,
+           const int *actor_wgs)
     {
         unsigned pick = preferred;
         if (decisions < prefix.size() && prefix[decisions] < n)
@@ -122,21 +153,25 @@ class PrefixOracle : public sim::SchedOracle
             b.n = n;
             b.taken = pick;
             b.stateHash = stateProbe ? stateProbe() : 0;
-            trace.push_back(b);
+            if (actor_wgs) {
+                b.actors.assign(actor_wgs, actor_wgs + n);
+                b.actorPcs.reserve(n);
+                for (unsigned k = 0; k < n; ++k) {
+                    b.actorPcs.push_back(
+                        actorPcProbe ? actorPcProbe(actor_wgs[k]) : -1);
+                }
+            }
+            trace.push_back(std::move(b));
         }
         ++decisions;
         return pick;
     }
 
-    const std::vector<Branch> &branches() const { return trace; }
-
-    std::uint64_t decisions = 0;
-
-  private:
     std::vector<unsigned> prefix;
     std::size_t maxTrace;
     std::vector<Branch> trace;
     std::function<std::uint64_t()> stateProbe;
+    std::function<int(int)> actorPcProbe;
 };
 
 /** Liveness-window sizing of one litmus run (small shapes, small
@@ -208,6 +243,15 @@ struct ExhaustiveConfig
     unsigned maxSchedules = 200;
     /** Only branch within the first this-many choice points. */
     unsigned maxPrefixDepth = 12;
+    /**
+     * Partial-order reduction: skip alternatives the static
+     * commutativity oracle (analysis/interference.hh) proves
+     * independent of every dependent action at the branch, and
+     * maintain sleep sets across sibling expansions. Off by default;
+     * with POR on, the DFS must observe the same verdict *support*
+     * as the unreduced run while visiting no more schedules.
+     */
+    bool por = false;
     LitmusRunConfig run;
 };
 
@@ -216,6 +260,8 @@ struct ExhaustiveResult
     std::uint64_t schedulesRun = 0;
     /** Frontier entries skipped by the state-hash memo. */
     std::uint64_t pruned = 0;
+    /** Alternatives skipped by the partial-order reduction. */
+    std::uint64_t porSkipped = 0;
     /** The frontier emptied before the schedule cap was hit. */
     bool frontierExhausted = false;
     VerdictCounts counts{};

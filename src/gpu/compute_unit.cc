@@ -236,9 +236,14 @@ ComputeUnit::tick()
                 continue;
             unsigned pick = 0;
             if (cands.size() > 1) {
-                pick = oracle->choose(
+                std::vector<int> actors;
+                actors.reserve(cands.size());
+                for (unsigned c : cands)
+                    actors.push_back(simd[c]->wg->id);
+                pick = oracle->chooseWithActors(
                     sim::ChoicePoint::WavefrontIssue,
-                    static_cast<unsigned>(cands.size()), 0);
+                    static_cast<unsigned>(cands.size()), 0,
+                    actors.data());
             }
             unsigned idx = cands[pick];
             rrIndex[s] = (idx + 1) % n;

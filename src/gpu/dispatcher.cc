@@ -317,9 +317,17 @@ Dispatcher::oracleDispatch()
             return;
         unsigned pick = 0;
         if (cands.size() > 1) {
-            pick = oracle->choose(
+            std::vector<int> actors;
+            actors.reserve(cands.size());
+            for (const Cand &cand : cands) {
+                int stored = cand.swapIn
+                                 ? cand.ctx->readySwapIn[cand.pos]
+                                 : cand.ctx->pendingFresh[cand.pos];
+                actors.push_back(wg(stored)->id);
+            }
+            pick = oracle->chooseWithActors(
                 sim::ChoicePoint::DispatchPick,
-                static_cast<unsigned>(cands.size()), 0);
+                static_cast<unsigned>(cands.size()), 0, actors.data());
         }
         const Cand &c = cands[pick];
         ComputeUnit *cu = findHost(*c.ctx);

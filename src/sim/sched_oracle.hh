@@ -28,6 +28,7 @@
 
 #include <cstdint>
 #include <utility>
+#include <vector>
 
 namespace ifp::sim {
 
@@ -71,6 +72,14 @@ choicePointName(ChoicePoint site)
  * sites short-circuit singleton candidate sets — and must return an
  * index < n. Returning `preferred` everywhere reproduces the stock
  * schedule.
+ *
+ * Sites whose candidates are work-groups call chooseWithActors()
+ * instead, passing the candidate WG ids in choice order. The default
+ * forwards to choose(), so plain oracles are unaffected; the
+ * exploration engine's recording oracle overrides it to name each
+ * alternative by its actor — the input the partial-order reduction's
+ * independence relation needs. Sites whose candidates are not WGs
+ * (HostCu picks a CU) keep calling choose().
  */
 class SchedOracle
 {
@@ -79,25 +88,36 @@ class SchedOracle
 
     virtual unsigned choose(ChoicePoint site, unsigned n,
                             unsigned preferred) = 0;
+
+    /** choose() plus the candidate WG ids (@p actor_wgs, size n). */
+    virtual unsigned chooseWithActors(ChoicePoint site, unsigned n,
+                                      unsigned preferred,
+                                      const int *actor_wgs)
+    {
+        (void)actor_wgs;
+        return choose(site, n, preferred);
+    }
 };
 
 /**
- * In-place permutation of @p items by repeated selection: position i
- * is filled by asking the oracle to pick among the remaining
- * candidates (preferred = 0 keeps the original order). Used by the
- * order-valued sites (ResumeOrder, SpillScan, RescueOrder) so a
- * permutation costs n-1 unit choices, which keeps the exhaustive
- * driver's branching bookkeeping uniform.
+ * In-place permutation of the WG ids in @p items by repeated
+ * selection: position i is filled by asking the oracle to pick among
+ * the remaining candidates (preferred = 0 keeps the original order).
+ * Used by the order-valued sites (ResumeOrder, SpillScan,
+ * RescueOrder) so a permutation costs n-1 unit choices, which keeps
+ * the exhaustive driver's branching bookkeeping uniform. The
+ * remaining candidates double as the actor list.
  */
-template <typename Vec>
 inline void
-oraclePermute(SchedOracle *oracle, ChoicePoint site, Vec &items)
+oraclePermute(SchedOracle *oracle, ChoicePoint site,
+              std::vector<int> &items)
 {
     if (!oracle || items.size() < 2)
         return;
     for (std::size_t i = 0; i + 1 < items.size(); ++i) {
         unsigned remaining = static_cast<unsigned>(items.size() - i);
-        unsigned pick = oracle->choose(site, remaining, 0);
+        unsigned pick = oracle->chooseWithActors(site, remaining, 0,
+                                                 items.data() + i);
         if (pick != 0)
             std::swap(items[i], items[i + pick]);
     }

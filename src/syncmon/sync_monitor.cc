@@ -258,9 +258,14 @@ SyncMonController::resumeOne(ConditionCache::Entry &entry)
         std::vector<int> nodes;
         for (int n = entry.head; n >= 0; n = waiters.next(n))
             nodes.push_back(n);
+        std::vector<int> actor_wgs;
+        actor_wgs.reserve(nodes.size());
+        for (int n : nodes)
+            actor_wgs.push_back(waiters.node(n).wgId);
         unsigned pick =
-            oracle->choose(sim::ChoicePoint::ResumeVictim,
-                           static_cast<unsigned>(nodes.size()), 0);
+            oracle->chooseWithActors(sim::ChoicePoint::ResumeVictim,
+                                     static_cast<unsigned>(nodes.size()),
+                                     0, actor_wgs.data());
         node = nodes[pick];
         if (pick > 0) {
             int prev = nodes[pick - 1];

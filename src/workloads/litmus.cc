@@ -158,6 +158,49 @@ LitmusWorkload::build(core::GpuSystem &system,
         emitDone(b, doneBase, rOne);
         break;
       }
+      case LitmusShape::PairGrid: {
+        // rMyFlag = &flags[wg]; partner of WG w is w + 1 - 2*(w % 2),
+        // i.e. the other member of w's pair. The rem form keeps the
+        // unpinned interval of the partner index within the flag
+        // array (no aliasing with the done array for the lint
+        // passes); pinned, it is exact and each pair's footprint is
+        // two concrete addresses disjoint from every other pair's.
+        b.movi(rSyncAddr, static_cast<std::int64_t>(syncBase));
+        b.muli(rScratch, isa::rWgId, 8);
+        b.add(rMyFlag, rSyncAddr, rScratch);
+        b.remi(rScratch, isa::rWgId, 2);
+        b.muli(rScratch, rScratch, 2);
+        b.addi(rConst, isa::rWgId, 1);
+        b.sub(rScratch, rConst, rScratch);
+        b.muli(rScratch, rScratch, 8);
+        b.add(rOtherFlag, rSyncAddr, rScratch);
+        // Publish my flag (release), then wait for my partner's.
+        b.atom(rAtomResult, AtomicOpcode::Exch, rMyFlag, 0, rOne, 0,
+               /*acquire=*/false, /*release=*/true);
+        emitWaitEq(b, sp, rOtherFlag, 0, rOne);
+        emitDone(b, doneBase, rOne);
+        break;
+      }
+      case LitmusShape::Ring: {
+        // rMyFlag = &flags[wg], rOtherFlag = &flags[(wg + N - 1) % N].
+        b.movi(rSyncAddr, static_cast<std::int64_t>(syncBase));
+        b.muli(rScratch, isa::rWgId, 8);
+        b.add(rMyFlag, rSyncAddr, rScratch);
+        b.addi(rScratch, isa::rWgId, litmus.numWgs - 1);
+        b.remi(rScratch, rScratch, litmus.numWgs);
+        b.muli(rScratch, rScratch, 8);
+        b.add(rOtherFlag, rSyncAddr, rScratch);
+        // "Started" marker, as in CircularWait: one mutation per WG
+        // pushes stall classification past the first deadlock window.
+        b.movi(rScratch, 2);
+        emitDone(b, doneBase, rScratch);
+        // Wait for the predecessor FIRST, publish after: an N-cycle.
+        emitWaitEq(b, sp, rOtherFlag, 0, rOne);
+        b.atom(rAtomResult, AtomicOpcode::Exch, rMyFlag, 0, rOne, 0,
+               /*acquire=*/false, /*release=*/true);
+        emitDone(b, doneBase, rOne);
+        break;
+      }
       case LitmusShape::CircularWait: {
         emitPairFlagAddrs(b, syncBase);
         // Observable "started" marker (done[wg] = 2). Without at
@@ -337,7 +380,65 @@ litmusSpecs()
             {Policy::Timeout, Verdict::Livelock},
             {Policy::Awg, Verdict::Livelock},
         };
+        const char *circ_why =
+            "both waits sit before the only writes that could satisfy "
+            "them; the static wait-for graph's greatest fixpoint keeps "
+            "every wait stuck, matching the no-schedule-completes "
+            "annotation";
+        for (SyncStyle style :
+             {SyncStyle::Busy, SyncStyle::SleepBackoff,
+              SyncStyle::WaitInstr, SyncStyle::WaitAtomic}) {
+            circular.lint.push_back(
+                {style, "static-circular-wait", circ_why});
+        }
         s.push_back(std::move(circular));
+
+        LitmusSpec pair_grid;
+        pair_grid.name = "pair-grid-6";
+        pair_grid.description =
+            "Three disjoint publish-then-wait pairs, all resident";
+        pair_grid.shape = LitmusShape::PairGrid;
+        pair_grid.numWgs = 6;
+        pair_grid.maxWgsPerCu = 6;
+        pair_grid.numCus = 1;
+        pair_grid.expected = {
+            {Policy::Baseline, Verdict::Complete},
+            {Policy::Sleep, Verdict::Complete},
+            {Policy::Timeout, Verdict::Complete},
+            {Policy::Awg, Verdict::Complete},
+        };
+        s.push_back(std::move(pair_grid));
+
+        LitmusSpec ring;
+        ring.name = "ring-6";
+        ring.description =
+            "Six-WG wait-before-publish ring (N-cycle circular wait)";
+        ring.shape = LitmusShape::Ring;
+        ring.numWgs = 6;
+        ring.maxWgsPerCu = 6;
+        ring.numCus = 1;
+        // AWG never classifies: swapping waiters in and out of the
+        // ring keeps perturbing the progress signature, so the
+        // liveness oracle sees neither a frozen window (Deadlock) nor
+        // a stable retry delta (Livelock) and the run honestly burns
+        // its whole cycle budget — on every schedule.
+        ring.expected = {
+            {Policy::Baseline, Verdict::Deadlock},
+            {Policy::Sleep, Verdict::Livelock},
+            {Policy::Timeout, Verdict::Livelock},
+            {Policy::Awg, Verdict::Exhausted},
+        };
+        const char *ring_why =
+            "every WG's publish is dominated by its wait for the "
+            "predecessor, so the wait-for graph is a 6-cycle with no "
+            "unguarded notify; the fixpoint keeps all six waits stuck";
+        for (SyncStyle style :
+             {SyncStyle::Busy, SyncStyle::SleepBackoff,
+              SyncStyle::WaitInstr, SyncStyle::WaitAtomic}) {
+            ring.lint.push_back(
+                {style, "static-circular-wait", ring_why});
+        }
+        s.push_back(std::move(ring));
 
         return s;
     }();

@@ -69,6 +69,21 @@ enum class LitmusShape
      * retry livelock).
      */
     CircularWait,
+    /**
+     * Three disjoint mutual-blocking pairs, all resident: WG 2k and
+     * 2k+1 publish-then-wait on each other's flag and never touch the
+     * other pairs' state. Completes under every policy; its schedule
+     * space is the product of the pairs', which is what partial-order
+     * reduction collapses — cross-pair scheduler picks commute.
+     */
+    PairGrid,
+    /**
+     * Wait-before-publish ring: WG i waits for WG (i-1)'s flag before
+     * publishing its own — an N-WG circular wait no schedule breaks.
+     * Adjacent WGs share a flag but WGs at ring distance >= 2 are
+     * disjoint, so POR still collapses most interleavings.
+     */
+    Ring,
 };
 
 /** One expected unsuppressed ifplint finding, with its reason. */

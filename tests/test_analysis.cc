@@ -13,6 +13,7 @@
 
 #include <gtest/gtest.h>
 
+#include "analysis/interference.hh"
 #include "analysis/lint.hh"
 #include "test_helpers.hh"
 
@@ -348,6 +349,209 @@ TEST(Lint, JsonSerializationIsDeterministic)
     analysis::writeReportsJson(reports, b);
     EXPECT_FALSE(a.str().empty());
     EXPECT_EQ(a.str(), b.str());
+}
+
+TEST(Dataflow, WideningSaturatesInsteadOfWrapping)
+{
+    // A loop counter with no provable bound widens to the +inf
+    // sentinel; arithmetic on the widened interval must saturate at
+    // the sentinel, never wrap past INT64_MAX into a bogus bounded
+    // (negative) range that downstream address checks would trust.
+    KernelBuilder b;
+    b.movi(16, 0);
+    Label loop = b.here();
+    b.addi(16, 16, 1);
+    b.cmpEqi(21, 16, 1000);
+    b.bz(21, loop);
+    b.addi(17, 16, 5);
+    b.muli(18, 16, 8);
+    b.halt();
+    isa::Kernel k = test::makeTestKernel(b, 4);
+
+    analysis::Cfg cfg(k.code);
+    analysis::LaunchContext launch =
+        analysis::makeLaunchContext(k, 8, 2, 20, 64 * 1024);
+    analysis::Dataflow df(cfg, launch);
+
+    const std::size_t halt_pc = k.code.size() - 1;
+    analysis::Interval counter = df.value(halt_pc, 16);
+    EXPECT_FALSE(counter.bounded());
+    EXPECT_EQ(counter.hi, std::numeric_limits<std::int64_t>::max());
+    EXPECT_GE(counter.lo, 0) << "widening lost the stable lower bound";
+
+    analysis::Interval plus = df.value(halt_pc, 17);
+    EXPECT_EQ(plus.hi, std::numeric_limits<std::int64_t>::max())
+        << "add on a widened interval wrapped instead of saturating";
+    analysis::Interval scaled = df.value(halt_pc, 18);
+    EXPECT_EQ(scaled.hi, std::numeric_limits<std::int64_t>::max())
+        << "mul on a widened interval wrapped instead of saturating";
+}
+
+TEST(Dataflow, PinnedWgMakesWgIdConstant)
+{
+    KernelBuilder b;
+    b.muli(16, isa::rWgId, 8);
+    b.halt();
+    isa::Kernel k = test::makeTestKernel(b, 8);
+
+    analysis::Cfg cfg(k.code);
+    analysis::LaunchContext launch =
+        analysis::makeLaunchContext(k, 8, 2, 20, 64 * 1024);
+    launch.pinnedWg = 3;
+    analysis::Dataflow df(cfg, launch);
+    EXPECT_EQ(df.value(0, isa::rWgId),
+              analysis::Interval::constant(3));
+    EXPECT_EQ(df.value(k.code.size() - 1, 16),
+              analysis::Interval::constant(24));
+}
+
+/** flags[wg] published, flags[pair partner] read; 4 WGs, 2 pairs. */
+isa::Kernel
+pairedFlagsKernel()
+{
+    KernelBuilder b;
+    b.movi(16, 0x1000);
+    b.muli(17, isa::rWgId, 8);
+    b.add(17, 16, 17);          // &flags[wg]
+    b.remi(18, isa::rWgId, 2);
+    b.muli(18, 18, 2);
+    b.addi(19, isa::rWgId, 1);
+    b.sub(18, 19, 18);
+    b.muli(18, 18, 8);
+    b.add(18, 16, 18);          // &flags[wg + 1 - 2*(wg%2)]
+    b.movi(20, 1);
+    b.st(17, 20);               // publish mine
+    b.ld(21, 18);               // read my partner's
+    b.halt();
+    return test::makeTestKernel(b, 4);
+}
+
+TEST(Interference, PinnedFootprintsSeparatePairs)
+{
+    isa::Kernel k = pairedFlagsKernel();
+    analysis::InterferenceAnalysis ia(
+        k, analysis::makeLaunchContext(k, 8, 2, 20, 64 * 1024));
+    ASSERT_FALSE(ia.capped());
+    ASSERT_EQ(ia.numWgs(), 4u);
+    EXPECT_TRUE(ia.footprint(0).bounded());
+    EXPECT_TRUE(ia.mayConflict(0, 1));   // same pair: shared flags
+    EXPECT_TRUE(ia.mayConflict(2, 3));
+    EXPECT_FALSE(ia.mayConflict(0, 2));  // cross-pair: disjoint
+    EXPECT_FALSE(ia.mayConflict(1, 3));
+}
+
+TEST(Interference, CommutativityOracleRespectsFootprints)
+{
+    isa::Kernel k = pairedFlagsKernel();
+    analysis::CommutativityOracle oracle(
+        k, analysis::makeLaunchContext(k, 8, 2, 20, 64 * 1024));
+
+    auto action = [](int wg) {
+        analysis::SchedAction a;
+        a.site = ifp::sim::ChoicePoint::WavefrontIssue;
+        a.wg = wg;
+        a.pc = 0;
+        return a;
+    };
+    EXPECT_TRUE(oracle.independent(action(0), action(2)));
+    EXPECT_FALSE(oracle.independent(action(0), action(1)));
+    EXPECT_FALSE(oracle.independent(action(0), action(0)));
+
+    analysis::SchedAction unknown;
+    unknown.site = ifp::sim::ChoicePoint::WavefrontIssue;
+    EXPECT_FALSE(unknown.known());
+    EXPECT_FALSE(oracle.independent(action(0), unknown));
+
+    // Placement-changing sites never commute, whatever the actors.
+    analysis::SchedAction host = action(0);
+    host.site = ifp::sim::ChoicePoint::HostCu;
+    analysis::SchedAction host2 = action(2);
+    host2.site = ifp::sim::ChoicePoint::HostCu;
+    EXPECT_FALSE(oracle.independent(host, host2));
+}
+
+TEST(Interference, WidenedAddressFallsBackToUnbounded)
+{
+    // The loop counter widens; feeding it into address math makes the
+    // footprint unbounded, and unbounded footprints conflict with
+    // everything — the POR fallback-to-dependent rule.
+    KernelBuilder b;
+    b.movi(16, 0);
+    Label loop = b.here();
+    b.addi(16, 16, 1);
+    b.cmpEqi(21, 16, 1000);
+    b.bz(21, loop);
+    b.muli(17, 16, 8);
+    b.movi(18, 0x1000);
+    b.add(17, 18, 17);
+    b.ld(20, 17);
+    b.st(17, 20);
+    b.halt();
+    isa::Kernel k = test::makeTestKernel(b, 4);
+    analysis::InterferenceAnalysis ia(
+        k, analysis::makeLaunchContext(k, 8, 2, 20, 64 * 1024));
+    ASSERT_FALSE(ia.capped());
+    EXPECT_TRUE(ia.footprint(0).reads.unbounded);
+    EXPECT_TRUE(ia.footprint(0).writes.unbounded);
+    EXPECT_FALSE(ia.footprint(0).bounded());
+    EXPECT_TRUE(ia.mayConflict(0, 1));
+}
+
+TEST(Interference, CircularWaitPairIsFlagged)
+{
+    // Each WG spins on the other's flag before publishing its own:
+    // both notifies are guarded by stuck waits, so the wait-for
+    // fixpoint keeps both wait sites and the lint pass reports the
+    // static circular wait.
+    KernelBuilder b;
+    b.movi(16, 0x1000);
+    b.muli(17, isa::rWgId, 8);
+    b.add(17, 16, 17);          // &flags[wg]
+    b.movi(18, 1);
+    b.sub(18, 18, isa::rWgId);
+    b.muli(18, 18, 8);
+    b.add(18, 16, 18);          // &flags[1 - wg]
+    b.movi(20, 1);
+    Label poll = b.here();
+    b.ld(21, 18);
+    b.cmpEq(22, 21, 20);
+    b.bz(22, poll);             // wait for the partner first...
+    b.st(17, 20);               // ...then publish
+    b.halt();
+    analysis::Report r = lint(test::makeTestKernel(b, 2));
+    EXPECT_EQ(countCode(r, "static-circular-wait"), 1u);
+}
+
+TEST(Interference, WaitForZeroIsNeverACircularWaitCandidate)
+{
+    // Memory starts zeroed, so a wait whose expected value may be 0
+    // (TAS "lock free" polls) is satisfiable at launch and must not
+    // be reported even though nobody ever writes the address.
+    KernelBuilder b;
+    b.movi(16, 0x1000);
+    b.muli(17, isa::rWgId, 8);
+    b.add(17, 16, 17);
+    Label poll = b.here();
+    b.ld(21, 17);
+    b.cmpEqi(22, 21, 0);
+    b.bz(22, poll);             // spin until flags[wg] == 0
+    b.halt();
+    analysis::Report r = lint(test::makeTestKernel(b, 2));
+    EXPECT_EQ(countCode(r, "static-circular-wait"), 0u);
+}
+
+TEST(Interference, SummaryJsonIsDeterministic)
+{
+    isa::Kernel k = pairedFlagsKernel();
+    analysis::LaunchContext launch =
+        analysis::makeLaunchContext(k, 8, 2, 20, 64 * 1024);
+    std::vector<analysis::InterferenceSummary> summaries;
+    summaries.push_back(analysis::summarizeInterference(k, launch));
+    std::ostringstream a, c;
+    analysis::writeInterferenceSummariesJson(summaries, a);
+    analysis::writeInterferenceSummariesJson(summaries, c);
+    EXPECT_FALSE(a.str().empty());
+    EXPECT_EQ(a.str(), c.str());
 }
 
 TEST(BuilderValidation, UnboundLabelFailsBuildWithClearError)

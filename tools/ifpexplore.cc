@@ -40,8 +40,10 @@ struct Options
     unsigned schedules = 20;
     std::uint64_t seed = 1;
     bool exhaustive = false;
+    bool por = false;
     unsigned maxSchedules = 200;
     unsigned maxDepth = 12;
+    std::uint64_t maxCycles = 30'000'000;
     bool json = false;
     bool list = false;
     bool noLint = false;
@@ -91,8 +93,15 @@ usage()
         "                         from (litmus, policy, S, i)\n"
         "  --exhaustive           bounded exhaustive DFS per cell\n"
         "                         instead of the random walk\n"
+        "  --por                  partial-order reduction: skip\n"
+        "                         alternatives the static\n"
+        "                         interference analysis proves\n"
+        "                         commute (exhaustive mode only)\n"
         "  --max-schedules N      exhaustive schedule cap (200)\n"
         "  --max-depth N          exhaustive branch depth cap (12)\n"
+        "  --max-cycles N         per-schedule cycle budget\n"
+        "                         (default 30000000; unclassifiable\n"
+        "                         runs report EXHAUSTED)\n"
         "  --no-lint              skip the static ifplint cross-check\n"
         "  --json                 machine-readable (deterministic)\n";
 }
@@ -144,11 +153,15 @@ main(int argc, char **argv)
             opt.seed = std::stoull(value());
         } else if (arg == "--exhaustive") {
             opt.exhaustive = true;
+        } else if (arg == "--por") {
+            opt.por = true;
         } else if (arg == "--max-schedules") {
             opt.maxSchedules =
                 static_cast<unsigned>(std::stoul(value()));
         } else if (arg == "--max-depth") {
             opt.maxDepth = static_cast<unsigned>(std::stoul(value()));
+        } else if (arg == "--max-cycles") {
+            opt.maxCycles = std::stoull(value());
         } else if (arg == "--json") {
             opt.json = true;
         } else if (arg == "--no-lint") {
@@ -205,6 +218,8 @@ main(int argc, char **argv)
             ifp::explore::ExhaustiveConfig cfg;
             cfg.maxSchedules = opt.maxSchedules;
             cfg.maxPrefixDepth = opt.maxDepth;
+            cfg.por = opt.por;
+            cfg.run.maxCycles = opt.maxCycles;
             for (const auto &[policy, expected] : spec.expected) {
                 if (!allPolicies && policy != onlyPolicy)
                     continue;
@@ -227,6 +242,7 @@ main(int argc, char **argv)
                     printVerdictCounts(os, r.counts, true);
                     os << "}, \"schedules\": " << r.schedulesRun
                        << ", \"pruned\": " << r.pruned
+                       << ", \"porSkipped\": " << r.porSkipped
                        << ", \"frontierExhausted\": "
                        << (r.frontierExhausted ? "true" : "false")
                        << ", \"ok\": " << (cellOk ? "true" : "false")
@@ -239,6 +255,7 @@ main(int argc, char **argv)
                     printVerdictCounts(os, r.counts, false);
                     os << " over " << r.schedulesRun
                        << " schedules (pruned " << r.pruned
+                       << ", por-skipped " << r.porSkipped
                        << (r.frontierExhausted
                                ? ", frontier exhausted"
                                : ", schedule cap hit")
@@ -248,8 +265,10 @@ main(int argc, char **argv)
                 firstCell = false;
             }
         } else {
+            ifp::explore::LitmusRunConfig run;
+            run.maxCycles = opt.maxCycles;
             auto cells = ifp::explore::crossValidate(
-                *litmus, opt.seed, opt.schedules);
+                *litmus, opt.seed, opt.schedules, run);
             for (const auto &cell : cells) {
                 if (!allPolicies && cell.policy != onlyPolicy)
                     continue;

@@ -18,6 +18,7 @@
 #include <string>
 #include <vector>
 
+#include "analysis/interference.hh"
 #include "analysis/lint.hh"
 #include "core/gpu_system.hh"
 #include "core/policy.hh"
@@ -33,6 +34,7 @@ struct Options
     bool json = false;
     bool werror = false;
     bool list = false;
+    bool interference = false;
     ifp::workloads::WorkloadParams params;
 };
 
@@ -66,8 +68,13 @@ usage()
         "  --group L          WGs per locality group\n"
         "  --wi N             work-items per WG\n"
         "  --iters I          iterations per WG\n"
+        "  --interference     inter-WG interference summaries (per-WG\n"
+        "                     footprints, wait-for graph, circular\n"
+        "                     waits) instead of the lint passes\n"
         "  --json             deterministic JSON report on stdout\n"
         "  --Werror           unsuppressed warnings fail the run\n"
+        "                     (with --interference: static circular\n"
+        "                     waits fail the run)\n"
         "\n"
         "Each benchmark is linted in all four codegen styles (Busy,\n"
         "SleepBackoff, WaitInstr, WaitAtomic). Exit status is 0 when\n"
@@ -101,6 +108,8 @@ main(int argc, char **argv)
             opt.list = true;
         } else if (!std::strcmp(a, "--json")) {
             opt.json = true;
+        } else if (!std::strcmp(a, "--interference")) {
+            opt.interference = true;
         } else if (!std::strcmp(a, "--Werror")) {
             opt.werror = true;
         } else if (!std::strcmp(a, "--wgs")) {
@@ -140,6 +149,7 @@ main(int argc, char **argv)
 
     const gpu::GpuConfig machine;
     std::vector<analysis::Report> reports;
+    std::vector<analysis::InterferenceSummary> summaries;
     for (const auto &w : suite) {
         for (core::SyncStyle style : styles) {
             // A scratch system per kernel: workloads allocate and
@@ -156,8 +166,35 @@ main(int argc, char **argv)
             analysis::LaunchContext launch = analysis::makeLaunchContext(
                 kernel, machine.numCus, machine.simdsPerCu,
                 machine.wavefrontsPerSimd, machine.ldsBytesPerCu);
-            reports.push_back(analysis::runLint(kernel, launch));
+            if (opt.interference) {
+                summaries.push_back(
+                    analysis::summarizeInterference(kernel, launch));
+            } else {
+                reports.push_back(analysis::runLint(kernel, launch));
+            }
         }
+    }
+
+    if (opt.interference) {
+        bool ok = true;
+        unsigned circular = 0;
+        for (const analysis::InterferenceSummary &s : summaries)
+            circular += static_cast<unsigned>(s.circular.size());
+        if (opt.werror && circular > 0)
+            ok = false;
+        if (opt.json) {
+            analysis::writeInterferenceSummariesJson(summaries,
+                                                     std::cout);
+        } else {
+            for (const analysis::InterferenceSummary &s : summaries)
+                analysis::printInterferenceSummary(s, std::cout);
+            std::cout << (ok ? "interference clean"
+                             : "interference FAILED")
+                      << " (" << summaries.size() << " kernels, "
+                      << circular << " circular wait sites"
+                      << (opt.werror ? ", -Werror" : "") << ")\n";
+        }
+        return ok ? 0 : 1;
     }
 
     bool ok = true;

@@ -22,10 +22,12 @@
 #
 # With --verify the script is instead the one-stop verification entry
 # point: configure + build, the tier-1 ctest suite, the static kernel
-# verifier gate (ifplint --all --Werror), clang-tidy (skipped when not
-# installed), the sanitized test run (ASan+UBSan), and the perf gate
-# (--check) when baselines are committed. This is what CI or a
-# pre-merge check should call.
+# verifier gate (ifplint --all --Werror), byte-identity of the
+# exploration and interference JSON surfaces, the POR-vs-unreduced
+# exhaustive agreement check, clang-tidy (skipped when not installed),
+# the sanitized test run (ASan+UBSan), and the perf gate (--check)
+# when baselines are committed. This is what CI or a pre-merge check
+# should call.
 #
 # Usage: run_all_benches.sh [--trace] [BENCH_DIR] [JOBS]
 #        run_all_benches.sh --baseline [BENCH_DIR] [OUT_DIR]
@@ -167,6 +169,42 @@ if [ "${1:-}" = "--verify" ]; then
     fi
     rm -rf "$explore_tmp"
     echo "exploration deterministic"
+
+    echo "== interference summaries byte-identity (ifplint --interference)"
+    interference_tmp="$(mktemp -d)"
+    "$BUILD_DIR/tools/ifplint" --all --interference --Werror --json \
+        > "$interference_tmp/a.json"
+    "$BUILD_DIR/tools/ifplint" --all --interference --Werror --json \
+        > "$interference_tmp/b.json"
+    if ! cmp "$interference_tmp/a.json" "$interference_tmp/b.json"; then
+        echo "FAIL: ifplint --interference --json is not byte-identical" >&2
+        rm -rf "$interference_tmp"
+        exit 1
+    fi
+    rm -rf "$interference_tmp"
+    echo "interference summaries deterministic"
+
+    echo "== POR agreement (ifpexplore --exhaustive with and without --por)"
+    por_tmp="$(mktemp -d)"
+    "$BUILD_DIR/tools/ifpexplore" --litmus all --exhaustive \
+        --max-schedules 400 --max-depth 8 --max-cycles 2000000 \
+        --no-lint --json > "$por_tmp/base.json"
+    "$BUILD_DIR/tools/ifpexplore" --litmus all --exhaustive --por \
+        --max-schedules 400 --max-depth 8 --max-cycles 2000000 \
+        --no-lint --json > "$por_tmp/por.json"
+    # Both runs exit 0 above (set -e), so every cell's observed
+    # verdicts match the annotation with and without the reduction;
+    # on top of that the reduced run must visit no more schedules.
+    base_total=$(grep -o '"schedules": [0-9]*' "$por_tmp/base.json" |
+                 awk '{ sum += $2 } END { print sum }')
+    por_total=$(grep -o '"schedules": [0-9]*' "$por_tmp/por.json" |
+                awk '{ sum += $2 } END { print sum }')
+    rm -rf "$por_tmp"
+    if [ "$por_total" -gt "$base_total" ]; then
+        echo "FAIL: POR visited $por_total schedules vs $base_total unreduced" >&2
+        exit 1
+    fi
+    echo "POR agrees ($por_total of $base_total schedules)"
 
     echo "== clang-tidy"
     "$SRC_DIR/tools/run_clang_tidy.sh" "$BUILD_DIR" "$JOBS"
