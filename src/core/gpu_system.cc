@@ -117,6 +117,7 @@ GpuSystem::GpuSystem(const RunConfig &run_cfg)
             "syncmon", eq, syncMonModeFor(policy), cfg.policy.syncmon,
             *l2cache, store, *cp);
         monitor->setScheduler(dispatch.get());
+        cp->setSpillObserver(monitor.get());
         observer = monitor.get();
     } else if (policy == Policy::Timeout) {
         timeout = std::make_unique<syncmon::TimeoutController>(
@@ -688,6 +689,10 @@ GpuSystem::harvest(RunResult &result) const
             s.scalar("droppedResumes").value());
         result.delayedResumes = static_cast<std::uint64_t>(
             s.scalar("delayedResumes").value());
+        result.predictedResumes = static_cast<std::uint64_t>(
+            s.scalar("predictedResumes").value());
+        result.mispredictedResumes = static_cast<std::uint64_t>(
+            s.scalar("mispredictedResumes").value());
     }
 
     result.hostEvents =

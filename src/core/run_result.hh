@@ -89,6 +89,10 @@ struct RunResult
     std::uint64_t condResumesOne = 0;
     std::uint64_t cpRescues = 0;
     std::uint64_t forcedPreemptions = 0;
+    /** Waiters resumed by the AWG predictor. */
+    std::uint64_t predictedResumes = 0;
+    /** Predicted resumes that re-registered the same condition. */
+    std::uint64_t mispredictedResumes = 0;
     /// @}
 
     /// @name Virtualization / hardware occupancy maxima (Figure 13)

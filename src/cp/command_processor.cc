@@ -109,8 +109,12 @@ CommandProcessor::spillCondition(mem::Addr addr, mem::MemValue expected,
 void
 CommandProcessor::dropSpilledFor(int wg_id)
 {
-    std::erase_if(spilled, [wg_id](const SpilledCond &c) {
-        return c.wgId == wg_id;
+    std::erase_if(spilled, [this, wg_id](const SpilledCond &c) {
+        if (c.wgId != wg_id)
+            return false;
+        if (spillObserver)
+            spillObserver->onSpilledCondRemoved(c.addr, c.wgId);
+        return true;
     });
 }
 
@@ -169,6 +173,8 @@ CommandProcessor::housekeeping()
     std::erase_if(spilled, [&](const SpilledCond &c) {
         if (store.read(c.addr, 8) == c.expected) {
             to_resume.push_back(c.wgId);
+            if (spillObserver)
+                spillObserver->onSpilledCondRemoved(c.addr, c.wgId);
             return true;
         }
         return false;

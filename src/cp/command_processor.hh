@@ -57,6 +57,24 @@ struct CpConfig
     AdmissionConfig admission;
 };
 
+/**
+ * Listener for the lifecycle of spilled waiting conditions. The
+ * SyncMon implements this so conditions virtualized into the Monitor
+ * Log keep participating in its per-line accounting (monitored bits,
+ * lazy cleanup, Bloom-filter lifetime) while the CP owns them. Kept
+ * here so the CP never depends on the syncmon layer.
+ */
+class SpillObserver
+{
+  public:
+    virtual ~SpillObserver() = default;
+    /**
+     * A spilled condition left the CP's tables: its waiter resumed
+     * (condition met or rescue) or was dropped as stale.
+     */
+    virtual void onSpilledCondRemoved(mem::Addr addr, int wg_id) = 0;
+};
+
 /** The Command Processor. */
 class CommandProcessor : public sim::Clocked,
                          public gpu::ContextSwitcher
@@ -70,6 +88,8 @@ class CommandProcessor : public sim::Clocked,
 
     void setScheduler(gpu::WgScheduler *s) { scheduler = s; }
     void setTraceSink(sim::TraceSink *sink) { trace = sink; }
+    /** Spilled-condition lifecycle listener (the SyncMon). */
+    void setSpillObserver(SpillObserver *o) { spillObserver = o; }
     /** Schedule-choice oracle for housekeeping resume ordering. */
     void setSchedOracle(sim::SchedOracle *o) { oracle = o; }
 
@@ -160,6 +180,7 @@ class CommandProcessor : public sim::Clocked,
     gpu::WgScheduler *scheduler = nullptr;
     sim::TraceSink *trace = nullptr;
     sim::SchedOracle *oracle = nullptr;
+    SpillObserver *spillObserver = nullptr;
 
     MonitorLog log;
     AdmissionScheduler admScheduler;

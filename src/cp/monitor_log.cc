@@ -30,12 +30,17 @@ MonitorLog::append(const MonitorLogEntry &entry)
 
     if (l2) {
         // Charge one timing write for the record (fire and forget:
-        // the refcount recycles it once the L2 responds).
+        // the refcount recycles it once the L2 responds). The L2
+        // write path is functional too — it stores the operand's
+        // first 8 bytes at req->addr — so the operand must be the
+        // record's own first word (the monitored address), not the
+        // expected value: anything else clobbers the record and the
+        // CP later drains a condition for a garbage address.
         mem::MemRequestPtr req = pool->allocate();
         req->op = mem::MemOp::Write;
         req->addr = at;
         req->size = monitorLogEntryBytes;
-        req->operand = entry.expected;
+        req->operand = static_cast<mem::MemValue>(entry.addr);
         l2->access(req);
     }
 

@@ -59,6 +59,9 @@ class MonitorLog
     /** Pop the head entry, if any. */
     std::optional<MonitorLogEntry> pop();
 
+    /** Buffer base address in global memory. */
+    mem::Addr baseAddr() const { return base; }
+
     bool empty() const { return count == 0; }
     bool full() const { return count == capacity; }
     unsigned size() const { return count; }

@@ -60,6 +60,8 @@ writeResultJson(std::ostream &os, const Experiment &exp,
     os << "\"condResumesAll\":" << r.condResumesAll << ",";
     os << "\"condResumesOne\":" << r.condResumesOne << ",";
     os << "\"cpRescues\":" << r.cpRescues << ",";
+    os << "\"predictedResumes\":" << r.predictedResumes << ",";
+    os << "\"mispredictedResumes\":" << r.mispredictedResumes << ",";
     os << "\"spills\":" << r.spills << ",";
     os << "\"logFullRetries\":" << r.logFullRetries << ",";
     os << "\"faultPlan\":\"" << jsonEscape(exp.runCfg.faultPlan.name)

@@ -37,7 +37,8 @@ runExperimentWithSystem(const Experiment &exp,
                             &inspect)
 {
     workloads::WorkloadPtr workload =
-        workloads::makeWorkload(exp.workload);
+        exp.makeWorkload ? exp.makeWorkload()
+                         : workloads::makeWorkload(exp.workload);
 
     workloads::WorkloadParams params = exp.params;
     params.style = core::styleFor(exp.policy);

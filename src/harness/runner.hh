@@ -26,6 +26,15 @@ struct Experiment
     core::Policy policy = core::Policy::Awg;
     bool oversubscribed = false;
 
+    /**
+     * Optional workload factory. When set it overrides the registry
+     * lookup of `workload`, so sweeps can vary constructor parameters
+     * the registry defaults (queue depth, producer:consumer ratio).
+     * `workload` stays the experiment's label either way. Must be a
+     * pure factory (callable repeatedly — sharded runs rebuild).
+     */
+    std::function<workloads::WorkloadPtr()> makeWorkload;
+
     /** Workload geometry (style is overwritten from the policy). */
     workloads::WorkloadParams params;
 

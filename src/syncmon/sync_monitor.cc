@@ -53,6 +53,11 @@ SyncMonController::SyncMonController(std::string name,
                                      "AWG resume-all predictions")),
       predictOne(statGroup.addScalar("predictOne",
                                      "AWG resume-one predictions")),
+      predictedResumes(statGroup.addScalar(
+          "predictedResumes", "waiters resumed by the AWG predictor")),
+      mispredictedResumes(statGroup.addScalar(
+          "mispredictedResumes",
+          "predicted resumes that re-registered the same condition")),
       bloomResets(statGroup.addScalar("bloomResets",
                                       "Bloom filter resets")),
       stallTimeouts(statGroup.addScalar("stallTimeouts",
@@ -135,6 +140,17 @@ SyncMonController::registerWaiter(mem::Addr addr, mem::MemValue expected,
     ++registrations;
     bool addr_only = usesAddrOnlyConditions();
 
+    // AWG accuracy: a WG the predictor resumed that comes straight
+    // back for the same condition was woken for nothing.
+    auto predicted = lastPredictedResume.find(wg_id);
+    if (predicted != lastPredictedResume.end()) {
+        if (predicted->second.first == addr &&
+            predicted->second.second == expected) {
+            ++mispredictedResumes;
+        }
+        lastPredictedResume.erase(predicted);
+    }
+
     if (pressureDepth > 0) {
         // SyncMonPressure fault window: the condition cache reports
         // itself full, so every new waiter exercises the Monitor Log
@@ -149,6 +165,7 @@ SyncMonController::registerWaiter(mem::Addr addr, mem::MemValue expected,
             ++logFullRetries;
             return {mem::WaitKind::Retry, 0};
         }
+        noteConditionSpilled(addr);
         return waitDecisionFor(addr);
     }
 
@@ -184,6 +201,7 @@ SyncMonController::registerWaiter(mem::Addr addr, mem::MemValue expected,
             ++logFullRetries;
             return {mem::WaitKind::Retry, 0};
         }
+        noteConditionSpilled(addr);
         return waitDecisionFor(addr);
     }
     if (inserted_now)
@@ -215,6 +233,7 @@ SyncMonController::registerWaiter(mem::Addr addr, mem::MemValue expected,
                 ++logFullRetries;
                 return {mem::WaitKind::Retry, 0};
             }
+            noteConditionSpilled(addr);
             return waitDecisionFor(addr);
         }
         if (entry->tail >= 0)
@@ -289,9 +308,10 @@ SyncMonController::resumeOne(ConditionCache::Entry &entry)
 
     observeWaitLatency(entry.addr, curTick() - w.registeredTick);
     mem::Addr addr = entry.addr;
+    mem::MemValue value = entry.value;
     maybeRetire(entry);
+    notePredictedResume(w.wgId, addr, value);
     notifyResume(w.wgId);
-    (void)addr;
 }
 
 void
@@ -313,10 +333,14 @@ SyncMonController::resumeAll(ConditionCache::Entry &entry)
     entry.head = -1;
     entry.tail = -1;
     entry.numWaiters = 0;
+    mem::Addr addr = entry.addr;
+    mem::MemValue value = entry.value;
     maybeRetire(entry);
     sim::oraclePermute(oracle, sim::ChoicePoint::ResumeOrder, wg_ids);
-    for (int wg_id : wg_ids)
+    for (int wg_id : wg_ids) {
+        notePredictedResume(wg_id, addr, value);
         notifyResume(wg_id);
+    }
 }
 
 void
@@ -369,6 +393,7 @@ SyncMonController::demoteToLog(ConditionCache::Entry &entry)
         bool ok = cp.spillCondition(entry.addr, entry.value, w.wgId);
         ifp_assert(ok, "monitor log filled during demotion");
         ++spills;
+        noteConditionSpilled(entry.addr);
         int next = waiters.next(n);
         waiters.release(n);
         n = next;
@@ -420,6 +445,37 @@ SyncMonController::noteConditionInserted(mem::Addr addr)
     mem::Addr line = lineOf(addr);
     ++lineConds[line];
     lineIdleSince.erase(line);
+}
+
+void
+SyncMonController::noteConditionSpilled(mem::Addr addr)
+{
+    // One refcount per spilled waiter: the CP reports retirements per
+    // SpilledCond entry, so insertions must match that granularity.
+    // Keeping the line monitored through the spill window is what
+    // keeps the AWG Bloom filter observing updates (and the lazy
+    // cleanup from resetting it) while the waiters sit in the log.
+    mem::Addr line = lineOf(addr);
+    ++lineConds[line];
+    lineIdleSince.erase(line);
+    l2.setMonitored(addr, true);
+}
+
+void
+SyncMonController::onSpilledCondRemoved(mem::Addr addr, int wg_id)
+{
+    (void)wg_id;
+    noteConditionRemoved(addr);
+}
+
+void
+SyncMonController::notePredictedResume(int wg_id, mem::Addr addr,
+                                       mem::MemValue value)
+{
+    if (policyMode != SyncMonMode::Awg)
+        return;
+    ++predictedResumes;
+    lastPredictedResume[wg_id] = {addr, value};
 }
 
 void

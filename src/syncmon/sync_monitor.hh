@@ -111,7 +111,9 @@ struct SyncMonConfig
 };
 
 /** The SyncMon: a mem::SyncObserver installed into the L2. */
-class SyncMonController : public sim::Clocked, public mem::SyncObserver
+class SyncMonController : public sim::Clocked,
+                          public mem::SyncObserver,
+                          public cp::SpillObserver
 {
   public:
     SyncMonController(std::string name, sim::EventQueue &eq,
@@ -133,6 +135,18 @@ class SyncMonController : public sim::Clocked, public mem::SyncObserver
                            bool is_update, int by_wg) override;
     mem::WaitDecision onStallTimeout(int wg_id, mem::Addr addr,
                                      mem::MemValue expected) override;
+    /// @}
+
+    /// @name cp::SpillObserver
+    ///
+    /// A condition virtualized into the Monitor Log is still a live
+    /// condition on its line: the monitored bit must stay set (so the
+    /// Bloom filter keeps observing updates during the spill window)
+    /// and the lazy cleanup must not reset predictor state while the
+    /// CP still tracks waiters for the line. The CP reports each
+    /// spilled condition it retires so the per-line refcount balances.
+    /// @{
+    void onSpilledCondRemoved(mem::Addr addr, int wg_id) override;
     /// @}
 
     SyncMonMode mode() const { return policyMode; }
@@ -161,6 +175,19 @@ class SyncMonController : public sim::Clocked, public mem::SyncObserver
     std::uint64_t bloomBits() const { return blooms.sizeBits(); }
     unsigned maxConditions() const { return conds.maxValid(); }
     unsigned maxWaiters() const { return waiters.maxInUse(); }
+    /** AWG predictor state for @p addr's line (tests/benches). */
+    unsigned
+    bloomUniquesFor(mem::Addr addr) const
+    {
+        return blooms.filterFor(lineOf(addr)).uniqueCount();
+    }
+    /** Live-condition refcount of @p addr's line (tests). */
+    unsigned
+    lineCondCount(mem::Addr addr) const
+    {
+        auto it = lineConds.find(lineOf(addr));
+        return it == lineConds.end() ? 0 : it->second;
+    }
     /// @}
 
     sim::StatGroup &stats() { return statGroup; }
@@ -209,6 +236,17 @@ class SyncMonController : public sim::Clocked, public mem::SyncObserver
     void noteConditionInserted(mem::Addr addr);
     void noteConditionRemoved(mem::Addr addr);
 
+    /**
+     * Account a condition successfully spilled to the Monitor Log:
+     * the line stays monitored and its refcount grows by one per
+     * spilled waiter until the CP reports the retirement back.
+     */
+    void noteConditionSpilled(mem::Addr addr);
+
+    /** AWG accuracy: record a predictor-initiated resume. */
+    void notePredictedResume(int wg_id, mem::Addr addr,
+                             mem::MemValue value);
+
     /** Line base of @p addr (monitored bits/Blooms are per line). */
     mem::Addr
     lineOf(mem::Addr addr) const
@@ -242,6 +280,15 @@ class SyncMonController : public sim::Clocked, public mem::SyncObserver
     /** AWG stall-period predictor state (EWMA per address). */
     std::unordered_map<mem::Addr, double> stallEwma;
 
+    /**
+     * AWG accuracy bookkeeping: the condition each WG was last
+     * resumed on by the predictor. A WG re-registering for the same
+     * (addr, value) was woken for nothing — a misprediction; any
+     * registration clears the mark.
+     */
+    std::unordered_map<int, std::pair<mem::Addr, mem::MemValue>>
+        lastPredictedResume;
+
     /// @name Active fault-window state
     /// @{
     unsigned pressureDepth = 0;
@@ -265,6 +312,8 @@ class SyncMonController : public sim::Clocked, public mem::SyncObserver
     sim::Scalar &sporadicResumes;
     sim::Scalar &predictAll;
     sim::Scalar &predictOne;
+    sim::Scalar &predictedResumes;
+    sim::Scalar &mispredictedResumes;
     sim::Scalar &bloomResets;
     sim::Scalar &stallTimeouts;
     sim::Scalar &switchedOnTimeout;

@@ -1,9 +1,13 @@
 #include "workloads/registry.hh"
 
+#include <algorithm>
+#include <cctype>
+
 #include "sim/logging.hh"
 #include "workloads/apps.hh"
 #include "workloads/barriers.hh"
 #include "workloads/mutexes.hh"
+#include "workloads/queues.hh"
 
 namespace ifp::workloads {
 
@@ -37,17 +41,48 @@ makeFullSuite()
     std::vector<WorkloadPtr> suite = makeHeteroSyncSuite();
     suite.push_back(std::make_unique<HashTableWorkload>());
     suite.push_back(std::make_unique<BankAccountWorkload>());
+    suite.push_back(std::make_unique<MpmcQueueWorkload>());
+    suite.push_back(std::make_unique<PipelineWorkload>());
+    suite.push_back(std::make_unique<WorkStealWorkload>());
     return suite;
 }
+
+namespace {
+
+std::string
+upperCased(const std::string &s)
+{
+    std::string out = s;
+    std::transform(out.begin(), out.end(), out.begin(),
+                   [](unsigned char c) { return std::toupper(c); });
+    return out;
+}
+
+} // anonymous namespace
 
 WorkloadPtr
 makeWorkload(const std::string &abbrev)
 {
-    for (WorkloadPtr &w : makeFullSuite()) {
+    std::vector<WorkloadPtr> suite = makeFullSuite();
+    for (WorkloadPtr &w : suite) {
         if (w->abbrev() == abbrev)
             return std::move(w);
     }
-    ifp_fatal("unknown workload '%s'", abbrev.c_str());
+    // Case-stable fallback: abbreviations are canonically upper-case,
+    // so "spm_g" means SPM_G. Exact matches above keep priority.
+    std::string wanted = upperCased(abbrev);
+    for (WorkloadPtr &w : suite) {
+        if (upperCased(w->abbrev()) == wanted)
+            return std::move(w);
+    }
+    std::string valid;
+    for (const WorkloadPtr &w : suite) {
+        if (!valid.empty())
+            valid += ", ";
+        valid += w->abbrev();
+    }
+    ifp_fatal("unknown workload '%s' (valid: %s)", abbrev.c_str(),
+              valid.c_str());
 }
 
 std::vector<std::string>

@@ -19,10 +19,17 @@ namespace ifp::workloads {
  */
 std::vector<WorkloadPtr> makeHeteroSyncSuite();
 
-/** The full Table 2 set: the suite plus HashTable and BankAccount. */
+/**
+ * The full Table 2 set: the suite plus HashTable, BankAccount and the
+ * concurrent-queue family (MPMCQ, PIPE, WSD).
+ */
 std::vector<WorkloadPtr> makeFullSuite();
 
-/** A single benchmark by abbreviation (panics on unknown names). */
+/**
+ * A single benchmark by abbreviation. Lookup is case-stable (exact
+ * match wins, then a case-folded match); unknown names panic with the
+ * list of valid abbreviations.
+ */
 WorkloadPtr makeWorkload(const std::string &abbrev);
 
 /** Abbreviations of the 12-suite, in axis order. */

@@ -189,4 +189,97 @@ emitWaitEq(KernelBuilder &b, const StyleParams &sp, Reg addr_reg,
     ifp_panic("unknown sync style");
 }
 
+void
+emitWaitSeqEq(KernelBuilder &b, const StyleParams &sp, Reg addr_reg,
+              std::int64_t offset, Reg expected_reg)
+{
+    if (sp.style == SyncStyle::WaitInstr) {
+        // The check-then-arm window on a slot sequence word: a peer
+        // can advance the slot between the failed check and the arm.
+        // Benign here — the expected sequence value is persistent
+        // (only the waiting party advances it past the expectation),
+        // so the post-resume re-check settles it.
+        b.suppressLint("wov",
+                       "slot-sequence check-then-arm: the expected "
+                       "sequence value persists until this waiter "
+                       "consumes it, so the re-check after resume "
+                       "closes the window");
+    }
+    // The slot protocol's waits are plain equality waits; only the
+    // ownership contract (header comment) differs from emitWaitEq.
+    emitWaitEq(b, sp, addr_reg, offset, expected_reg);
+}
+
+void
+emitWaitCounterReach(KernelBuilder &b, const StyleParams &sp,
+                     Reg addr_reg, std::int64_t offset, Reg target_reg)
+{
+    switch (sp.style) {
+      case SyncStyle::Busy: {
+        if (sp.softwareBackoff)
+            b.movi(rBackoff, sp.backoffMin);
+        Label poll = b.here();
+        Label done = b.label();
+        b.atom(rAtomResult, AtomicOpcode::Load, addr_reg, offset,
+               isa::rZero, 0, /*acquire=*/true);
+        b.cmpLe(rTmp0, target_reg, rAtomResult);
+        if (sp.softwareBackoff) {
+            b.bnz(rTmp0, done);
+            emitBackoffStep(b, sp);
+            b.br(poll);
+        } else {
+            b.bz(rTmp0, poll);
+        }
+        b.bind(done);
+        return;
+      }
+      case SyncStyle::SleepBackoff: {
+        b.movi(rBackoff, sp.backoffMin);
+        Label poll = b.here();
+        Label done = b.label();
+        b.atom(rAtomResult, AtomicOpcode::Load, addr_reg, offset,
+               isa::rZero, 0, /*acquire=*/true);
+        b.cmpLe(rTmp0, target_reg, rAtomResult);
+        b.bnz(rTmp0, done);
+        emitBackoffStep(b, sp);
+        b.br(poll);
+        b.bind(done);
+        return;
+      }
+      case SyncStyle::WaitAtomic: {
+        // Equality wait on the terminal value; safe because the
+        // counter never exceeds the target (ceiling contract). The
+        // >= guard tolerates spurious resumes.
+        Label retry = b.here();
+        b.atomWait(rAtomResult, AtomicOpcode::Load, addr_reg, offset,
+                   isa::rZero, target_reg, /*acquire=*/true);
+        b.cmpLe(rTmp0, target_reg, rAtomResult);
+        b.bz(rTmp0, retry);
+        return;
+      }
+      case SyncStyle::WaitInstr: {
+        // Check-then-arm on the terminal counter value: an increment
+        // between check and arm is benign because the counter parks
+        // at the target, so the armed equality still fires (or the
+        // rescue re-check observes >= target).
+        b.suppressLint("wov",
+                       "ceiling-counter check-then-arm: the counter "
+                       "parks at the armed target value, so a missed "
+                       "increment still leaves the condition true for "
+                       "the re-check");
+        Label poll = b.here();
+        Label done = b.label();
+        b.atom(rAtomResult, AtomicOpcode::Load, addr_reg, offset,
+               isa::rZero, 0, /*acquire=*/true);
+        b.cmpLe(rTmp0, target_reg, rAtomResult);
+        b.bnz(rTmp0, done);
+        b.armWait(addr_reg, offset, target_reg);
+        b.br(poll);
+        b.bind(done);
+        return;
+      }
+    }
+    ifp_panic("unknown sync style");
+}
+
 } // namespace ifp::workloads

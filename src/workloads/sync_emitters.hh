@@ -75,6 +75,38 @@ void emitWaitEq(isa::KernelBuilder &b, const StyleParams &sp,
                 isa::Reg addr_reg, std::int64_t offset,
                 isa::Reg expected_reg);
 
+/**
+ * Value-predicate wait on a per-slot sequence word (the queue
+ * family): wait until [addr_reg + offset] equals r[expected_reg].
+ *
+ * Contract: the expected value must be PERSISTENT — once the slot's
+ * sequence reaches it, it stays there until the waiting party itself
+ * advances it (the bounded-MPMC slot protocol: producer of ticket t
+ * waits seq == t, consumer waits seq == t+1, each advances it after
+ * acting). A sequence that can run PAST the expected value would
+ * livelock the WaitAtomic style, whose hardware re-execute loop never
+ * returns to software for a re-check. Clobbers rAtomResult, rTmp0,
+ * rBackoff.
+ */
+void emitWaitSeqEq(isa::KernelBuilder &b, const StyleParams &sp,
+                   isa::Reg addr_reg, std::int64_t offset,
+                   isa::Reg expected_reg);
+
+/**
+ * Ceiling-counter wait: wait until the monotonic counter at
+ * [addr_reg + offset] reaches r[target_reg] (work-queue drain:
+ * done == totalTasks).
+ *
+ * Contract: the counter must never EXCEED the target (the target is
+ * its terminal value). The polling styles re-check with >= so they
+ * tolerate coarse schedules; the WaitAtomic style waits on equality
+ * with the terminal value, which is only safe because the counter
+ * stops there. Clobbers rAtomResult, rTmp0, rBackoff.
+ */
+void emitWaitCounterReach(isa::KernelBuilder &b, const StyleParams &sp,
+                          isa::Reg addr_reg, std::int64_t offset,
+                          isa::Reg target_reg);
+
 } // namespace ifp::workloads
 
 #endif // IFP_WORKLOADS_SYNC_EMITTERS_HH

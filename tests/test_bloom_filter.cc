@@ -96,6 +96,36 @@ TEST(BloomFilter, CountersSaturateWithoutWrapping)
     EXPECT_TRUE(f.mayContain(99999));
 }
 
+TEST(BloomFilter, CellsSaturateAtMaxWithoutForgetting)
+{
+    // A wrapping 8-bit counter would pass through 0 at the 256th
+    // observation and "forget" the value; saturating cells must park
+    // at the ceiling instead. The queue family's drain counters hit
+    // exactly this regime (hundreds of updates on one filter).
+    CountingBloomFilter f(4, 2);
+    for (int i = 0; i < 256; ++i)
+        f.observe(42);
+    EXPECT_TRUE(f.mayContain(42));
+    EXPECT_EQ(f.uniqueCount(), 1u);
+    for (int i = 0; i < 300; ++i)  // push well past saturation
+        f.observe(42);
+    EXPECT_TRUE(f.mayContain(42));
+    EXPECT_EQ(f.uniqueCount(), 1u);
+}
+
+TEST(BloomFilter, ResetClearsSaturatedCellsAndUniqueCount)
+{
+    CountingBloomFilter f(8, 3);
+    for (int i = 0; i < 1000; ++i)
+        f.observe(i);  // saturates every cell
+    EXPECT_GT(f.uniqueCount(), 0u);
+    f.reset();
+    EXPECT_EQ(f.uniqueCount(), 0u);
+    for (std::int64_t v : {0, 1, 42, 999})
+        EXPECT_FALSE(f.mayContain(v));
+    EXPECT_TRUE(f.observe(5));  // fresh again after the reset
+}
+
 TEST(BloomBank, PaperHardwareBudget)
 {
     BloomFilterBank bank(512, 24, 6);

@@ -34,6 +34,7 @@
 #include "core/fault_plan.hh"
 #include "harness/runner.hh"
 #include "test_helpers.hh"
+#include "workloads/queues.hh"
 
 namespace ifp {
 namespace {
@@ -203,6 +204,14 @@ parityMatrix()
     std::vector<ParityCase> cases;
     for (const std::string &w : workloads::heteroSyncAbbrevs()) {
         for (Policy p : {Policy::Baseline, Policy::Timeout, Policy::Awg})
+            for (const char *f : {"cu-churn", "kitchen-sink"})
+                cases.push_back({w, p, f});
+    }
+    // The queue family's data-condition waits ride the same parity
+    // contract; the waiting-atomic policies are the interesting ones
+    // (Busy parity is already covered twelve-fold above).
+    for (const std::string &w : workloads::queueAbbrevs()) {
+        for (Policy p : {Policy::Timeout, Policy::Awg})
             for (const char *f : {"cu-churn", "kitchen-sink"})
                 cases.push_back({w, p, f});
     }

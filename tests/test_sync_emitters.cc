@@ -6,8 +6,11 @@
  * Baseline, no s_sleep outside the Sleep policy, ...).
  */
 
+#include <sstream>
+
 #include <gtest/gtest.h>
 
+#include "analysis/lint.hh"
 #include "test_helpers.hh"
 #include "workloads/sync_emitters.hh"
 
@@ -164,6 +167,129 @@ TEST(SyncEmitters, AcquireCarriesAcquireSemantics)
         }
         EXPECT_TRUE(saw_acquire)
             << "style " << static_cast<int>(style);
+    }
+}
+
+/**
+ * A linteable miniature kernel around one value-predicate wait: WG 0
+ * waits, WGs 1..3 publish (a release exchange for the slot-sequence
+ * wait, release increments for the ceiling counter), so the static
+ * progress passes can discharge the wait.
+ */
+isa::Kernel
+valueWaitKernel(SyncStyle style, bool counter)
+{
+    using mem::AtomicOpcode;
+    KernelBuilder b;
+    StyleParams sp;
+    sp.style = style;
+    emitSyncProlog(b, sp);
+    b.movi(rSyncAddr, 0x1000);
+    b.movi(rDataVal, counter ? 3 : 1);
+    isa::Label wait = b.label();
+    isa::Label end = b.label();
+    b.bz(isa::rWgId, wait);
+    b.atom(rAtomResult, counter ? AtomicOpcode::Add : AtomicOpcode::Exch,
+           rSyncAddr, 0, rOne, 0, /*acquire=*/false, /*release=*/true);
+    b.br(end);
+    b.bind(wait);
+    if (counter)
+        emitWaitCounterReach(b, sp, rSyncAddr, 0, rDataVal);
+    else
+        emitWaitSeqEq(b, sp, rSyncAddr, 0, rDataVal);
+    b.bind(end);
+    b.halt();
+    isa::Kernel k = ifp::test::makeTestKernel(b, 4);
+    k.lintSuppressions = b.suppressions();
+    return k;
+}
+
+analysis::Report
+lintValueWait(SyncStyle style, bool counter)
+{
+    isa::Kernel k = valueWaitKernel(style, counter);
+    analysis::LaunchContext launch = analysis::makeLaunchContext(
+        k, /*num_cus=*/8, /*simds_per_cu=*/2,
+        /*wavefronts_per_simd=*/20, /*lds_bytes_per_cu=*/64 * 1024);
+    return analysis::runLint(k, launch);
+}
+
+TEST(SyncEmitters, ValuePredicateWaitsFollowStyleCensus)
+{
+    for (bool counter : {false, true}) {
+        OpcodeCensus busy =
+            census(valueWaitKernel(SyncStyle::Busy, counter).code);
+        EXPECT_GT(busy.atomics, 0u);
+        EXPECT_EQ(busy.waitingAtomics, 0u);
+        EXPECT_EQ(busy.armWaits, 0u);
+        EXPECT_EQ(busy.sleeps, 0u);
+
+        OpcodeCensus sleep = census(
+            valueWaitKernel(SyncStyle::SleepBackoff, counter).code);
+        EXPECT_EQ(sleep.sleeps, 1u);
+        EXPECT_EQ(sleep.waitingAtomics, 0u);
+
+        OpcodeCensus wa = census(
+            valueWaitKernel(SyncStyle::WaitAtomic, counter).code);
+        EXPECT_GT(wa.waitingAtomics, 0u);
+        EXPECT_EQ(wa.armWaits, 0u);
+        EXPECT_EQ(wa.sleeps, 0u);
+
+        OpcodeCensus wi = census(
+            valueWaitKernel(SyncStyle::WaitInstr, counter).code);
+        EXPECT_EQ(wi.armWaits, 1u);
+        EXPECT_EQ(wi.waitingAtomics, 0u);
+    }
+}
+
+TEST(SyncEmitters, WaitAtomicValueWaitsHaveNoWindow)
+{
+    // Figure 10 (bottom): the WaitAtomic form of both value-predicate
+    // waits fuses the check into the waiting access itself — there is
+    // no regular atomic on the waiter's path whose result a separate
+    // arm could race with (the single Atom is the publisher's release).
+    for (bool counter : {false, true}) {
+        OpcodeCensus c = census(
+            valueWaitKernel(SyncStyle::WaitAtomic, counter).code);
+        EXPECT_EQ(c.atomics, 1u);
+        EXPECT_GT(c.waitingAtomics, 0u);
+        EXPECT_EQ(c.armWaits, 0u);
+    }
+}
+
+TEST(SyncEmitters, ValuePredicateWaitsLintCleanAcrossStyles)
+{
+    // Static cross-check: every style of both waits passes the
+    // verifier under --Werror. The WaitInstr forms carry their
+    // annotated check-then-arm ("wov") suppression — the finding must
+    // still be present, demoted, with the annotation attached.
+    for (bool counter : {false, true}) {
+        for (SyncStyle style :
+             {SyncStyle::Busy, SyncStyle::SleepBackoff,
+              SyncStyle::WaitAtomic, SyncStyle::WaitInstr}) {
+            analysis::Report r = lintValueWait(style, counter);
+            std::ostringstream dump;
+            analysis::printReport(r, dump);
+            EXPECT_TRUE(r.clean(/*werror=*/true))
+                << "counter=" << counter << " style "
+                << static_cast<int>(style) << "\n" << dump.str();
+        }
+        analysis::Report wi = lintValueWait(SyncStyle::WaitInstr,
+                                            counter);
+        bool saw_suppressed_wov = false;
+        for (const analysis::Diagnostic &d : wi.diagnostics) {
+            if (d.code == "wov") {
+                EXPECT_TRUE(d.suppressed);
+                EXPECT_FALSE(d.suppressReason.empty());
+                saw_suppressed_wov = true;
+            }
+        }
+        EXPECT_TRUE(saw_suppressed_wov) << "counter=" << counter;
+
+        analysis::Report wa = lintValueWait(SyncStyle::WaitAtomic,
+                                            counter);
+        for (const analysis::Diagnostic &d : wa.diagnostics)
+            EXPECT_NE(d.code, "wov");  // genuinely window-free
     }
 }
 

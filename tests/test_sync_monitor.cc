@@ -46,6 +46,7 @@ struct SyncMonFixture : public ::testing::Test
                                                   cfg, *l2, store,
                                                   *cp);
         mon->setScheduler(&sched);
+        cp->setSpillObserver(mon.get());
     }
 
     /** Issue a waiting atomic and run to completion. */
@@ -305,6 +306,87 @@ TEST_F(SyncMonFixture, MinResumeOnlyWakesWaitersWhoseConditionHolds)
     atomicStore(0x6000, 4);
     ASSERT_EQ(sched.resumed.size(), 2u);
     EXPECT_EQ(sched.resumed[1], 2);
+}
+
+TEST_F(SyncMonFixture, SpillKeepsLineAccountingAndPredictorState)
+{
+    // Regression: a condition that spills to the Monitor Log must
+    // keep its line's refcount, monitored bit and AWG Bloom state
+    // alive until the CP resolves it. (Both used to be torn down by
+    // the idle-cleanup timer as soon as the cached conditions
+    // retired, which silently disabled the predictor for the spill's
+    // whole log residency.)
+    SyncMonConfig tiny;
+    tiny.waitingListCapacity = 1;
+    build(SyncMonMode::Awg, tiny);
+    store.write(0xA000, 0, 8);
+    waitingLoad(0xA000, 100, 1);  // cached condition
+    waitingLoad(0xA000, 200, 2);  // list full: spills to the log
+    EXPECT_DOUBLE_EQ(mon->stats().scalar("spills").value(), 1.0);
+    EXPECT_EQ(mon->lineCondCount(0xA000), 2u);
+
+    // The spilled record reached global memory intact: the timed
+    // append must not clobber its own record words (its first word
+    // is the monitored address, not the expected value).
+    mem::Addr rec = cp->monitorLog().baseAddr();
+    EXPECT_EQ(store.read(rec, 8), 0xA000);
+    EXPECT_EQ(store.read(rec + 8, 8), 200);
+    EXPECT_EQ(store.read(rec + 16, 8), 2);
+
+    // Accumulate predictor observations on the monitored line.
+    for (int v = 1; v <= 5; ++v)
+        atomicStore(0xA000, v);
+    unsigned uniques = mon->bloomUniquesFor(0xA000);
+    EXPECT_GE(uniques, 3u);
+
+    // Retire the cached condition; only the spilled one remains.
+    atomicStore(0xA000, 100);
+    EXPECT_EQ(mon->lineCondCount(0xA000), 1u);
+    settle();  // well past the idle-cleanup window
+    EXPECT_TRUE(l2->isMonitored(0xA000));
+    EXPECT_GE(mon->bloomUniquesFor(0xA000), uniques);
+
+    // Meet the spilled condition: the CP's housekeeping check (not a
+    // rescue timeout) must resume the waiter and release the line.
+    atomicStore(0xA000, 200);
+    waitingLoad(0xB000, 1, 7);  // keeps the system busy
+    settle();
+    bool resumed_2 = false;
+    for (int wg : sched.resumed)
+        resumed_2 |= wg == 2;
+    EXPECT_TRUE(resumed_2);
+    EXPECT_GE(cp->stats().scalar("spilledResumes").value(), 1.0);
+    EXPECT_EQ(mon->lineCondCount(0xA000), 0u);
+
+    // Only now may the lazy cleanup fire and recycle the predictor.
+    settle();
+    EXPECT_FALSE(l2->isMonitored(0xA000));
+    EXPECT_EQ(mon->bloomUniquesFor(0xA000), 0u);
+    EXPECT_GE(mon->stats().scalar("bloomResets").value(), 1.0);
+}
+
+TEST_F(SyncMonFixture, AwgTracksMispredictedResumes)
+{
+    build(SyncMonMode::Awg);
+    store.write(0x4000, 1, 8);
+    for (int wg = 0; wg < 4; ++wg)
+        waitingLoad(0x4000, 0, wg);
+    atomicStore(0x4000, 1);
+    atomicStore(0x4000, 0);  // release: mutex-like, resume-one
+    ASSERT_EQ(sched.resumed.size(), 1u);
+    int winner = sched.resumed[0];
+    EXPECT_DOUBLE_EQ(mon->stats().scalar("predictedResumes").value(),
+                     1.0);
+    EXPECT_DOUBLE_EQ(
+        mon->stats().scalar("mispredictedResumes").value(), 0.0);
+
+    // Another WG takes the lock before the resumed waiter's atomic
+    // re-executes; the waiter re-registers the same condition, which
+    // is exactly a mispredicted resume.
+    atomicStore(0x4000, 1);
+    waitingLoad(0x4000, 0, winner);
+    EXPECT_DOUBLE_EQ(
+        mon->stats().scalar("mispredictedResumes").value(), 1.0);
 }
 
 TEST_F(SyncMonFixture, HardwareBudgetMatchesPaper)

@@ -9,6 +9,7 @@
 #include <gtest/gtest.h>
 
 #include "test_helpers.hh"
+#include "workloads/queues.hh"
 
 namespace ifp {
 namespace {
@@ -64,6 +65,8 @@ allCases()
         workloads::heteroSyncAbbrevs();
     workloads.push_back("HT");
     workloads.push_back("BA");
+    for (const std::string &q : workloads::queueAbbrevs())
+        workloads.push_back(q);
     for (Policy policy :
          {Policy::Baseline, Policy::Sleep, Policy::Timeout,
           Policy::MonRSAll, Policy::MonRAll, Policy::MonNRAll,
@@ -89,9 +92,28 @@ TEST(WorkloadRegistry, SuiteMatchesFigureAxis)
 TEST(WorkloadRegistry, FullSuiteIncludesApps)
 {
     auto suite = workloads::makeFullSuite();
-    EXPECT_EQ(suite.size(), 14u);
+    EXPECT_EQ(suite.size(), 17u);
     EXPECT_EQ(suite[12]->abbrev(), "HT");
     EXPECT_EQ(suite[13]->abbrev(), "BA");
+    EXPECT_EQ(suite[14]->abbrev(), "MPMCQ");
+    EXPECT_EQ(suite[15]->abbrev(), "PIPE");
+    EXPECT_EQ(suite[16]->abbrev(), "WSD");
+}
+
+TEST(WorkloadRegistry, LookupIsCaseStable)
+{
+    EXPECT_EQ(workloads::makeWorkload("MPMCQ")->abbrev(), "MPMCQ");
+    EXPECT_EQ(workloads::makeWorkload("mpmcq")->abbrev(), "MPMCQ");
+    EXPECT_EQ(workloads::makeWorkload("spm_g")->abbrev(), "SPM_G");
+    EXPECT_EQ(workloads::makeWorkload("Wsd")->abbrev(), "WSD");
+}
+
+TEST(WorkloadRegistryDeathTest, UnknownNameListsValidAbbrevs)
+{
+    // The error must carry the full valid-name list so a mistyped
+    // --workload flag is self-correcting at the CLI.
+    EXPECT_DEATH(workloads::makeWorkload("no-such-workload"),
+                 "valid:.*SPM_G.*MPMCQ.*WSD");
 }
 
 TEST(WorkloadRegistry, Table2CharacteristicsArePopulated)

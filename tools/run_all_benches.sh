@@ -22,7 +22,8 @@
 #
 # With --verify the script is instead the one-stop verification entry
 # point: configure + build, the tier-1 ctest suite, the static kernel
-# verifier gate (ifplint --all --Werror), byte-identity of the
+# verifier gate (ifplint --all --Werror), the litmus and queue-family
+# label suites, byte-identity of the
 # exploration and interference JSON surfaces, the POR-vs-unreduced
 # exhaustive agreement check, clang-tidy (skipped when not installed),
 # the sanitized test run (ASan+UBSan), and the perf gate (--check)
@@ -155,6 +156,9 @@ if [ "${1:-}" = "--verify" ]; then
 
     echo "== litmus suite (ctest -L litmus)"
     ctest --test-dir "$BUILD_DIR" -L litmus --output-on-failure -j "$JOBS"
+
+    echo "== queue family (ctest -L queues)"
+    ctest --test-dir "$BUILD_DIR" -L queues --output-on-failure -j "$JOBS"
 
     echo "== litmus exploration byte-identity (ifpexplore)"
     explore_tmp="$(mktemp -d)"
